@@ -1,0 +1,40 @@
+# Standard entry points. Everything is plain `go` underneath.
+
+.PHONY: all build test vet bench race experiments datasets clean
+
+all: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+bench:
+	go test -bench=. -benchmem ./...
+
+# Regenerate every paper table/figure (writes CSVs into ./csv).
+experiments:
+	go run ./cmd/experiments -all -chart -csv csv
+
+# Write the 12 synthetic screens into ./data at 1% of paper scale.
+datasets:
+	go run ./cmd/datagen -out data -scale 0.01
+
+# Run every example end to end.
+examples:
+	go run ./examples/quickstart
+	go run ./examples/featurespace
+	go run ./examples/drugdiscovery
+	go run ./examples/classification
+	go run ./examples/graphsearch
+	go run ./examples/generalgraphs
+
+clean:
+	rm -rf data csv

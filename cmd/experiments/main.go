@@ -1,0 +1,115 @@
+// Command experiments regenerates the paper's tables and figures on the
+// synthetic screens. Select one experiment or run the full suite:
+//
+//	experiments -fig 9              # Time vs Frequency
+//	experiments -table 6            # AUC comparison (also prints Fig 17 times)
+//	experiments -all                # everything
+//	experiments -fig 10 -datasets MOLT-4,UACC-257 -n 150
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"graphsig/internal/experiments"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure number to reproduce (2, 4, 9, 10, 11, 12, 13, 16, 17)")
+	table := flag.Int("table", 0, "table number to reproduce (5, 6)")
+	all := flag.Bool("all", false, "run every experiment")
+	n := flag.Int("n", 0, "mining workload size in molecules (default 300)")
+	classifyN := flag.Int("classify-n", 0, "classification workload size per screen (default 600)")
+	budget := flag.Duration("budget", 0, "per-run budget for baseline miners (default 15s)")
+	seed := flag.Int64("seed", 1, "generation seed")
+	datasets := flag.String("datasets", "", "comma-separated dataset filter for multi-dataset experiments")
+	ablation := flag.Bool("ablation", false, "run the RWR vs window-counts ablation")
+	charts := flag.Bool("chart", false, "render text charts of each series")
+	csvDir := flag.String("csv", "", "also write one CSV file per experiment into this directory")
+	flag.Parse()
+
+	cfg := experiments.Defaults()
+	cfg.Out = os.Stdout
+	cfg.Seed = *seed
+	if *n > 0 {
+		cfg.MiningN = *n
+		cfg.ProfileN = *n
+	}
+	if *classifyN > 0 {
+		cfg.ClassifyN = *classifyN
+	}
+	if *budget > 0 {
+		cfg.RunBudget = *budget
+	}
+	if *datasets != "" {
+		cfg.Datasets = strings.Split(*datasets, ",")
+	}
+	cfg.Charts = *charts
+	cfg.CSVDir = *csvDir
+
+	run := func(name string, f func()) {
+		fmt.Printf("=== %s ===\n", name)
+		t0 := time.Now()
+		f()
+		fmt.Printf("(%s elapsed)\n\n", time.Since(t0).Round(time.Millisecond))
+	}
+
+	ran := false
+	want := func(figNo, tableNo int) bool {
+		if *all {
+			return true
+		}
+		return (*fig != 0 && *fig == figNo) || (*table != 0 && *table == tableNo)
+	}
+	if want(2, 0) {
+		run("Fig 2", func() { experiments.Fig2(cfg) })
+		ran = true
+	}
+	if want(4, 0) {
+		run("Fig 4", func() { experiments.Fig4(cfg) })
+		ran = true
+	}
+	if want(5, 0) || (*table != 0 && *table == 5) {
+		run("Table V", func() { experiments.Table5(cfg) })
+		ran = true
+	}
+	if want(9, 0) {
+		run("Fig 9", func() { experiments.Fig9(cfg) })
+		ran = true
+	}
+	if want(10, 0) {
+		run("Fig 10", func() { experiments.Fig10(cfg) })
+		ran = true
+	}
+	if want(11, 0) {
+		run("Fig 11", func() { experiments.Fig11(cfg) })
+		ran = true
+	}
+	if want(12, 0) {
+		run("Fig 12", func() { experiments.Fig12(cfg) })
+		ran = true
+	}
+	if want(13, 0) || want(14, 0) || want(15, 0) {
+		run("Fig 13-15", func() { experiments.Fig13to15(cfg) })
+		ran = true
+	}
+	if want(16, 0) {
+		run("Fig 16", func() { experiments.Fig16(cfg) })
+		ran = true
+	}
+	if want(17, 6) {
+		run("Table VI / Fig 17", func() { experiments.Table6(cfg) })
+		ran = true
+	}
+	if *ablation || *all {
+		run("Ablation: RWR vs window counts", func() { experiments.AblationVectorizer(cfg) })
+		ran = true
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,145 @@
+// Command graphsig mines statistically significant subgraphs from a
+// graph database file in gSpan transaction format:
+//
+//	graphsig -in screen.db -maxp 0.1 -minfreq 0.1 -radius 4 -top 10
+//
+// Labels in the input may be symbols (atom names) or integers. The
+// output lists each significant subgraph with its describing vector's
+// p-value, its verified support, and its structure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"graphsig/internal/chem"
+	"graphsig/internal/core"
+	"graphsig/internal/graph"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("graphsig: ")
+
+	in := flag.String("in", "", "input graph database (gSpan transaction format, or .smi SMILES file)")
+	maxP := flag.Float64("maxp", 0.1, "p-value threshold")
+	minFreq := flag.Float64("minfreq", 0.1, "FVMine support threshold, % of per-label vectors")
+	radius := flag.Int("radius", 4, "cutoff radius around region centers")
+	fsmFreq := flag.Float64("fsmfreq", 80, "maximal FSM frequency threshold, %")
+	alpha := flag.Float64("alpha", 0.25, "random-walk restart probability")
+	top := flag.Int("top", 20, "print at most this many subgraphs (0 = all)")
+	topK := flag.Int("topk", 0, "threshold-free mode: keep the k most significant vectors per label")
+	dotDir := flag.String("dot", "", "write one GraphViz .dot file per printed subgraph into this directory")
+	timeout := flag.Duration("timeout", 0, "abort mining after this duration (0 = none)")
+	useGSpan := flag.Bool("gspan", false, "use gSpan instead of FSG for the group mining step")
+	flag.Parse()
+
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	var db []*graph.Graph
+	var alphabet *graph.Alphabet
+	if strings.HasSuffix(*in, ".smi") {
+		alphabet = chem.Alphabet()
+		db, _, err = chem.ReadSMILESFile(f)
+		for i, g := range db {
+			g.ID = i
+		}
+	} else {
+		alphabet = graph.NewAlphabet()
+		db, err = graph.ReadDB(f, alphabet)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("loaded %d graphs from %s", len(db), *in)
+
+	cfg := core.Defaults()
+	cfg.MaxPvalue = *maxP
+	cfg.MinFreqPct = *minFreq
+	cfg.CutoffRadius = *radius
+	cfg.FSMFreqPct = *fsmFreq
+	cfg.Alpha = *alpha
+	cfg.Alphabet = alphabet
+	cfg.TopKPerLabel = *topK
+	if *useGSpan {
+		cfg.Miner = core.MinerGSpan
+	}
+	if *timeout > 0 {
+		cfg.Deadline = time.Now().Add(*timeout)
+	}
+
+	t0 := time.Now()
+	res := core.Mine(db, cfg)
+	log.Printf("mined %d significant subgraphs in %s (RWR %s, feature analysis %s, FSM %s)",
+		len(res.Subgraphs), time.Since(t0).Round(time.Millisecond),
+		res.Profile.RWR.Round(time.Millisecond),
+		res.Profile.FeatureAnalysis.Round(time.Millisecond),
+		res.Profile.FSM.Round(time.Millisecond))
+	if res.Truncated {
+		log.Printf("warning: mining truncated by timeout")
+	}
+
+	if *dotDir != "" {
+		if err := os.MkdirAll(*dotDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for i, sg := range res.Subgraphs {
+		if *top > 0 && i >= *top {
+			log.Printf("... %d more (raise -top to see them)", len(res.Subgraphs)-i)
+			break
+		}
+		fmt.Printf("#%d  p=%.3g  support=%d (%.2f%%)  %d nodes / %d edges  [source %s]\n",
+			i+1, sg.VectorPValue, sg.Support, 100*sg.Frequency,
+			sg.Graph.NumNodes(), sg.Graph.NumEdges(), alphabet.Name(sg.SourceLabel))
+		printGraph(sg.Graph, alphabet)
+		if *dotDir != "" {
+			name := fmt.Sprintf("pattern%03d", i+1)
+			f, err := os.Create(filepath.Join(*dotDir, name+".dot"))
+			if err != nil {
+				log.Fatal(err)
+			}
+			err = graph.WriteDOT(f, sg.Graph, name, alphabet, chem.BondName)
+			f.Close()
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+}
+
+func printGraph(g *graph.Graph, alpha *graph.Alphabet) {
+	// SMILES output is only meaningful when the file's labels line up
+	// with the standard chemistry alphabet (true for datagen output).
+	chemAlpha := chem.Alphabet()
+	chemLabels := true
+	for _, l := range g.Labels() {
+		if chemAlpha.Name(l) != alpha.Name(l) {
+			chemLabels = false
+			break
+		}
+	}
+	if chemLabels {
+		if smiles, err := chem.WriteSMILES(g); err == nil {
+			fmt.Printf("    SMILES: %s\n", smiles)
+		}
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		fmt.Printf("    v%d %s\n", v, alpha.Name(g.NodeLabel(v)))
+	}
+	for _, e := range g.Edges() {
+		fmt.Printf("    %d %s %d\n", e.From, chem.BondName(e.Label), e.To)
+	}
+}

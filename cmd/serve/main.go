@@ -1,0 +1,68 @@
+// Command serve runs the GraphSig HTTP service over a chemical screen:
+//
+//	serve -in data/AIDS.db -addr :8080
+//	serve -dataset MOLT-4 -n 1000 -addr :8080
+//
+// Endpoints: GET /healthz, GET /stats, POST /mine, POST /query,
+// POST /significance (see internal/server).
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+
+	"graphsig/internal/chem"
+	"graphsig/internal/graph"
+	"graphsig/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("serve: ")
+
+	addr := flag.String("addr", ":8080", "listen address")
+	in := flag.String("in", "", "graph database file (.db transaction format or .smi)")
+	dataset := flag.String("dataset", "", "generate this catalog dataset instead of loading")
+	n := flag.Int("n", 1000, "molecules to generate with -dataset")
+	flag.Parse()
+
+	var db []*graph.Graph
+	switch {
+	case *in != "":
+		f, err := os.Open(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if strings.HasSuffix(*in, ".smi") {
+			db, _, err = chem.ReadSMILESFile(f)
+		} else {
+			db, err = graph.ReadDB(f, chem.Alphabet())
+		}
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	case *dataset != "":
+		found := false
+		for _, spec := range chem.Catalog() {
+			if spec.Name == *dataset {
+				db = chem.GenerateN(spec, *n).Graphs
+				found = true
+			}
+		}
+		if !found {
+			log.Fatalf("unknown dataset %q", *dataset)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	log.Printf("serving %d graphs on %s", len(db), *addr)
+	if err := http.ListenAndServe(*addr, server.New(db).Handler()); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,58 @@
+// Generalgraphs: GraphSig outside chemistry. The paper's §II-A describes
+// a general, domain-agnostic path: enumerate candidate features, select a
+// compact set greedily (Eqn 2, trading importance against redundancy),
+// and run the same pipeline. This example mines significant interaction
+// patterns from synthetic collaboration networks — node labels are roles
+// (dev, ops, mgr, sec), edge labels are interaction kinds (review,
+// oncall) — where a rare "incident triangle" is planted in a minority of
+// networks and surfaces as the most significant pattern.
+//
+//	go run ./examples/generalgraphs
+package main
+
+import (
+	"fmt"
+
+	"graphsig/internal/core"
+	"graphsig/internal/feature"
+	"graphsig/internal/graph"
+	"graphsig/internal/social"
+)
+
+func main() {
+	gen := social.NewGenerator(5)
+	db := gen.Database(300, 12)
+	fmt.Printf("database: %d collaboration networks, 12 with the planted incident pattern\n", len(db))
+
+	// §II-A: candidate features scored by frequency, selected greedily
+	// with a role-overlap redundancy penalty (Eqn 2).
+	cands, types := social.CandidateEdgeTypes(db)
+	selected := feature.GreedySelect(cands, 6, 1.0, 0.3, social.RoleOverlapSimilarity(types))
+	fmt.Println("selected features (Eqn 2, w1=1.0 w2=0.3):")
+	var chosen []feature.EdgeType
+	for _, idx := range selected {
+		fmt.Printf("  %-18s importance %.3f\n", cands[idx].Name, cands[idx].Importance)
+		chosen = append(chosen, types[idx])
+	}
+	fs := feature.NewCustomSet(chosen,
+		[]graph.Label{social.RoleDev, social.RoleOps, social.RoleMgr, social.RoleSec}, social.RoleNames)
+
+	cfg := core.Defaults()
+	cfg.FeatureSet = fs
+	cfg.CutoffRadius = 2
+	cfg.MinSupportFloor = 4
+	res := core.Mine(db, cfg)
+	fmt.Printf("\n%d significant subgraphs\n", len(res.Subgraphs))
+	for i, sg := range res.Subgraphs {
+		if i >= 4 {
+			break
+		}
+		fmt.Printf("#%d p=%.3g support=%d/%d\n", i+1, sg.VectorPValue, sg.Support, len(db))
+		for v := 0; v < sg.Graph.NumNodes(); v++ {
+			fmt.Printf("   node %d: %s\n", v, social.RoleNames[sg.Graph.NodeLabel(v)])
+		}
+		for _, e := range sg.Graph.Edges() {
+			fmt.Printf("   %d --%s-- %d\n", e.From, social.EdgeName(e.Label), e.To)
+		}
+	}
+}

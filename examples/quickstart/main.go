@@ -1,0 +1,41 @@
+// Quickstart: generate a small AIDS-like screen, mine the statistically
+// significant subgraphs from its active compounds, and print them.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"graphsig"
+)
+
+func main() {
+	// A synthetic stand-in for the DTP-AIDS antiviral screen: ~5% of the
+	// molecules are active and carry azido-pyrimidine-like drug cores.
+	ds := graphsig.GenerateDatasetN(graphsig.AIDSSpec(), 500)
+	actives := ds.Actives()
+	fmt.Printf("screen: %d molecules, %d active\n", len(ds.Graphs), len(actives))
+
+	cfg := graphsig.DefaultConfig() // Table IV parameters
+	cfg.CutoffRadius = 4            // molecule-scale window radius
+	res := graphsig.Mine(actives, cfg)
+
+	fmt.Printf("mined %d significant subgraphs (RWR %v, feature analysis %v, FSM %v)\n",
+		len(res.Subgraphs), res.Profile.RWR, res.Profile.FeatureAnalysis, res.Profile.FSM)
+
+	alpha := ds.Alphabet
+	for i, sg := range res.Subgraphs {
+		if i >= 5 {
+			break
+		}
+		fmt.Printf("\n#%d  p-value %.3g, support %d of %d actives (%.1f%%)\n",
+			i+1, sg.VectorPValue, sg.Support, len(actives), 100*sg.Frequency)
+		for v := 0; v < sg.Graph.NumNodes(); v++ {
+			fmt.Printf("  atom %d: %s\n", v, alpha.Name(sg.Graph.NodeLabel(v)))
+		}
+		for _, e := range sg.Graph.Edges() {
+			fmt.Printf("  bond %d-%d\n", e.From, e.To)
+		}
+	}
+}

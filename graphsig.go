@@ -1,0 +1,224 @@
+// Package graphsig is a Go implementation of GraphSig (Ranu & Singh,
+// ICDE 2009): scalable mining of statistically significant subgraphs
+// from large graph databases, even when those subgraphs are infrequent.
+//
+// The public API re-exports the building blocks a downstream user needs:
+//
+//   - Graphs: labeled undirected graphs with a text codec (NewGraph,
+//     ReadDB, WriteDB).
+//   - Mining: Mine runs the GraphSig pipeline (RWR feature extraction,
+//     FVMine over closed sub-feature vectors, region grouping, maximal
+//     frequent-subgraph mining) with the paper's Table IV defaults
+//     (DefaultConfig).
+//   - Baselines: MineGSpan and MineFSG expose the frequent-subgraph
+//     miners used as comparison points and substrate.
+//   - Classification: TrainClassifier builds the significant-pattern
+//     classifier of §V; TrainLEAP and TrainOA build the two baselines.
+//   - Data: GenerateDataset materializes the synthetic chemical screens
+//     standing in for the paper's NCI/PubChem datasets (see DESIGN.md).
+//
+// Quick start:
+//
+//	ds := graphsig.GenerateDataset(graphsig.AIDSSpec(), 0.01)
+//	res := graphsig.Mine(ds.Actives(), graphsig.DefaultConfig())
+//	for _, sg := range res.Subgraphs {
+//	    fmt.Println(sg.Graph, sg.VectorPValue, sg.Frequency)
+//	}
+package graphsig
+
+import (
+	"io"
+
+	"graphsig/internal/chem"
+	"graphsig/internal/classify"
+	"graphsig/internal/core"
+	"graphsig/internal/fsg"
+	"graphsig/internal/graph"
+	"graphsig/internal/gspan"
+	"graphsig/internal/metrics"
+)
+
+// Graph is a labeled undirected simple graph (nodes are atoms, edges are
+// bonds in the chemistry domain).
+type Graph = graph.Graph
+
+// Label identifies a node or edge label.
+type Label = graph.Label
+
+// Alphabet maps label symbols to Labels and back.
+type Alphabet = graph.Alphabet
+
+// NewGraph returns an empty graph with capacity hints.
+func NewGraph(nodes, edges int) *Graph { return graph.New(nodes, edges) }
+
+// NewAlphabet returns an empty label alphabet.
+func NewAlphabet() *Alphabet { return graph.NewAlphabet() }
+
+// ReadDB parses a graph database in gSpan transaction format
+// ("t # id" / "v id label" / "e from to label"). A nil alphabet requires
+// integer labels.
+func ReadDB(r io.Reader, alpha *Alphabet) ([]*Graph, error) { return graph.ReadDB(r, alpha) }
+
+// WriteDB writes a graph database in gSpan transaction format.
+func WriteDB(w io.Writer, graphs []*Graph, alpha *Alphabet) error {
+	return graph.WriteDB(w, graphs, alpha)
+}
+
+// Config carries the GraphSig parameters (Table IV).
+type Config = core.Config
+
+// Result is the outcome of a GraphSig mine.
+type Result = core.Result
+
+// Subgraph is one mined significant subgraph with provenance.
+type Subgraph = core.Subgraph
+
+// DefaultConfig returns the paper's Table IV parameters.
+func DefaultConfig() Config { return core.Defaults() }
+
+// Mine runs GraphSig over db and returns the significant subgraphs,
+// most significant first.
+func Mine(db []*Graph, cfg Config) Result { return core.Mine(db, cfg) }
+
+// GSpanOptions configures the gSpan baseline miner.
+type GSpanOptions = gspan.Options
+
+// GSpanResult is the gSpan mining outcome.
+type GSpanResult = gspan.Result
+
+// MineGSpan runs the gSpan frequent-subgraph miner (pattern growth).
+func MineGSpan(db []*Graph, opt GSpanOptions) GSpanResult { return gspan.Mine(db, opt) }
+
+// FSGOptions configures the FSG-style baseline miner.
+type FSGOptions = fsg.Options
+
+// FSGResult is the FSG mining outcome.
+type FSGResult = fsg.Result
+
+// MineFSG runs the apriori-style frequent-subgraph miner.
+func MineFSG(db []*Graph, opt FSGOptions) FSGResult { return fsg.Mine(db, opt) }
+
+// Classifier is the significant-pattern graph classifier of §V.
+type Classifier = classify.GraphSigClassifier
+
+// ClassifierOptions configures classifier training (k, delta, mining).
+type ClassifierOptions = classify.GraphSigOptions
+
+// DefaultClassifierOptions returns the paper's classification setup (k=9).
+func DefaultClassifierOptions() ClassifierOptions { return classify.DefaultGraphSigOptions() }
+
+// TrainClassifier mines significant sub-feature vectors from the
+// positive and negative training graphs and returns the classifier.
+func TrainClassifier(pos, neg []*Graph, opt ClassifierOptions) *Classifier {
+	return classify.TrainGraphSig(pos, neg, opt)
+}
+
+// LEAPClassifier is the pattern-based baseline classifier.
+type LEAPClassifier = classify.LEAPClassifier
+
+// LEAPOptions configures the LEAP-style baseline.
+type LEAPOptions = classify.LEAPOptions
+
+// TrainLEAP trains the pattern-based baseline classifier.
+func TrainLEAP(pos, neg []*Graph, opt LEAPOptions) *LEAPClassifier {
+	return classify.TrainLEAP(pos, neg, opt)
+}
+
+// OAClassifier is the optimal-assignment kernel baseline classifier.
+type OAClassifier = classify.OAClassifier
+
+// OAOptions configures the kernel baseline.
+type OAOptions = classify.OAOptions
+
+// TrainOA trains the kernel baseline classifier.
+func TrainOA(pos, neg []*Graph, opt OAOptions) *OAClassifier {
+	return classify.TrainOA(pos, neg, opt)
+}
+
+// AUC computes the area under the ROC curve from decision scores and
+// binary labels.
+func AUC(scores []float64, labels []bool) float64 { return metrics.AUC(scores, labels) }
+
+// Dataset is a generated synthetic screen (molecules plus activity).
+type Dataset = chem.Dataset
+
+// DatasetSpec describes one synthetic screen.
+type DatasetSpec = chem.DatasetSpec
+
+// AIDSSpec returns the DTP-AIDS screen stand-in.
+func AIDSSpec() DatasetSpec { return chem.AIDSSpec() }
+
+// Catalog returns all twelve paper dataset specs (AIDS plus the eleven
+// Table V cancer screens).
+func Catalog() []DatasetSpec { return chem.Catalog() }
+
+// GenerateDataset materializes a spec at the given scale relative to the
+// paper's dataset sizes (floor of 50 molecules).
+func GenerateDataset(spec DatasetSpec, scale float64) *Dataset { return chem.Generate(spec, scale) }
+
+// GenerateDatasetN materializes a spec with exactly n molecules.
+func GenerateDatasetN(spec DatasetSpec, n int) *Dataset { return chem.GenerateN(spec, n) }
+
+// LoadDataset reads <dir>/<name>.db and <dir>/<name>.labels as written
+// by cmd/datagen or Dataset.WriteTo.
+func LoadDataset(dir, name string) (*Dataset, error) { return chem.Load(dir, name) }
+
+// ChemAlphabet returns the 58-symbol atom alphabet of the chemistry
+// substrate, for naming labels in reports.
+func ChemAlphabet() *Alphabet { return chem.Alphabet() }
+
+// ParseSMILES parses a molecule from a practical SMILES subset (organic
+// subset + bracket atoms, explicit bonds, branches, ring closures,
+// aromatic lowercase); see internal/chem for the exact grammar. Real NCI
+// and PubChem screens ship as SMILES.
+func ParseSMILES(s string) (*Graph, error) { return chem.ParseSMILES(s) }
+
+// WriteSMILES renders a molecule as SMILES with explicit bond symbols;
+// ParseSMILES(WriteSMILES(g)) reproduces g up to isomorphism.
+func WriteSMILES(g *Graph) (string, error) { return chem.WriteSMILES(g) }
+
+// ReadSMILESFile reads a .smi file (one "SMILES[ name]" per line, '#'
+// comments allowed) into molecules and their names.
+func ReadSMILESFile(r io.Reader) ([]*Graph, []string, error) { return chem.ReadSMILESFile(r) }
+
+// WriteSMILESFile writes molecules as a .smi file with optional names.
+func WriteSMILESFile(w io.Writer, graphs []*Graph, names []string) error {
+	return chem.WriteSMILESFile(w, graphs, names)
+}
+
+// ReadSDF parses an SDF/molfile stream (V2000 subset) into molecules and
+// their title lines. Real NCI screens ship in this format.
+func ReadSDF(r io.Reader) ([]*Graph, []string, error) { return chem.ReadSDF(r) }
+
+// WriteSDF writes molecules as an SDF stream (V2000, zero coordinates).
+func WriteSDF(w io.Writer, graphs []*Graph, names []string) error {
+	return chem.WriteSDF(w, graphs, names)
+}
+
+// LoadSDFScreen builds a ready-to-mine Dataset from an SDF stream whose
+// data fields carry activity annotations — e.g.
+// LoadSDFScreen(f, "AIDS", "ACTIVITY", "CA", "CM") for the NCI screens.
+func LoadSDFScreen(r io.Reader, name, activityField string, activeValues ...string) (*Dataset, error) {
+	return chem.LoadSDFScreen(r, name, activityField, activeValues...)
+}
+
+// CrossValidate runs stratified k-fold cross validation of any classifier
+// over a labeled graph set; see classify.CrossValidate.
+func CrossValidate(graphs []*Graph, labels []bool, k int, seed int64,
+	train func(pos, neg []*Graph) Scorer) CVResult {
+	return classify.CrossValidate(graphs, labels, k, seed,
+		func(p, n []*Graph) classify.Scorer { return train(p, n) })
+}
+
+// Scorer is the uniform classifier interface: a decision score whose
+// sign classifies and whose magnitude ranks.
+type Scorer = classify.Scorer
+
+// CVResult summarizes one classifier's cross validation.
+type CVResult = classify.CVResult
+
+// BalancedSample pairs all positives with an equal-size deterministic
+// negative sample (the §VI-D balanced-training construction).
+func BalancedSample(pos, neg []*Graph, seed int64) ([]*Graph, []bool) {
+	return classify.BalancedSample(pos, neg, seed)
+}

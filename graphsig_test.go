@@ -1,0 +1,174 @@
+package graphsig
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestEndToEndMine exercises the full public pipeline: generate a screen,
+// mine significant subgraphs from its actives, check provenance fields.
+func TestEndToEndMine(t *testing.T) {
+	ds := GenerateDatasetN(AIDSSpec(), 400)
+	actives := ds.Actives()
+	if len(actives) < 10 {
+		t.Fatalf("only %d actives", len(actives))
+	}
+	cfg := DefaultConfig()
+	cfg.CutoffRadius = 3
+	res := Mine(actives, cfg)
+	if len(res.Subgraphs) == 0 {
+		t.Fatal("no significant subgraphs")
+	}
+	for _, sg := range res.Subgraphs {
+		if sg.Graph == nil || sg.Graph.NumEdges() == 0 {
+			t.Fatal("empty pattern")
+		}
+		if sg.VectorPValue > cfg.MaxPvalue+1e-9 {
+			t.Errorf("pattern above p-value threshold: %g", sg.VectorPValue)
+		}
+		if sg.Support <= 0 {
+			t.Error("unverified support")
+		}
+	}
+}
+
+func TestEndToEndClassification(t *testing.T) {
+	ds := GenerateDatasetN(AIDSSpec(), 500)
+	pos := ds.Actives()
+	neg := ds.Inactives()[:len(pos)]
+	split := len(pos) * 3 / 4
+	opt := DefaultClassifierOptions()
+	opt.Core.CutoffRadius = 3
+	c := TrainClassifier(pos[:split], neg[:split], opt)
+
+	var scores []float64
+	var labels []bool
+	for _, g := range pos[split:] {
+		scores = append(scores, c.Score(g))
+		labels = append(labels, true)
+	}
+	for _, g := range neg[split:] {
+		scores = append(scores, c.Score(g))
+		labels = append(labels, false)
+	}
+	if auc := AUC(scores, labels); auc < 0.7 {
+		t.Errorf("AUC = %.2f; want >= 0.7", auc)
+	}
+}
+
+func TestCodecRoundTripPublicAPI(t *testing.T) {
+	alpha := NewAlphabet()
+	g := NewGraph(2, 1)
+	g.AddNode(alpha.Intern("C"))
+	g.AddNode(alpha.Intern("O"))
+	g.MustAddEdge(0, 1, 0)
+
+	var sb strings.Builder
+	if err := WriteDB(&sb, []*Graph{g}, alpha); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadDB(strings.NewReader(sb.String()), alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0].NumNodes() != 2 || back[0].NumEdges() != 1 {
+		t.Fatalf("round trip lost data: %v", back)
+	}
+}
+
+func TestBaselineMinersAgreeOnPublicAPI(t *testing.T) {
+	ds := GenerateDatasetN(AIDSSpec(), 30)
+	minSup := 25
+	a := MineGSpan(ds.Graphs, GSpanOptions{MinSupport: minSup, MaxEdges: 3})
+	b := MineFSG(ds.Graphs, FSGOptions{MinSupport: minSup, MaxEdges: 3})
+	if len(a.Patterns) != len(b.Patterns) {
+		t.Errorf("gSpan found %d patterns, FSG %d", len(a.Patterns), len(b.Patterns))
+	}
+}
+
+func TestCatalogPublicAPI(t *testing.T) {
+	specs := Catalog()
+	if len(specs) != 12 {
+		t.Fatalf("catalog = %d specs", len(specs))
+	}
+	ds := GenerateDataset(specs[0], 0.001)
+	if len(ds.Graphs) < 50 {
+		t.Errorf("scaled dataset too small: %d", len(ds.Graphs))
+	}
+	if ChemAlphabet().Len() != 58 {
+		t.Error("chem alphabet wrong size")
+	}
+}
+
+func TestFacadeSMILES(t *testing.T) {
+	g, err := ParseSMILES("c1ccccc1C(=O)O")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := WriteSMILES(g)
+	if err != nil || s == "" {
+		t.Fatalf("WriteSMILES: %q, %v", s, err)
+	}
+	var sb strings.Builder
+	if err := WriteSMILESFile(&sb, []*Graph{g}, []string{"benzoic"}); err != nil {
+		t.Fatal(err)
+	}
+	back, names, err := ReadSMILESFile(strings.NewReader(sb.String()))
+	if err != nil || len(back) != 1 || names[0] != "benzoic" {
+		t.Fatalf("ReadSMILESFile: %d graphs, %v, %v", len(back), names, err)
+	}
+}
+
+func TestFacadeBaselineClassifiersAndCV(t *testing.T) {
+	ds := GenerateDatasetN(AIDSSpec(), 400)
+	pos := ds.Actives()
+	balanced, labels := BalancedSample(pos, ds.Inactives(), 3)
+	if len(balanced) != 2*len(pos) {
+		t.Fatalf("balanced size %d", len(balanced))
+	}
+	res := CrossValidate(balanced, labels, 3, 3, func(p, n []*Graph) Scorer {
+		return TrainLEAP(p, n, LEAPOptions{})
+	})
+	if len(res.AUCs) != 3 || res.Mean < 0.5 {
+		t.Errorf("LEAP CV: %+v", res)
+	}
+	// OA on a small slice to keep this fast.
+	oa := TrainOA(pos[:4], ds.Inactives()[:4], OAOptions{})
+	_ = oa.Score(pos[0])
+}
+
+func TestFacadeSDFScreen(t *testing.T) {
+	// Round trip a tiny screen through SDF and load it for mining.
+	ds := GenerateDatasetN(AIDSSpec(), 20)
+	var sb strings.Builder
+	if err := WriteSDF(&sb, ds.Graphs, nil); err != nil {
+		t.Fatal(err)
+	}
+	graphs, names, err := ReadSDF(strings.NewReader(sb.String()))
+	if err != nil || len(graphs) != 20 || len(names) != 20 {
+		t.Fatalf("ReadSDF: %d graphs, err %v", len(graphs), err)
+	}
+	loaded, err := LoadSDFScreen(strings.NewReader(sb.String()), "rt", "ACTIVITY", "CA")
+	if err != nil || len(loaded.Graphs) != 20 {
+		t.Fatalf("LoadSDFScreen: %v", err)
+	}
+	// No ACTIVITY fields were written, so nothing is active.
+	if loaded.NumActive() != 0 {
+		t.Errorf("actives = %d; want 0", loaded.NumActive())
+	}
+}
+
+func TestFacadeLoadDataset(t *testing.T) {
+	dir := t.TempDir()
+	ds := GenerateDatasetN(AIDSSpec(), 30)
+	if err := ds.WriteTo(dir); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadDataset(dir, "AIDS")
+	if err != nil || len(back.Graphs) != 30 {
+		t.Fatalf("LoadDataset: %v (%d graphs)", err, len(back.Graphs))
+	}
+	if back.NumActive() != ds.NumActive() {
+		t.Errorf("actives changed: %d vs %d", back.NumActive(), ds.NumActive())
+	}
+}

@@ -1,0 +1,131 @@
+// Package assign implements the Hungarian (Kuhn-Munkres) algorithm for
+// optimal assignment, the exact solver behind the optimal-assignment
+// graph kernel baseline (Fröhlich et al., substitution 4 in DESIGN.md).
+package assign
+
+import "math"
+
+// MaxSum solves the maximum-weight assignment problem for an n×m score
+// matrix (rows to columns, injective): it returns the column assigned to
+// each row (-1 when n > m leaves a row unassigned) and the total score.
+// Complexity O(max(n,m)^3).
+func MaxSum(score [][]float64) (assignment []int, total float64) {
+	n := len(score)
+	if n == 0 {
+		return nil, 0
+	}
+	m := len(score[0])
+	size := n
+	if m > size {
+		size = m
+	}
+	// Convert to a square min-cost matrix: cost = maxScore - score,
+	// padding with maxScore (zero benefit).
+	maxScore := math.Inf(-1)
+	for i := range score {
+		if len(score[i]) != m {
+			panic("assign: ragged score matrix")
+		}
+		for _, s := range score[i] {
+			if s > maxScore {
+				maxScore = s
+			}
+		}
+	}
+	if math.IsInf(maxScore, -1) {
+		maxScore = 0
+	}
+	cost := make([][]float64, size)
+	for i := range cost {
+		cost[i] = make([]float64, size)
+		for j := range cost[i] {
+			if i < n && j < m {
+				cost[i][j] = maxScore - score[i][j]
+			} else {
+				cost[i][j] = maxScore
+			}
+		}
+	}
+	cols := minCostAssign(cost)
+	assignment = make([]int, n)
+	for i := range assignment {
+		assignment[i] = -1
+	}
+	for i := 0; i < n; i++ {
+		j := cols[i]
+		if j < m {
+			assignment[i] = j
+			total += score[i][j]
+		}
+	}
+	return assignment, total
+}
+
+// minCostAssign solves the square min-cost assignment with the O(n^3)
+// shortest-augmenting-path formulation (Jonker-Volgenant style potentials).
+// Returns, for each row, its assigned column.
+func minCostAssign(a [][]float64) []int {
+	n := len(a)
+	const inf = math.MaxFloat64
+	// 1-based potentials and matching arrays, classic formulation.
+	u := make([]float64, n+1)
+	v := make([]float64, n+1)
+	p := make([]int, n+1) // p[j] = row matched to column j
+	way := make([]int, n+1)
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, n+1)
+		used := make([]bool, n+1)
+		for j := 0; j <= n; j++ {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := inf
+			j1 := 0
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := a[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+			if j0 == 0 {
+				break
+			}
+		}
+	}
+	rows := make([]int, n)
+	for j := 1; j <= n; j++ {
+		if p[j] > 0 {
+			rows[p[j]-1] = j - 1
+		}
+	}
+	return rows
+}

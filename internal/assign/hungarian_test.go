@@ -1,0 +1,187 @@
+package assign
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMaxSumIdentity(t *testing.T) {
+	score := [][]float64{
+		{10, 1, 1},
+		{1, 10, 1},
+		{1, 1, 10},
+	}
+	asg, total := MaxSum(score)
+	if total != 30 {
+		t.Errorf("total = %f; want 30", total)
+	}
+	for i, j := range asg {
+		if i != j {
+			t.Errorf("row %d assigned %d; want %d", i, j, i)
+		}
+	}
+}
+
+func TestMaxSumAntiDiagonal(t *testing.T) {
+	score := [][]float64{
+		{1, 9},
+		{9, 1},
+	}
+	asg, total := MaxSum(score)
+	if total != 18 || asg[0] != 1 || asg[1] != 0 {
+		t.Errorf("asg=%v total=%f; want cross assignment 18", asg, total)
+	}
+}
+
+func TestMaxSumGreedyIsSuboptimal(t *testing.T) {
+	// Greedy would take (0,0)=10 then (1,1)=1 for 11; optimal is
+	// (0,1)+(1,0) = 9+9 = 18.
+	score := [][]float64{
+		{10, 9},
+		{9, 1},
+	}
+	_, total := MaxSum(score)
+	if total != 18 {
+		t.Errorf("total = %f; want 18 (optimal beats greedy)", total)
+	}
+}
+
+func TestMaxSumRectangular(t *testing.T) {
+	// 2 rows, 3 columns: both rows assigned, one column unused.
+	score := [][]float64{
+		{1, 5, 3},
+		{4, 6, 2},
+	}
+	asg, total := MaxSum(score)
+	// Optimal: row0->col1 (5) + row1->col0 (4) = 9.
+	if total != 9 {
+		t.Errorf("total = %f; want 9", total)
+	}
+	if asg[0] == asg[1] {
+		t.Error("two rows share a column")
+	}
+	// More rows than columns: one row left unassigned.
+	tall := [][]float64{{5}, {7}, {3}}
+	asgT, totalT := MaxSum(tall)
+	if totalT != 7 {
+		t.Errorf("tall total = %f; want 7", totalT)
+	}
+	assigned := 0
+	for _, j := range asgT {
+		if j >= 0 {
+			assigned++
+		}
+	}
+	if assigned != 1 {
+		t.Errorf("%d rows assigned; want 1", assigned)
+	}
+}
+
+func TestMaxSumEmpty(t *testing.T) {
+	asg, total := MaxSum(nil)
+	if asg != nil || total != 0 {
+		t.Errorf("empty: asg=%v total=%f", asg, total)
+	}
+}
+
+func TestMaxSumNegativeScores(t *testing.T) {
+	score := [][]float64{
+		{-1, -5},
+		{-5, -2},
+	}
+	_, total := MaxSum(score)
+	if total != -3 {
+		t.Errorf("total = %f; want -3", total)
+	}
+}
+
+// bruteMax enumerates all permutations for square matrices up to 7x7.
+func bruteMax(score [][]float64) float64 {
+	n := len(score)
+	perm := make([]int, n)
+	used := make([]bool, n)
+	best := math.Inf(-1)
+	var rec func(i int, sum float64)
+	rec = func(i int, sum float64) {
+		if i == n {
+			if sum > best {
+				best = sum
+			}
+			return
+		}
+		for j := 0; j < n; j++ {
+			if !used[j] {
+				used[j] = true
+				perm[i] = j
+				rec(i+1, sum+score[i][j])
+				used[j] = false
+			}
+		}
+	}
+	rec(0, 0)
+	return best
+}
+
+func TestPropertyMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(95))
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 1 + rr.Intn(6)
+		score := make([][]float64, n)
+		for i := range score {
+			score[i] = make([]float64, n)
+			for j := range score[i] {
+				score[i][j] = math.Round(rr.Float64()*20-5) / 2
+			}
+		}
+		_, total := MaxSum(score)
+		want := bruteMax(score)
+		if math.Abs(total-want) > 1e-9 {
+			t.Logf("total %f != brute %f for %v", total, want, score)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150, Rand: r}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAssignmentIsInjective(t *testing.T) {
+	r := rand.New(rand.NewSource(96))
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 1 + rr.Intn(8)
+		m := 1 + rr.Intn(8)
+		score := make([][]float64, n)
+		for i := range score {
+			score[i] = make([]float64, m)
+			for j := range score[i] {
+				score[i][j] = rr.Float64()
+			}
+		}
+		asg, _ := MaxSum(score)
+		seen := map[int]bool{}
+		assigned := 0
+		for _, j := range asg {
+			if j < 0 {
+				continue
+			}
+			if j >= m || seen[j] {
+				return false
+			}
+			seen[j] = true
+			assigned++
+		}
+		want := n
+		if m < n {
+			want = m
+		}
+		return assigned == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150, Rand: r}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,259 @@
+package chem
+
+import (
+	"fmt"
+
+	"graphsig/internal/graph"
+)
+
+// MotifPlan plants one motif into a dataset with class-conditional
+// probabilities.
+type MotifPlan struct {
+	// Motif is the planted core by library name (see MotifByName).
+	Motif string
+	// ActiveProb is the probability an active molecule carries the core.
+	ActiveProb float64
+	// InactiveProb is the background rate in inactive molecules.
+	InactiveProb float64
+}
+
+// DatasetSpec describes one synthetic screen.
+type DatasetSpec struct {
+	// Name matches the paper dataset it stands in for.
+	Name string
+	// Description mirrors Table V's tumor descriptions.
+	Description string
+	// PaperSize is the molecule count of the real screen (Table V).
+	PaperSize int
+	// ActivePct is the fraction of active molecules (~5% in the screens).
+	ActivePct float64
+	// Motifs are the planted active cores.
+	Motifs []MotifPlan
+	// Seed drives generation deterministically.
+	Seed int64
+}
+
+// Dataset is a generated screen: molecules plus activity labels.
+type Dataset struct {
+	Spec   DatasetSpec
+	Graphs []*graph.Graph
+	// Active[i] reports whether Graphs[i] is an active compound.
+	Active []bool
+	// Alphabet names atom labels for reporting.
+	Alphabet *graph.Alphabet
+}
+
+// Actives returns the active molecules (shared backing graphs).
+func (d *Dataset) Actives() []*graph.Graph {
+	var out []*graph.Graph
+	for i, g := range d.Graphs {
+		if d.Active[i] {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// Inactives returns the inactive molecules.
+func (d *Dataset) Inactives() []*graph.Graph {
+	var out []*graph.Graph
+	for i, g := range d.Graphs {
+		if !d.Active[i] {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// NumActive returns the number of active molecules.
+func (d *Dataset) NumActive() int {
+	n := 0
+	for _, a := range d.Active {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats summarizes the dataset for reports.
+func (d *Dataset) Stats() string {
+	atoms, bonds := 0, 0
+	for _, g := range d.Graphs {
+		atoms += g.NumNodes()
+		bonds += g.NumEdges()
+	}
+	n := len(d.Graphs)
+	if n == 0 {
+		return fmt.Sprintf("%s: empty", d.Spec.Name)
+	}
+	return fmt.Sprintf("%s: %d molecules (%d active), avg %.1f atoms / %.1f bonds",
+		d.Spec.Name, n, d.NumActive(), float64(atoms)/float64(n), float64(bonds)/float64(n))
+}
+
+// Generate materializes the spec at the given scale: the molecule count
+// is max(50, round(PaperSize·scale)). scale 1.0 reproduces paper-size
+// screens; the experiment harness defaults to a laptop-friendly scale.
+func Generate(spec DatasetSpec, scale float64) *Dataset {
+	n := int(float64(spec.PaperSize)*scale + 0.5)
+	if n < 50 {
+		n = 50
+	}
+	return GenerateN(spec, n)
+}
+
+// GenerateN materializes the spec with exactly n molecules.
+func GenerateN(spec DatasetSpec, n int) *Dataset {
+	gen := NewGenerator(spec.Seed)
+	d := &Dataset{
+		Spec:     spec,
+		Graphs:   make([]*graph.Graph, 0, n),
+		Active:   make([]bool, 0, n),
+		Alphabet: Alphabet(),
+	}
+	for i := 0; i < n; i++ {
+		m := gen.Molecule()
+		active := gen.rng.Float64() < spec.ActivePct
+		planted := false
+		for _, plan := range spec.Motifs {
+			p := plan.InactiveProb
+			if active {
+				p = plan.ActiveProb
+			}
+			if gen.rng.Float64() < p {
+				gen.Implant(m, MotifByName(plan.Motif))
+				planted = true
+			}
+		}
+		// Every active compound carries at least one core: plant the
+		// first motif when the dice left it empty.
+		if active && !planted && len(spec.Motifs) > 0 {
+			gen.Implant(m, MotifByName(spec.Motifs[0].Motif))
+		}
+		m.ID = i
+		d.Graphs = append(d.Graphs, m)
+		d.Active = append(d.Active, active)
+	}
+	return d
+}
+
+// AIDSSpec returns the DTP-AIDS antiviral screen stand-in: azido-
+// pyrimidine (AZT) and fluoro (FDT) cores in the active class, the
+// structures GraphSig recovers in Fig 13.
+func AIDSSpec() DatasetSpec {
+	return DatasetSpec{
+		Name:        "AIDS",
+		Description: "DTP antiviral screen",
+		PaperSize:   43905,
+		ActivePct:   0.05,
+		Motifs: []MotifPlan{
+			{Motif: "azt", ActiveProb: 0.55, InactiveProb: 0.002},
+			{Motif: "fdt", ActiveProb: 0.30, InactiveProb: 0.001},
+			{Motif: "nitrophenyl", ActiveProb: 0.15, InactiveProb: 0.01},
+		},
+		Seed: 1,
+	}
+}
+
+// CancerSpecs returns the eleven anti-cancer screen stand-ins of Table V.
+// MOLT-4 carries the antimony/bismuth pair of Fig 15 (each below 1%
+// overall frequency); UACC-257 carries the phosphonium salt of Fig 14.
+func CancerSpecs() []DatasetSpec {
+	return []DatasetSpec{
+		{
+			Name: "MCF-7", Description: "Breast", PaperSize: 28972, ActivePct: 0.05,
+			Motifs: []MotifPlan{
+				{Motif: "nitrophenyl", ActiveProb: 0.5, InactiveProb: 0.005},
+				{Motif: "quinone", ActiveProb: 0.3, InactiveProb: 0.004},
+			},
+			Seed: 101,
+		},
+		{
+			Name: "MOLT-4", Description: "Leukemia", PaperSize: 41810, ActivePct: 0.05,
+			Motifs: []MotifPlan{
+				{Motif: "sulfonamide", ActiveProb: 0.5, InactiveProb: 0.006},
+				{Motif: "antimony", ActiveProb: 0.12, InactiveProb: 0.0005},
+				{Motif: "bismuth", ActiveProb: 0.12, InactiveProb: 0.0005},
+			},
+			Seed: 102,
+		},
+		{
+			Name: "NCI-H23", Description: "Non-Small Cell Lung", PaperSize: 42164, ActivePct: 0.05,
+			Motifs: []MotifPlan{
+				{Motif: "thiophene", ActiveProb: 0.55, InactiveProb: 0.006},
+				{Motif: "chloropyridine", ActiveProb: 0.25, InactiveProb: 0.003},
+			},
+			Seed: 103,
+		},
+		{
+			Name: "OVCAR-8", Description: "Ovarian", PaperSize: 42386, ActivePct: 0.05,
+			Motifs: []MotifPlan{
+				{Motif: "quinone", ActiveProb: 0.5, InactiveProb: 0.005},
+				{Motif: "sulfonamide", ActiveProb: 0.25, InactiveProb: 0.004},
+			},
+			Seed: 104,
+		},
+		{
+			Name: "P388", Description: "Leukemia", PaperSize: 46440, ActivePct: 0.05,
+			Motifs: []MotifPlan{
+				{Motif: "azt", ActiveProb: 0.5, InactiveProb: 0.002},
+				{Motif: "nitrophenyl", ActiveProb: 0.3, InactiveProb: 0.008},
+			},
+			Seed: 105,
+		},
+		{
+			Name: "PC-3", Description: "Prostate", PaperSize: 28679, ActivePct: 0.05,
+			Motifs: []MotifPlan{
+				{Motif: "chloropyridine", ActiveProb: 0.5, InactiveProb: 0.004},
+				{Motif: "thiophene", ActiveProb: 0.25, InactiveProb: 0.006},
+			},
+			Seed: 106,
+		},
+		{
+			Name: "SF-295", Description: "Central Nervous System", PaperSize: 40350, ActivePct: 0.05,
+			Motifs: []MotifPlan{
+				{Motif: "sulfonamide", ActiveProb: 0.55, InactiveProb: 0.005},
+				{Motif: "quinone", ActiveProb: 0.2, InactiveProb: 0.004},
+			},
+			Seed: 107,
+		},
+		{
+			Name: "SN12C", Description: "Renal", PaperSize: 41855, ActivePct: 0.05,
+			Motifs: []MotifPlan{
+				{Motif: "nitrophenyl", ActiveProb: 0.5, InactiveProb: 0.006},
+				{Motif: "thiophene", ActiveProb: 0.3, InactiveProb: 0.005},
+			},
+			Seed: 108,
+		},
+		{
+			Name: "SW-620", Description: "Colon", PaperSize: 42405, ActivePct: 0.05,
+			Motifs: []MotifPlan{
+				{Motif: "quinone", ActiveProb: 0.5, InactiveProb: 0.005},
+				{Motif: "chloropyridine", ActiveProb: 0.25, InactiveProb: 0.003},
+			},
+			Seed: 109,
+		},
+		{
+			Name: "UACC-257", Description: "Melanoma", PaperSize: 41864, ActivePct: 0.05,
+			Motifs: []MotifPlan{
+				{Motif: "phosphonium", ActiveProb: 0.45, InactiveProb: 0.001},
+				{Motif: "sulfonamide", ActiveProb: 0.3, InactiveProb: 0.005},
+			},
+			Seed: 110,
+		},
+		{
+			Name: "Yeast", Description: "Yeast anticancer", PaperSize: 83933, ActivePct: 0.05,
+			Motifs: []MotifPlan{
+				{Motif: "thiophene", ActiveProb: 0.5, InactiveProb: 0.006},
+				{Motif: "nitrophenyl", ActiveProb: 0.25, InactiveProb: 0.007},
+			},
+			Seed: 111,
+		},
+	}
+}
+
+// Catalog returns all twelve dataset specs: AIDS first, then the eleven
+// cancer screens in Table V order.
+func Catalog() []DatasetSpec {
+	return append([]DatasetSpec{AIDSSpec()}, CancerSpecs()...)
+}

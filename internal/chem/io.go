@@ -1,0 +1,99 @@
+package chem
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"graphsig/internal/graph"
+)
+
+// Dataset disk format: a gSpan transaction file (<name>.db) written with
+// the chemistry alphabet plus a label file (<name>.labels) of
+// "<index> <0|1>" lines, as produced by cmd/datagen.
+
+// WriteTo writes the dataset's graph and label files into dir.
+func (d *Dataset) WriteTo(dir string) error {
+	dbFile, err := os.Create(filepath.Join(dir, d.Spec.Name+".db"))
+	if err != nil {
+		return err
+	}
+	defer dbFile.Close()
+	if err := graph.WriteDB(dbFile, d.Graphs, d.Alphabet); err != nil {
+		return err
+	}
+	labFile, err := os.Create(filepath.Join(dir, d.Spec.Name+".labels"))
+	if err != nil {
+		return err
+	}
+	defer labFile.Close()
+	w := bufio.NewWriter(labFile)
+	for i, active := range d.Active {
+		v := 0
+		if active {
+			v = 1
+		}
+		fmt.Fprintf(w, "%d %d\n", i, v)
+	}
+	return w.Flush()
+}
+
+// Load reads a dataset written by WriteTo (or cmd/datagen) from dir.
+// Labels are interned through the standard chemistry alphabet so atom
+// identities stay stable.
+func Load(dir, name string) (*Dataset, error) {
+	dbFile, err := os.Open(filepath.Join(dir, name+".db"))
+	if err != nil {
+		return nil, err
+	}
+	defer dbFile.Close()
+	alpha := Alphabet()
+	graphs, err := graph.ReadDB(dbFile, alpha)
+	if err != nil {
+		return nil, fmt.Errorf("chem: reading %s.db: %w", name, err)
+	}
+
+	labFile, err := os.Open(filepath.Join(dir, name+".labels"))
+	if err != nil {
+		return nil, err
+	}
+	defer labFile.Close()
+	active, err := readLabels(labFile, len(graphs))
+	if err != nil {
+		return nil, fmt.Errorf("chem: reading %s.labels: %w", name, err)
+	}
+	return &Dataset{
+		Spec:     DatasetSpec{Name: name},
+		Graphs:   graphs,
+		Active:   active,
+		Alphabet: alpha,
+	}, nil
+}
+
+func readLabels(r io.Reader, n int) ([]bool, error) {
+	active := make([]bool, n)
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("line %d: want '<index> <0|1>'", line)
+		}
+		idx, err1 := strconv.Atoi(fields[0])
+		val, err2 := strconv.Atoi(fields[1])
+		if err1 != nil || err2 != nil || idx < 0 || idx >= n || (val != 0 && val != 1) {
+			return nil, fmt.Errorf("line %d: bad label record %q", line, text)
+		}
+		active[idx] = val == 1
+	}
+	return active, sc.Err()
+}

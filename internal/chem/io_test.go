@@ -1,0 +1,62 @@
+package chem
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDatasetWriteLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	d := GenerateN(AIDSSpec(), 40)
+	if err := d.WriteTo(dir); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(dir, "AIDS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Graphs) != 40 {
+		t.Fatalf("got %d graphs", len(back.Graphs))
+	}
+	for i, g := range d.Graphs {
+		h := back.Graphs[i]
+		if g.NumNodes() != h.NumNodes() || g.NumEdges() != h.NumEdges() {
+			t.Fatalf("graph %d shape changed", i)
+		}
+		for v := 0; v < g.NumNodes(); v++ {
+			if g.NodeLabel(v) != h.NodeLabel(v) {
+				t.Fatalf("graph %d node %d label changed", i, v)
+			}
+		}
+		if back.Active[i] != d.Active[i] {
+			t.Fatalf("graph %d activity changed", i)
+		}
+	}
+}
+
+func TestLoadMissingFiles(t *testing.T) {
+	if _, err := Load(t.TempDir(), "nope"); err == nil {
+		t.Fatal("no error for missing dataset")
+	}
+}
+
+func TestReadLabelsErrors(t *testing.T) {
+	for _, tc := range []string{
+		"0",    // one field
+		"x 1",  // bad index
+		"0 7",  // bad value
+		"99 1", // out of range
+		"-1 0", // negative
+	} {
+		if _, err := readLabels(strings.NewReader(tc), 3); err == nil {
+			t.Errorf("no error for %q", tc)
+		}
+	}
+	got, err := readLabels(strings.NewReader("0 1\n\n2 0\n"), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got[0] || got[1] || got[2] {
+		t.Errorf("labels = %v", got)
+	}
+}

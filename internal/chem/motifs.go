@@ -1,0 +1,229 @@
+package chem
+
+import (
+	"graphsig/internal/graph"
+)
+
+// A Motif is a named "drug core" structure planted into active molecules,
+// the synthetic analogue of the significant substructures of Figs 13-15.
+type Motif struct {
+	// Name identifies the motif in reports.
+	Name string
+	// Graph is the core structure (fresh copy per call to Build).
+	build func() *graph.Graph
+}
+
+// Build returns a fresh copy of the motif structure.
+func (m Motif) Build() *graph.Graph { return m.build() }
+
+// mol is a small builder helper for hand-authored structures.
+type mol struct{ g *graph.Graph }
+
+func newMol() *mol { return &mol{g: graph.New(16, 18)} }
+
+func (m *mol) atom(symbol string) int { return m.g.AddNode(Atom(symbol)) }
+
+func (m *mol) bond(u, v int, b graph.Label) *mol {
+	m.g.MustAddEdge(u, v, b)
+	return m
+}
+
+// ring adds a simple ring of the given atom symbols joined by the given
+// bond and returns the node ids.
+func (m *mol) ring(bond graph.Label, symbols ...string) []int {
+	ids := make([]int, len(symbols))
+	for i, s := range symbols {
+		ids[i] = m.atom(s)
+	}
+	for i := range ids {
+		m.bond(ids[i], ids[(i+1)%len(ids)], bond)
+	}
+	return ids
+}
+
+// AZTCore is the azido-pyrimidine analogue of Fig 13(a): a pyrimidine
+// ring (two N) with a keto oxygen, carrying an azide chain N-N-N via a
+// linker carbon.
+func AZTCore() *graph.Graph {
+	m := newMol()
+	ring := m.ring(BondAromatic, "C", "N", "C", "N", "C", "C")
+	o := m.atom("O")
+	m.bond(ring[0], o, BondDouble)
+	link := m.atom("C")
+	m.bond(ring[1], link, BondSingle)
+	n1 := m.atom("N")
+	n2 := m.atom("N")
+	n3 := m.atom("N")
+	m.bond(link, n1, BondSingle)
+	m.bond(n1, n2, BondDouble)
+	m.bond(n2, n3, BondDouble)
+	return m.g
+}
+
+// FDTCore is the fluorinated analogue of Fig 13(b): the same pyrimidine
+// scaffold carrying a fluorine on the linker carbon instead of the azide.
+func FDTCore() *graph.Graph {
+	m := newMol()
+	ring := m.ring(BondAromatic, "C", "N", "C", "N", "C", "C")
+	o := m.atom("O")
+	m.bond(ring[0], o, BondDouble)
+	link := m.atom("C")
+	m.bond(ring[1], link, BondSingle)
+	f := m.atom("F")
+	m.bond(link, f, BondSingle)
+	o2 := m.atom("O")
+	m.bond(link, o2, BondSingle)
+	return m.g
+}
+
+// PhosphoniumCore is methyltriphenylphosphonium (Fig 14): a phosphorus
+// bonded to three benzene rings and one free methyl carbon.
+func PhosphoniumCore() *graph.Graph {
+	m := newMol()
+	p := m.atom("P")
+	for i := 0; i < 3; i++ {
+		ring := m.ring(BondAromatic, "C", "C", "C", "C", "C", "C")
+		m.bond(p, ring[0], BondSingle)
+	}
+	methyl := m.atom("C")
+	m.bond(p, methyl, BondSingle)
+	return m.g
+}
+
+// metalloidCore builds the shared scaffold of Fig 15: a carboxy-phenyl
+// group whose oxygen binds a group-15 metal (Sb or Bi) carrying two more
+// oxygens. The two motifs differ only in the metal, the phenomenon the
+// paper highlights.
+func metalloidCore(metal string) *graph.Graph {
+	m := newMol()
+	ring := m.ring(BondAromatic, "C", "C", "C", "C", "C", "C")
+	carboxyl := m.atom("C")
+	m.bond(ring[0], carboxyl, BondSingle)
+	oKeto := m.atom("O")
+	m.bond(carboxyl, oKeto, BondDouble)
+	oLink := m.atom("O")
+	m.bond(carboxyl, oLink, BondSingle)
+	metalNode := m.atom(metal)
+	m.bond(oLink, metalNode, BondSingle)
+	o1 := m.atom("O")
+	o2 := m.atom("O")
+	m.bond(metalNode, o1, BondSingle)
+	m.bond(metalNode, o2, BondSingle)
+	return m.g
+}
+
+// SbCore is the antimony variant of the Fig 15 pair.
+func SbCore() *graph.Graph { return metalloidCore("Sb") }
+
+// BiCore is the bismuth variant of the Fig 15 pair.
+func BiCore() *graph.Graph { return metalloidCore("Bi") }
+
+// NitroPhenylCore is a generic active core: a benzene ring carrying a
+// nitro group (N with two oxygens).
+func NitroPhenylCore() *graph.Graph {
+	m := newMol()
+	ring := m.ring(BondAromatic, "C", "C", "C", "C", "C", "C")
+	n := m.atom("N")
+	m.bond(ring[0], n, BondSingle)
+	o1 := m.atom("O")
+	o2 := m.atom("O")
+	m.bond(n, o1, BondDouble)
+	m.bond(n, o2, BondSingle)
+	return m.g
+}
+
+// SulfonamideCore is a generic active core: S(=O)(=O)-N attached to a
+// carbon.
+func SulfonamideCore() *graph.Graph {
+	m := newMol()
+	c := m.atom("C")
+	s := m.atom("S")
+	m.bond(c, s, BondSingle)
+	o1 := m.atom("O")
+	o2 := m.atom("O")
+	n := m.atom("N")
+	m.bond(s, o1, BondDouble)
+	m.bond(s, o2, BondDouble)
+	m.bond(s, n, BondSingle)
+	c2 := m.atom("C")
+	m.bond(n, c2, BondSingle)
+	return m.g
+}
+
+// ChloroPyridineCore is a generic active core: a pyridine ring with two
+// chlorine substituents.
+func ChloroPyridineCore() *graph.Graph {
+	m := newMol()
+	ring := m.ring(BondAromatic, "C", "C", "N", "C", "C", "C")
+	cl1 := m.atom("Cl")
+	cl2 := m.atom("Cl")
+	m.bond(ring[0], cl1, BondSingle)
+	m.bond(ring[3], cl2, BondSingle)
+	return m.g
+}
+
+// ThiopheneCore is a generic active core: a five-membered sulfur ring
+// with a keto side chain.
+func ThiopheneCore() *graph.Graph {
+	m := newMol()
+	ring := m.ring(BondAromatic, "S", "C", "C", "C", "C")
+	c := m.atom("C")
+	m.bond(ring[1], c, BondSingle)
+	o := m.atom("O")
+	m.bond(c, o, BondDouble)
+	return m.g
+}
+
+// QuinoneCore is a generic active core: a six-ring with two keto oxygens
+// on opposite carbons.
+func QuinoneCore() *graph.Graph {
+	m := newMol()
+	ring := m.ring(BondSingle, "C", "C", "C", "C", "C", "C")
+	o1 := m.atom("O")
+	o2 := m.atom("O")
+	m.bond(ring[0], o1, BondDouble)
+	m.bond(ring[3], o2, BondDouble)
+	return m.g
+}
+
+// Benzene returns a plain aromatic six-carbon ring — the ubiquitous,
+// frequent-but-not-significant pattern of Fig 16.
+func Benzene() *graph.Graph {
+	m := newMol()
+	m.ring(BondAromatic, "C", "C", "C", "C", "C", "C")
+	return m.g
+}
+
+// Motifs exposes the motif library by name.
+var motifLibrary = map[string]func() *graph.Graph{
+	"azt":            AZTCore,
+	"fdt":            FDTCore,
+	"phosphonium":    PhosphoniumCore,
+	"antimony":       SbCore,
+	"bismuth":        BiCore,
+	"nitrophenyl":    NitroPhenylCore,
+	"sulfonamide":    SulfonamideCore,
+	"chloropyridine": ChloroPyridineCore,
+	"thiophene":      ThiopheneCore,
+	"quinone":        QuinoneCore,
+}
+
+// MotifByName returns the named motif. It panics on unknown names; the
+// library is fixed.
+func MotifByName(name string) Motif {
+	b, ok := motifLibrary[name]
+	if !ok {
+		panic("chem: unknown motif " + name)
+	}
+	return Motif{Name: name, build: b}
+}
+
+// MotifNames lists the motif library names (unordered use; sort before
+// displaying).
+func MotifNames() []string {
+	names := make([]string, 0, len(motifLibrary))
+	for n := range motifLibrary {
+		names = append(names, n)
+	}
+	return names
+}

@@ -1,0 +1,319 @@
+package chem
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"graphsig/internal/graph"
+)
+
+// An MDL SDF (V2000 molfile) subset — the format the real DTP-AIDS screen
+// ships in. Each record is a molfile (3 header lines, a counts line, an
+// atom block, a bond block) terminated by "M  END"; records are separated
+// by "$$$$". Data fields between M END and $$$$ are skipped. Hydrogens
+// appear as ordinary atoms when present; charges, isotopes and V3000 are
+// out of scope. Bond types 1/2/3/4 map to single/double/triple/aromatic.
+
+// SDFRecord is one parsed SDF entry: the molecule, its title line, and
+// its data fields ("> <NAME>" blocks, first line of each value).
+type SDFRecord struct {
+	Graph *graph.Graph
+	Name  string
+	Data  map[string]string
+}
+
+// ReadSDF parses an SDF stream into molecules over the standard chemistry
+// alphabet. The i-th molecule's ID is i; the returned names are the
+// molfile title lines (often the compound id in NCI data).
+func ReadSDF(r io.Reader) ([]*graph.Graph, []string, error) {
+	records, err := ReadSDFRecords(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	graphs := make([]*graph.Graph, len(records))
+	names := make([]string, len(records))
+	for i, rec := range records {
+		graphs[i] = rec.Graph
+		names[i] = rec.Name
+	}
+	return graphs, names, nil
+}
+
+// ReadSDFRecords parses an SDF stream keeping the data fields — the form
+// real screens use to carry activity annotations (e.g. "> <ACTIVITY>").
+func ReadSDFRecords(r io.Reader) ([]SDFRecord, error) {
+	br := bufio.NewReader(r)
+	var records []SDFRecord
+	for {
+		rec, err := readMolfile(br)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("sdf: record %d: %w", len(records)+1, err)
+		}
+		rec.Graph.ID = len(records)
+		records = append(records, rec)
+	}
+	return records, nil
+}
+
+// LoadSDFScreen builds a Dataset from an SDF stream: molecules plus an
+// activity flag taken from the named data field (a molecule is active
+// when the field's value is in activeValues, e.g. field "ACTIVITY" with
+// values {"CA", "CM"} for the NCI screens).
+func LoadSDFScreen(r io.Reader, name, activityField string, activeValues ...string) (*Dataset, error) {
+	records, err := ReadSDFRecords(r)
+	if err != nil {
+		return nil, err
+	}
+	active := map[string]bool{}
+	for _, v := range activeValues {
+		active[v] = true
+	}
+	d := &Dataset{
+		Spec:     DatasetSpec{Name: name},
+		Alphabet: Alphabet(),
+	}
+	for _, rec := range records {
+		d.Graphs = append(d.Graphs, rec.Graph)
+		d.Active = append(d.Active, active[rec.Data[activityField]])
+	}
+	return d, nil
+}
+
+// readMolfile parses one molfile record up to and including its "$$$$"
+// separator (or EOF). It returns io.EOF when no record remains.
+func readMolfile(br *bufio.Reader) (SDFRecord, error) {
+	g, name, data, err := readMolfileParts(br)
+	return SDFRecord{Graph: g, Name: name, Data: data}, err
+}
+
+func readMolfileParts(br *bufio.Reader) (*graph.Graph, string, map[string]string, error) {
+	// Header: title, program, comment. Skip blank leading lines between
+	// records.
+	title, err := nextContentLine(br)
+	if err != nil {
+		return nil, "", nil, err
+	}
+	for _, expect := range []string{"program line", "comment line"} {
+		if _, err := readLine(br); err != nil {
+			return nil, "", nil, fmt.Errorf("truncated header (%s)", expect)
+		}
+	}
+	counts, err := readLine(br)
+	if err != nil {
+		return nil, "", nil, fmt.Errorf("missing counts line")
+	}
+	nAtoms, nBonds, err := parseCounts(counts)
+	if err != nil {
+		return nil, "", nil, err
+	}
+	g := graph.New(nAtoms, nBonds)
+	for i := 0; i < nAtoms; i++ {
+		line, err := readLine(br)
+		if err != nil {
+			return nil, "", nil, fmt.Errorf("truncated atom block at atom %d", i+1)
+		}
+		symbol, err := parseAtomLine(line)
+		if err != nil {
+			return nil, "", nil, fmt.Errorf("atom %d: %w", i+1, err)
+		}
+		label, ok := lookupAtom(symbol)
+		if !ok {
+			return nil, "", nil, fmt.Errorf("atom %d: unknown element %q", i+1, symbol)
+		}
+		g.AddNode(label)
+	}
+	for i := 0; i < nBonds; i++ {
+		line, err := readLine(br)
+		if err != nil {
+			return nil, "", nil, fmt.Errorf("truncated bond block at bond %d", i+1)
+		}
+		from, to, bond, err := parseBondLine(line)
+		if err != nil {
+			return nil, "", nil, fmt.Errorf("bond %d: %w", i+1, err)
+		}
+		if from < 1 || from > nAtoms || to < 1 || to > nAtoms || from == to {
+			return nil, "", nil, fmt.Errorf("bond %d: endpoints (%d,%d) out of range", i+1, from, to)
+		}
+		if err := g.AddEdge(from-1, to-1, bond); err != nil {
+			return nil, "", nil, fmt.Errorf("bond %d: %v", i+1, err)
+		}
+	}
+	// Consume the properties block and data fields up to the separator.
+	// Data fields look like "> <NAME>" followed by value lines and a
+	// blank line; only the first value line is kept.
+	data := map[string]string{}
+	var pendingField string
+	expectValue := false
+	for {
+		line, err := readLine(br)
+		if err == io.EOF {
+			return g, strings.TrimSpace(title), data, nil
+		}
+		if err != nil {
+			return nil, "", nil, err
+		}
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case trimmed == "$$$$":
+			return g, strings.TrimSpace(title), data, nil
+		case strings.HasPrefix(trimmed, ">"):
+			if open := strings.Index(trimmed, "<"); open >= 0 {
+				if close := strings.Index(trimmed[open:], ">"); close > 0 {
+					pendingField = trimmed[open+1 : open+close]
+					expectValue = true
+				}
+			}
+		case expectValue && trimmed != "":
+			data[pendingField] = trimmed
+			expectValue = false
+		case trimmed == "":
+			expectValue = false
+		}
+	}
+}
+
+// nextContentLine returns the next line, skipping blank lines; io.EOF
+// when the stream ends first.
+func nextContentLine(br *bufio.Reader) (string, error) {
+	for {
+		line, err := readLine(br)
+		if err != nil {
+			return "", err
+		}
+		if strings.TrimSpace(line) != "" {
+			return line, nil
+		}
+	}
+}
+
+func readLine(br *bufio.Reader) (string, error) {
+	line, err := br.ReadString('\n')
+	if err == io.EOF && line != "" {
+		return strings.TrimRight(line, "\r\n"), nil
+	}
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}
+
+// parseCounts reads the V2000 counts line: columns 1-3 atoms, 4-6 bonds.
+func parseCounts(line string) (atoms, bonds int, err error) {
+	if len(line) < 6 {
+		return 0, 0, fmt.Errorf("counts line too short: %q", line)
+	}
+	atoms, err1 := strconv.Atoi(strings.TrimSpace(line[0:3]))
+	bonds, err2 := strconv.Atoi(strings.TrimSpace(line[3:6]))
+	if err1 != nil || err2 != nil || atoms < 0 || bonds < 0 {
+		return 0, 0, fmt.Errorf("bad counts line: %q", line)
+	}
+	return atoms, bonds, nil
+}
+
+// parseAtomLine extracts the element symbol from a V2000 atom line
+// (columns 32-34, after three 10-char coordinates and a space).
+func parseAtomLine(line string) (string, error) {
+	if len(line) < 34 {
+		// Tolerate short lines by falling back to field splitting:
+		// x y z symbol ...
+		fields := strings.Fields(line)
+		if len(fields) >= 4 {
+			return fields[3], nil
+		}
+		return "", fmt.Errorf("atom line too short: %q", line)
+	}
+	sym := strings.TrimSpace(line[31:34])
+	if sym == "" {
+		return "", fmt.Errorf("missing element symbol: %q", line)
+	}
+	return sym, nil
+}
+
+// parseBondLine extracts from/to/type from a V2000 bond line (three
+// 3-char columns).
+func parseBondLine(line string) (from, to int, bond graph.Label, err error) {
+	var kind int
+	if len(line) >= 9 {
+		f, e1 := strconv.Atoi(strings.TrimSpace(line[0:3]))
+		t, e2 := strconv.Atoi(strings.TrimSpace(line[3:6]))
+		k, e3 := strconv.Atoi(strings.TrimSpace(line[6:9]))
+		if e1 == nil && e2 == nil && e3 == nil {
+			from, to, kind = f, t, k
+		} else {
+			err = fmt.Errorf("bad bond line: %q", line)
+			return
+		}
+	} else {
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			err = fmt.Errorf("bond line too short: %q", line)
+			return
+		}
+		f, e1 := strconv.Atoi(fields[0])
+		t, e2 := strconv.Atoi(fields[1])
+		k, e3 := strconv.Atoi(fields[2])
+		if e1 != nil || e2 != nil || e3 != nil {
+			err = fmt.Errorf("bad bond line: %q", line)
+			return
+		}
+		from, to, kind = f, t, k
+	}
+	switch kind {
+	case 1:
+		bond = BondSingle
+	case 2:
+		bond = BondDouble
+	case 3:
+		bond = BondTriple
+	case 4:
+		bond = BondAromatic
+	default:
+		err = fmt.Errorf("unsupported bond type %d", kind)
+	}
+	return
+}
+
+// WriteSDF writes molecules as an SDF stream (V2000, zero coordinates).
+// names supplies the title lines ("" allowed).
+func WriteSDF(w io.Writer, graphs []*graph.Graph, names []string) error {
+	alpha := Alphabet()
+	bw := bufio.NewWriter(w)
+	for i, g := range graphs {
+		name := ""
+		if names != nil && i < len(names) {
+			name = names[i]
+		}
+		if name == "" {
+			// The reader skips blank lines between records, so an empty
+			// title line would be swallowed; always emit one.
+			name = fmt.Sprintf("mol%d", i)
+		}
+		fmt.Fprintf(bw, "%s\n  graphsig\n\n", name)
+		fmt.Fprintf(bw, "%3d%3d  0  0  0  0  0  0  0  0999 V2000\n", g.NumNodes(), g.NumEdges())
+		for v := 0; v < g.NumNodes(); v++ {
+			fmt.Fprintf(bw, "%10.4f%10.4f%10.4f %-3s 0  0  0  0  0  0  0  0  0  0  0  0\n",
+				0.0, 0.0, 0.0, alpha.Name(g.NodeLabel(v)))
+		}
+		for _, e := range g.Edges() {
+			kind := 1
+			switch e.Label {
+			case BondDouble:
+				kind = 2
+			case BondTriple:
+				kind = 3
+			case BondAromatic:
+				kind = 4
+			}
+			fmt.Fprintf(bw, "%3d%3d%3d  0  0  0  0\n", e.From+1, e.To+1, kind)
+		}
+		fmt.Fprintln(bw, "M  END")
+		fmt.Fprintln(bw, "$$$$")
+	}
+	return bw.Flush()
+}

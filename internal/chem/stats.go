@@ -1,0 +1,66 @@
+package chem
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"graphsig/internal/graph"
+)
+
+// Formula returns a Hill-convention molecular formula for a molecule
+// (carbon first, then other elements alphabetically), e.g. "C6N2O".
+// Hydrogens are implicit in the screens and never appear.
+func Formula(g *graph.Graph) string {
+	alpha := Alphabet()
+	counts := map[string]int{}
+	for _, l := range g.Labels() {
+		counts[alpha.Name(l)]++
+	}
+	var rest []string
+	for sym := range counts {
+		if sym != "C" {
+			rest = append(rest, sym)
+		}
+	}
+	sort.Strings(rest)
+	var b strings.Builder
+	writeTerm := func(sym string) {
+		b.WriteString(sym)
+		if counts[sym] > 1 {
+			fmt.Fprintf(&b, "%d", counts[sym])
+		}
+	}
+	if counts["C"] > 0 {
+		writeTerm("C")
+	}
+	for _, sym := range rest {
+		writeTerm(sym)
+	}
+	return b.String()
+}
+
+// MoleculeStats summarizes one molecule for reports.
+type MoleculeStats struct {
+	Atoms, Bonds int
+	Rings        int
+	Formula      string
+	// AromaticBonds counts bonds with the aromatic label.
+	AromaticBonds int
+}
+
+// Describe computes MoleculeStats for a molecule.
+func Describe(g *graph.Graph) MoleculeStats {
+	s := MoleculeStats{
+		Atoms:   g.NumNodes(),
+		Bonds:   g.NumEdges(),
+		Rings:   g.CycleRank(),
+		Formula: Formula(g),
+	}
+	for _, e := range g.Edges() {
+		if e.Label == BondAromatic {
+			s.AromaticBonds++
+		}
+	}
+	return s
+}

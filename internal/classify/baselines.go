@@ -1,0 +1,95 @@
+package classify
+
+import (
+	"graphsig/internal/graph"
+	"graphsig/internal/kernel"
+	"graphsig/internal/leap"
+	"graphsig/internal/svm"
+)
+
+// Scorer is the uniform interface of the three §VI-D classifiers: a
+// decision score whose sign classifies and whose magnitude ranks (AUC).
+type Scorer interface {
+	Score(g *graph.Graph) float64
+}
+
+// LEAPClassifier is the pattern-based baseline: discriminative patterns
+// mined by the leap substitute, binary occurrence features, linear SVM.
+type LEAPClassifier struct {
+	Patterns []leap.Pattern
+	model    *svm.Linear
+}
+
+// LEAPOptions configures the baseline.
+type LEAPOptions struct {
+	Mine leap.Options
+	SVM  svm.LinearOptions
+}
+
+// TrainLEAP mines discriminative patterns from the labeled training set
+// and fits the linear SVM on the pattern features.
+func TrainLEAP(pos, neg []*graph.Graph, opt LEAPOptions) *LEAPClassifier {
+	patterns := leap.Mine(pos, neg, opt.Mine)
+	all := make([]*graph.Graph, 0, len(pos)+len(neg))
+	all = append(all, pos...)
+	all = append(all, neg...)
+	labels := make([]bool, len(all))
+	for i := range pos {
+		labels[i] = true
+	}
+	feats := leap.Featurize(all, patterns)
+	return &LEAPClassifier{
+		Patterns: patterns,
+		model:    svm.TrainLinear(feats, labels, opt.SVM),
+	}
+}
+
+// Score returns the SVM decision value on the query's pattern features.
+func (c *LEAPClassifier) Score(g *graph.Graph) float64 {
+	feats := leap.Featurize([]*graph.Graph{g}, c.Patterns)
+	return c.model.Decision(feats[0])
+}
+
+// OAClassifier is the kernel baseline: optimal-assignment kernel matrix
+// plus an SMO-trained SVM.
+type OAClassifier struct {
+	kern   kernel.OA
+	train  []*graph.Graph
+	labels []bool
+	model  *svm.Kernel
+}
+
+// OAOptions configures the kernel baseline.
+type OAOptions struct {
+	Kernel kernel.OA
+	SVM    svm.KernelOptions
+}
+
+// TrainOA computes the training kernel matrix (the baseline's dominant,
+// intrinsically O(n²·m³) cost) and fits the SVM.
+func TrainOA(pos, neg []*graph.Graph, opt OAOptions) *OAClassifier {
+	all := make([]*graph.Graph, 0, len(pos)+len(neg))
+	all = append(all, pos...)
+	all = append(all, neg...)
+	labels := make([]bool, len(all))
+	for i := range pos {
+		labels[i] = true
+	}
+	k := opt.Kernel
+	if k.Depth == 0 && k.Decay == 0 {
+		k = kernel.DefaultOA()
+	}
+	matrix := k.Matrix(all)
+	return &OAClassifier{
+		kern:   k,
+		train:  all,
+		labels: labels,
+		model:  svm.TrainKernel(matrix, labels, opt.SVM),
+	}
+}
+
+// Score returns the kernel SVM decision value for the query.
+func (c *OAClassifier) Score(g *graph.Graph) float64 {
+	row := c.kern.Row(g, c.train)
+	return c.model.Decision(row, c.labels)
+}

@@ -1,0 +1,77 @@
+package classify
+
+import (
+	"time"
+
+	"graphsig/internal/graph"
+	"graphsig/internal/metrics"
+)
+
+// CVResult is the outcome of one classifier's cross validation.
+type CVResult struct {
+	// AUCs holds one value per fold; Mean/Std summarize them.
+	AUCs []float64
+	Mean float64
+	Std  float64
+	// Total is the summed train+score wall time across folds.
+	Total time.Duration
+}
+
+// CrossValidate runs stratified k-fold cross validation of a classifier
+// over a labeled graph set. train builds a Scorer from the training
+// split of each fold; scoring the test split and computing AUC is
+// handled here. Folds are deterministic given the seed.
+func CrossValidate(graphs []*graph.Graph, labels []bool, k int, seed int64,
+	train func(pos, neg []*graph.Graph) Scorer) CVResult {
+	var res CVResult
+	for _, fold := range metrics.StratifiedKFold(labels, k, seed) {
+		var pos, neg []*graph.Graph
+		for _, i := range fold.Train {
+			if labels[i] {
+				pos = append(pos, graphs[i])
+			} else {
+				neg = append(neg, graphs[i])
+			}
+		}
+		t0 := time.Now()
+		model := train(pos, neg)
+		scores := make([]float64, len(fold.Test))
+		testLabels := make([]bool, len(fold.Test))
+		for i, idx := range fold.Test {
+			scores[i] = model.Score(graphs[idx])
+			testLabels[i] = labels[idx]
+		}
+		res.Total += time.Since(t0)
+		res.AUCs = append(res.AUCs, metrics.AUC(scores, testLabels))
+	}
+	res.Mean = metrics.Mean(res.AUCs)
+	res.Std = metrics.StdDev(res.AUCs)
+	return res
+}
+
+// BalancedSample pairs all positives with an equal-size deterministic
+// sample of negatives (the balanced-training construction of §VI-D),
+// returning the combined set and labels.
+func BalancedSample(pos, neg []*graph.Graph, seed int64) ([]*graph.Graph, []bool) {
+	if len(neg) > len(pos) {
+		// Deterministic spread sample without mutating the input.
+		sampled := make([]*graph.Graph, 0, len(pos))
+		step := float64(len(neg)) / float64(len(pos))
+		offset := int(seed) % len(neg)
+		if offset < 0 {
+			offset += len(neg)
+		}
+		for i := 0; i < len(pos); i++ {
+			sampled = append(sampled, neg[(offset+int(float64(i)*step))%len(neg)])
+		}
+		neg = sampled
+	}
+	combined := make([]*graph.Graph, 0, len(pos)+len(neg))
+	combined = append(combined, pos...)
+	combined = append(combined, neg...)
+	labels := make([]bool, len(combined))
+	for i := range pos {
+		labels[i] = true
+	}
+	return combined, labels
+}

@@ -1,0 +1,526 @@
+// Package core implements the GraphSig algorithm (Algorithm 2 of the
+// paper): convert every graph region to a feature vector by RWR, mine
+// significant closed sub-feature vectors per source-node label with
+// FVMine, group the regions supporting each significant vector, cut
+// radius-bounded subgraphs around them, and run maximal frequent-subgraph
+// mining with a high threshold on each group. Groups without a common
+// subgraph produce nothing and vanish — the false-positive pruning of
+// §IV-B — and every reported subgraph is re-validated by isomorphism-
+// based support counting in graph space.
+package core
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"graphsig/internal/chem"
+	"graphsig/internal/dfscode"
+	"graphsig/internal/feature"
+	"graphsig/internal/fsg"
+	"graphsig/internal/fvmine"
+	"graphsig/internal/graph"
+	"graphsig/internal/gspan"
+	"graphsig/internal/isomorph"
+	"graphsig/internal/rwr"
+	"graphsig/internal/sigmodel"
+)
+
+// MinerKind selects the frequent-subgraph miner used on region groups.
+type MinerKind int
+
+const (
+	// MinerFSG uses the apriori-style miner, as the paper does.
+	MinerFSG MinerKind = iota
+	// MinerGSpan uses the pattern-growth miner instead (ablation).
+	MinerGSpan
+)
+
+// Config carries the GraphSig parameters. Defaults() reproduces Table IV.
+type Config struct {
+	// Alpha is the RWR restart probability (Table IV: 0.25).
+	Alpha float64
+	// Bins is the RWR discretization bin count (paper: 10).
+	Bins int
+	// MaxPvalue is the FVMine p-value threshold (Table IV: 0.1).
+	MaxPvalue float64
+	// MinFreqPct is the FVMine support threshold as a percentage of the
+	// per-label vector set (Table IV: 0.1%).
+	MinFreqPct float64
+	// MinSupportFloor is the absolute lower bound on the FVMine support
+	// threshold, guarding tiny inputs (default 3).
+	MinSupportFloor int
+	// CutoffRadius bounds the subgraph cut around each supporting node
+	// (Table IV: 8).
+	CutoffRadius int
+	// FSMFreqPct is the frequency threshold for maximal FSM on each
+	// group, in percent (Table IV: 80).
+	FSMFreqPct float64
+	// TopAtoms is the number of most frequent atoms whose pairwise edge
+	// types become features (§II-B: 5).
+	TopAtoms int
+	// Miner selects the group FSM implementation (paper: FSG).
+	Miner MinerKind
+	// MaxVectorsPerLabel bounds how many significant vectors per source
+	// label proceed to group mining, most significant first (0 =
+	// unbounded; default 50). Bounds work on very dense inputs.
+	MaxVectorsPerLabel int
+	// TopKPerLabel, when > 0, switches FVMine to threshold-free top-k
+	// mining: the k most significant closed vectors per label are kept
+	// regardless of MaxPvalue, with the search bound tightening to the
+	// running k-th best. Useful when no sensible p-value threshold is
+	// known in advance.
+	TopKPerLabel int
+	// MaxGroupSize caps the number of region windows per group fed to
+	// maximal FSM; larger supports are subsampled deterministically
+	// (0 = unbounded; default 100).
+	MaxGroupSize int
+	// MaxPatternEdges bounds mined pattern size (0 = unbounded).
+	MaxPatternEdges int
+	// Deadline aborts the mine when exceeded (zero = none); the result
+	// is flagged Truncated.
+	Deadline time.Time
+	// Alphabet names atom labels in reports (optional).
+	Alphabet *graph.Alphabet
+	// FeatureSet overrides the feature set (nil = chemistry set built
+	// from the database).
+	FeatureSet *feature.Set
+	// SkipVerify skips the final graph-space support verification
+	// (ablation/profiling only; verified support is part of the paper's
+	// method).
+	SkipVerify bool
+	// Vectorizer selects how regions become feature vectors. The paper
+	// uses RWR; plain window counting is the §II-C ablation that loses
+	// proximity information.
+	Vectorizer VectorizerKind
+}
+
+// VectorizerKind selects the region-to-vector transform.
+type VectorizerKind int
+
+const (
+	// VectorizerRWR is the paper's random walk with restart (§II-C).
+	VectorizerRWR VectorizerKind = iota
+	// VectorizerWindowCounts counts feature occurrences in the radius
+	// window without proximity weighting (ablation).
+	VectorizerWindowCounts
+)
+
+// Defaults returns the paper's Table IV configuration.
+func Defaults() Config {
+	return Config{
+		Alpha:              0.25,
+		Bins:               10,
+		MaxPvalue:          0.1,
+		MinFreqPct:         0.1,
+		MinSupportFloor:    3,
+		CutoffRadius:       8,
+		FSMFreqPct:         80,
+		TopAtoms:           5,
+		Miner:              MinerFSG,
+		MaxVectorsPerLabel: 50,
+		MaxGroupSize:       100,
+		Alphabet:           chem.Alphabet(),
+	}
+}
+
+// Subgraph is one mined significant subgraph with its provenance.
+type Subgraph struct {
+	// Graph is the pattern.
+	Graph *graph.Graph
+	// Canonical is the pattern's canonical DFS-code key.
+	Canonical string
+	// SourceLabel is the node label whose vector group produced it.
+	SourceLabel graph.Label
+	// VectorPValue and VectorLogPValue carry the significance of the
+	// describing sub-feature vector (the paper's significance measure).
+	VectorPValue    float64
+	VectorLogPValue float64
+	// VectorSupport is the supporting-region count of the vector.
+	VectorSupport int
+	// GroupSize is the number of region windows mined for the pattern.
+	GroupSize int
+	// GroupSupport is the pattern's frequency within its group.
+	GroupSupport int
+	// Support is the verified graph-space support across the database
+	// (0 when SkipVerify).
+	Support int
+	// Frequency is Support / |DB| (0 when SkipVerify).
+	Frequency float64
+}
+
+// Profile records where GraphSig's time went (Fig 10's three phases).
+type Profile struct {
+	RWR             time.Duration
+	FeatureAnalysis time.Duration
+	FSM             time.Duration
+	Verify          time.Duration
+}
+
+// Total returns the summed phase time.
+func (p Profile) Total() time.Duration {
+	return p.RWR + p.FeatureAnalysis + p.FSM + p.Verify
+}
+
+// Result is the outcome of a GraphSig mine.
+type Result struct {
+	Subgraphs []Subgraph
+	Profile   Profile
+	// VectorsMined counts significant sub-feature vectors across labels.
+	VectorsMined int
+	// GroupsMined counts region groups that went through maximal FSM.
+	GroupsMined int
+	// GroupsPruned counts groups dropped as false positives (no frequent
+	// subgraph at the FSM threshold).
+	GroupsPruned int
+	Truncated    bool
+}
+
+// BuildFeatureSet returns the feature set Mine uses for db under cfg:
+// cfg.FeatureSet when supplied, otherwise the chemistry set (§II-B) built
+// from the database.
+func BuildFeatureSet(db []*graph.Graph, cfg Config) *feature.Set {
+	fillConfig(&cfg)
+	if cfg.FeatureSet != nil {
+		return cfg.FeatureSet
+	}
+	return feature.ChemistrySet(db, cfg.Alphabet, cfg.TopAtoms)
+}
+
+// VectorGroup is one significant sub-feature vector with its provenance:
+// the source-node label whose group produced it and the exact supporting
+// regions.
+type VectorGroup struct {
+	Label graph.Label
+	Sig   fvmine.Significant
+	// Nodes are the (graph, node) regions supporting the vector.
+	Nodes []rwr.NodeVector
+}
+
+// SignificantVectors runs only the feature-space half of GraphSig
+// (Alg 2 lines 3-7): RWR over the database and FVMine per source label
+// under global empirical priors. The classifier of §V trains on its
+// output. It returns the groups, the feature set used, and whether the
+// search was truncated by the deadline.
+func SignificantVectors(db []*graph.Graph, cfg Config) ([]VectorGroup, *feature.Set, bool) {
+	fillConfig(&cfg)
+	fs := cfg.FeatureSet
+	if fs == nil {
+		fs = feature.ChemistrySet(db, cfg.Alphabet, cfg.TopAtoms)
+	}
+	vectors := computeVectors(db, fs, cfg)
+	groups, trunc := significantVectorGroups(vectors, cfg)
+	return groups, fs, trunc
+}
+
+// computeVectors turns every node of every graph into a feature vector
+// with the configured vectorizer.
+func computeVectors(db []*graph.Graph, fs *feature.Set, cfg Config) []rwr.NodeVector {
+	if cfg.Vectorizer == VectorizerWindowCounts {
+		var out []rwr.NodeVector
+		for gid, g := range db {
+			for v := 0; v < g.NumNodes(); v++ {
+				out = append(out, rwr.NodeVector{
+					GraphID: gid,
+					NodeID:  v,
+					Label:   g.NodeLabel(v),
+					Vec:     rwr.WindowCounts(g, v, cfg.CutoffRadius, fs, cfg.Bins),
+				})
+			}
+		}
+		return out
+	}
+	return rwr.DatabaseVectors(db, fs, rwr.Config{Alpha: cfg.Alpha, Bins: cfg.Bins})
+}
+
+// significantVectorGroups mines significant closed sub-feature vectors
+// per source label. Priors are empirical over the *whole* vector database
+// (§III): a region vector's significance is judged against random
+// vectors drawn from all of D, not just its own label group — a rare
+// atom's homogeneous contexts must not look "expected" among themselves.
+func significantVectorGroups(vectors []rwr.NodeVector, cfg Config) ([]VectorGroup, bool) {
+	truncatedRun := false
+	allVecs := make([]feature.Vector, len(vectors))
+	for i, nv := range vectors {
+		allVecs[i] = nv.Vec
+	}
+	globalModel := sigmodel.New(allVecs)
+	byLabel := map[graph.Label][]int{}
+	for i, nv := range vectors {
+		byLabel[nv.Label] = append(byLabel[nv.Label], i)
+	}
+	labels := make([]graph.Label, 0, len(byLabel))
+	for l := range byLabel {
+		labels = append(labels, l)
+	}
+	sort.Slice(labels, func(i, j int) bool { return labels[i] < labels[j] })
+
+	// Label groups are independent: mine them in parallel, then assemble
+	// in sorted label order so the output stays deterministic.
+	perLabel := make([][]VectorGroup, len(labels))
+	truncFlags := make([]bool, len(labels))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for li, label := range labels {
+		if truncated(cfg) {
+			truncatedRun = true
+			break
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(li int, label graph.Label) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			idxs := byLabel[label]
+			vecs := make([]feature.Vector, len(idxs))
+			for i, idx := range idxs {
+				vecs[i] = vectors[idx].Vec
+			}
+			minSup := supportThreshold(cfg, len(vecs))
+			var sig []fvmine.Significant
+			if cfg.TopKPerLabel > 0 {
+				sig = fvmine.MineTopK(vecs, cfg.TopKPerLabel, minSup, globalModel)
+			} else {
+				mres := fvmine.Mine(vecs, fvmine.Options{
+					MinSupport:    minSup,
+					MaxPvalue:     cfg.MaxPvalue,
+					Model:         globalModel,
+					SkipZeroFloor: true,
+					Deadline:      cfg.Deadline,
+				})
+				if mres.Truncated {
+					truncFlags[li] = true
+				}
+				sig = mres.Vectors
+				fvmine.SortBySignificance(sig)
+				if cfg.MaxVectorsPerLabel > 0 && len(sig) > cfg.MaxVectorsPerLabel {
+					sig = sig[:cfg.MaxVectorsPerLabel]
+				}
+			}
+			out := make([]VectorGroup, 0, len(sig))
+			for _, s := range sig {
+				g := VectorGroup{Label: label, Sig: s}
+				for _, vi := range s.SupportIdx {
+					g.Nodes = append(g.Nodes, vectors[idxs[vi]])
+				}
+				out = append(out, g)
+			}
+			perLabel[li] = out
+		}(li, label)
+	}
+	wg.Wait()
+	var groups []VectorGroup
+	for li := range perLabel {
+		groups = append(groups, perLabel[li]...)
+		truncatedRun = truncatedRun || truncFlags[li]
+	}
+	return groups, truncatedRun
+}
+
+// Mine runs GraphSig over db.
+func Mine(db []*graph.Graph, cfg Config) Result {
+	fillConfig(&cfg)
+	var res Result
+	if len(db) == 0 {
+		return res
+	}
+
+	// Phase 1: RWR over every node of every graph (Alg 2 lines 3-4).
+	t0 := time.Now()
+	fs := cfg.FeatureSet
+	if fs == nil {
+		fs = feature.ChemistrySet(db, cfg.Alphabet, cfg.TopAtoms)
+	}
+	vectors := computeVectors(db, fs, cfg)
+	res.Profile.RWR = time.Since(t0)
+
+	// Phase 2: group by source label, FVMine per group (lines 5-7).
+	t1 := time.Now()
+	groups, trunc := significantVectorGroups(vectors, cfg)
+	res.Truncated = res.Truncated || trunc
+	res.VectorsMined = len(groups)
+	res.Profile.FeatureAnalysis = time.Since(t1)
+
+	// Phase 3: cut regions and run maximal FSM per group (lines 8-13).
+	t2 := time.Now()
+	best := map[string]*Subgraph{}
+	for _, grp := range groups {
+		if truncated(cfg) {
+			res.Truncated = true
+			break
+		}
+		nodes := grp.Nodes
+		if cfg.MaxGroupSize > 0 && len(nodes) > cfg.MaxGroupSize {
+			nodes = subsample(nodes, cfg.MaxGroupSize)
+		}
+		windows := make([]*graph.Graph, len(nodes))
+		for i, nv := range nodes {
+			windows[i] = db[nv.GraphID].CutGraph(nv.NodeID, cfg.CutoffRadius)
+		}
+		minSup := int(math.Ceil(cfg.FSMFreqPct / 100 * float64(len(windows))))
+		if minSup < 2 {
+			minSup = 2
+		}
+		if len(windows) < minSup {
+			res.GroupsPruned++
+			continue
+		}
+		res.GroupsMined++
+		maximal := mineMaximal(windows, minSup, cfg)
+		if len(maximal) == 0 {
+			res.GroupsPruned++
+			continue
+		}
+		for _, p := range maximal {
+			if p.Graph.NumEdges() == 0 {
+				continue
+			}
+			key := dfscode.Canonical(p.Graph)
+			cur, ok := best[key]
+			if !ok || grp.Sig.LogPValue < cur.VectorLogPValue {
+				best[key] = &Subgraph{
+					Graph:           p.Graph,
+					Canonical:       key,
+					SourceLabel:     grp.Label,
+					VectorPValue:    grp.Sig.PValue,
+					VectorLogPValue: grp.Sig.LogPValue,
+					VectorSupport:   grp.Sig.Support,
+					GroupSize:       len(windows),
+					GroupSupport:    p.Support,
+				}
+			}
+		}
+	}
+	res.Profile.FSM = time.Since(t2)
+
+	// Final: verify support in graph space (in parallel across patterns;
+	// counting is read-only on the database) and order the answer set.
+	t3 := time.Now()
+	ordered := make([]*Subgraph, 0, len(best))
+	for _, sg := range best {
+		ordered = append(ordered, sg)
+	}
+	if !cfg.SkipVerify {
+		var wg sync.WaitGroup
+		work := make(chan *Subgraph)
+		workers := runtime.GOMAXPROCS(0)
+		if workers > len(ordered) {
+			workers = len(ordered)
+		}
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for sg := range work {
+					sg.Support = isomorph.Support(sg.Graph, db)
+					sg.Frequency = float64(sg.Support) / float64(len(db))
+				}
+			}()
+		}
+		for _, sg := range ordered {
+			work <- sg
+		}
+		close(work)
+		wg.Wait()
+	}
+	for _, sg := range ordered {
+		res.Subgraphs = append(res.Subgraphs, *sg)
+	}
+	sort.Slice(res.Subgraphs, func(i, j int) bool {
+		a, b := res.Subgraphs[i], res.Subgraphs[j]
+		if a.VectorLogPValue != b.VectorLogPValue {
+			return a.VectorLogPValue < b.VectorLogPValue
+		}
+		if a.Graph.NumEdges() != b.Graph.NumEdges() {
+			return a.Graph.NumEdges() > b.Graph.NumEdges()
+		}
+		return a.Canonical < b.Canonical
+	})
+	res.Profile.Verify = time.Since(t3)
+	return res
+}
+
+func fillConfig(cfg *Config) {
+	d := Defaults()
+	if cfg.Alpha <= 0 || cfg.Alpha >= 1 {
+		cfg.Alpha = d.Alpha
+	}
+	if cfg.Bins <= 0 {
+		cfg.Bins = d.Bins
+	}
+	if cfg.MaxPvalue <= 0 {
+		cfg.MaxPvalue = d.MaxPvalue
+	}
+	if cfg.MinFreqPct <= 0 {
+		cfg.MinFreqPct = d.MinFreqPct
+	}
+	if cfg.MinSupportFloor <= 0 {
+		cfg.MinSupportFloor = d.MinSupportFloor
+	}
+	if cfg.CutoffRadius <= 0 {
+		cfg.CutoffRadius = d.CutoffRadius
+	}
+	if cfg.FSMFreqPct <= 0 {
+		cfg.FSMFreqPct = d.FSMFreqPct
+	}
+	if cfg.TopAtoms <= 0 {
+		cfg.TopAtoms = d.TopAtoms
+	}
+}
+
+func supportThreshold(cfg Config, setSize int) int {
+	s := int(math.Ceil(cfg.MinFreqPct / 100 * float64(setSize)))
+	if s < cfg.MinSupportFloor {
+		s = cfg.MinSupportFloor
+	}
+	return s
+}
+
+func truncated(cfg Config) bool {
+	return !cfg.Deadline.IsZero() && time.Now().After(cfg.Deadline)
+}
+
+// subsample deterministically picks k evenly spaced elements.
+func subsample(nodes []rwr.NodeVector, k int) []rwr.NodeVector {
+	out := make([]rwr.NodeVector, 0, k)
+	step := float64(len(nodes)) / float64(k)
+	for i := 0; i < k; i++ {
+		out = append(out, nodes[int(float64(i)*step)])
+	}
+	return out
+}
+
+// groupPattern is the common shape of the two miners' outputs.
+type groupPattern struct {
+	Graph   *graph.Graph
+	Support int
+}
+
+func mineMaximal(windows []*graph.Graph, minSup int, cfg Config) []groupPattern {
+	switch cfg.Miner {
+	case MinerGSpan:
+		r := gspan.Mine(windows, gspan.Options{
+			MinSupport: minSup,
+			MaxEdges:   cfg.MaxPatternEdges,
+			Deadline:   cfg.Deadline,
+		})
+		var out []groupPattern
+		for _, p := range gspan.Maximal(r.Patterns) {
+			out = append(out, groupPattern{Graph: p.Graph, Support: p.Support})
+		}
+		return out
+	default:
+		r := fsg.MaximalMine(windows, fsg.Options{
+			MinSupport: minSup,
+			MaxEdges:   cfg.MaxPatternEdges,
+			Deadline:   cfg.Deadline,
+		})
+		var out []groupPattern
+		for _, p := range r.Patterns {
+			out = append(out, groupPattern{Graph: p.Graph, Support: p.Support})
+		}
+		return out
+	}
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"math"
+
+	"graphsig/internal/feature"
+	"graphsig/internal/graph"
+	"graphsig/internal/isomorph"
+	"graphsig/internal/rwr"
+	"graphsig/internal/sigmodel"
+)
+
+// SubgraphStats evaluates an arbitrary pattern against a database through
+// the paper's feature-space model — the machinery behind the Fig 16
+// p-value-vs-frequency analysis and the benzene non-significance result.
+type SubgraphStats struct {
+	// Support and Frequency are the graph-space transaction support.
+	Support   int
+	Frequency float64
+	// Regions is the number of center nodes examined (the images of
+	// pattern node 0 under one embedding per supporting graph).
+	Regions int
+	// PValue / LogPValue evaluate the floor of the region vectors under
+	// the priors of the pattern's source-label vector group.
+	PValue    float64
+	LogPValue float64
+}
+
+// EvaluateSubgraph measures the significance of pattern over db: it
+// locates the pattern's occurrences, takes the RWR vectors of the
+// occurrence centers (the nodes playing pattern node 0), floors them into
+// the pattern's describing sub-feature vector, and computes that vector's
+// binomial p-value against the empirical priors of all same-label
+// vectors, exactly as GraphSig's feature-space model prescribes.
+//
+// vectors must be the output of rwr.DatabaseVectors over db with the same
+// feature set and RWR configuration.
+func EvaluateSubgraph(db []*graph.Graph, vectors []rwr.NodeVector, pattern *graph.Graph, cfg Config) SubgraphStats {
+	fillConfig(&cfg)
+	var stats SubgraphStats
+	if pattern.NumNodes() == 0 || len(db) == 0 {
+		stats.PValue = 1
+		return stats
+	}
+	// Index vectors by (graph, node); the prior population is the whole
+	// vector database, matching Mine's global model.
+	index := map[[2]int]feature.Vector{}
+	population := make([]feature.Vector, len(vectors))
+	labelCounts := map[graph.Label]int{}
+	for i, nv := range vectors {
+		index[[2]int{nv.GraphID, nv.NodeID}] = nv.Vec
+		population[i] = nv.Vec
+		labelCounts[nv.Label]++
+	}
+
+	// Anchor the region windows on the pattern's most distinctive node:
+	// the one whose label is rarest in the database. (GraphSig's own
+	// mining anchors on whichever label group surfaced the vector; for
+	// an arbitrary query pattern the rarest label is the analogue.)
+	center := 0
+	for v := 1; v < pattern.NumNodes(); v++ {
+		if labelCounts[pattern.NodeLabel(v)] < labelCounts[pattern.NodeLabel(center)] {
+			center = v
+		}
+	}
+
+	var regionVecs []feature.Vector
+	for gid, g := range db {
+		m := isomorph.FindEmbedding(pattern, g)
+		if m == nil {
+			continue
+		}
+		stats.Support++
+		if v, ok := index[[2]int{gid, m[center]}]; ok {
+			regionVecs = append(regionVecs, v)
+		}
+	}
+	stats.Frequency = float64(stats.Support) / float64(len(db))
+	stats.Regions = len(regionVecs)
+	if len(regionVecs) == 0 || len(population) == 0 {
+		stats.PValue = 1
+		return stats
+	}
+
+	describing := feature.Floor(regionVecs)
+	model := sigmodel.New(population)
+	// The describing vector's exact support within the population.
+	support := 0
+	for _, v := range population {
+		if describing.SubVectorOf(v) {
+			support++
+		}
+	}
+	stats.LogPValue = model.LogPValue(describing, support)
+	stats.PValue = math.Exp(stats.LogPValue)
+	return stats
+}

@@ -1,0 +1,401 @@
+// Package dfscode implements gSpan-style DFS codes for connected labeled
+// graphs: the edge-tuple encoding, the total order on codes, minimum
+// (canonical) code construction, and the minimality check used by gSpan's
+// duplicate pruning. The minimum code doubles as the canonical label used
+// across the repository to deduplicate mined patterns.
+//
+// A DFS code is a sequence of edge tuples (i, j, li, le, lj) where i and j
+// are DFS discovery indices: a forward edge has j = i's frontier + 1 and
+// discovers vertex j, a backward edge has j < i and closes a cycle. The
+// minimum code over all DFS traversals is a canonical form: two connected
+// labeled graphs are isomorphic iff their minimum codes are equal.
+package dfscode
+
+import (
+	"fmt"
+	"strings"
+
+	"graphsig/internal/graph"
+)
+
+// EdgeCode is one DFS code entry: edge between discovery indices I and J
+// with node labels LI, LJ and edge label LE.
+type EdgeCode struct {
+	I, J   int
+	LI, LE graph.Label
+	LJ     graph.Label
+}
+
+// Forward reports whether the entry is a forward (vertex-discovering) edge.
+func (e EdgeCode) Forward() bool { return e.I < e.J }
+
+// Code is a DFS code: an ordered list of edge entries.
+type Code []EdgeCode
+
+// CompareEdges orders two code entries by gSpan's DFS lexicographic order
+// (structure first, then labels). It returns -1, 0 or +1.
+func CompareEdges(a, b EdgeCode) int {
+	if a.I == b.I && a.J == b.J {
+		return compareLabels(a, b)
+	}
+	if edgeLess(a, b) {
+		return -1
+	}
+	return 1
+}
+
+func compareLabels(a, b EdgeCode) int {
+	switch {
+	case a.LI != b.LI:
+		return cmpLabel(a.LI, b.LI)
+	case a.LE != b.LE:
+		return cmpLabel(a.LE, b.LE)
+	case a.LJ != b.LJ:
+		return cmpLabel(a.LJ, b.LJ)
+	}
+	return 0
+}
+
+func cmpLabel(a, b graph.Label) int {
+	if a < b {
+		return -1
+	}
+	if a > b {
+		return 1
+	}
+	return 0
+}
+
+// edgeLess implements the structural part of gSpan's edge order for
+// entries with distinct (I, J).
+func edgeLess(a, b EdgeCode) bool {
+	af, bf := a.Forward(), b.Forward()
+	switch {
+	case af && bf:
+		return a.J < b.J || (a.J == b.J && a.I > b.I)
+	case !af && !bf:
+		return a.I < b.I || (a.I == b.I && a.J < b.J)
+	case !af && bf: // a backward, b forward
+		return a.I < b.J
+	default: // a forward, b backward
+		return a.J <= b.I
+	}
+}
+
+// Compare orders codes lexicographically entry by entry; a strict prefix
+// precedes its extensions.
+func Compare(a, b Code) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if c := CompareEdges(a[i], b[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}
+
+// NumNodes returns the number of vertices the code describes.
+func (c Code) NumNodes() int {
+	max := -1
+	for _, e := range c {
+		if e.I > max {
+			max = e.I
+		}
+		if e.J > max {
+			max = e.J
+		}
+	}
+	return max + 1
+}
+
+// Graph materializes the code as a graph. It panics on malformed codes
+// (an entry referencing an undiscovered vertex).
+func (c Code) Graph() *graph.Graph {
+	g := graph.New(c.NumNodes(), len(c))
+	for _, e := range c {
+		if e.Forward() {
+			if g.NumNodes() == 0 {
+				if e.I != 0 || e.J != 1 {
+					panic("dfscode: first entry must be forward edge (0,1)")
+				}
+				g.AddNode(e.LI)
+			}
+			if e.I >= g.NumNodes() {
+				panic("dfscode: forward edge from undiscovered vertex")
+			}
+			if e.J != g.NumNodes() {
+				panic(fmt.Sprintf("dfscode: forward edge discovers vertex %d, frontier is %d", e.J, g.NumNodes()))
+			}
+			g.AddNode(e.LJ)
+			g.MustAddEdge(e.I, e.J, e.LE)
+		} else {
+			g.MustAddEdge(e.I, e.J, e.LE)
+		}
+	}
+	return g
+}
+
+// RightmostPath returns the DFS indices on the rightmost path, from the
+// root (index 0) to the rightmost (most recently discovered) vertex.
+func (c Code) RightmostPath() []int {
+	if len(c) == 0 {
+		return nil
+	}
+	// Walk forward edges backwards from the rightmost vertex.
+	rm := -1
+	parent := map[int]int{}
+	for _, e := range c {
+		if e.Forward() {
+			parent[e.J] = e.I
+			if e.J > rm {
+				rm = e.J
+			}
+		}
+	}
+	var rev []int
+	for v := rm; ; {
+		rev = append(rev, v)
+		p, ok := parent[v]
+		if !ok {
+			break
+		}
+		v = p
+	}
+	// Reverse into root-first order.
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// String renders the code compactly, e.g. "(0,1,C,-,O)(1,2,O,=,C)" with
+// numeric labels.
+func (c Code) String() string {
+	var b strings.Builder
+	for _, e := range c {
+		fmt.Fprintf(&b, "(%d,%d,%d,%d,%d)", e.I, e.J, int(e.LI), int(e.LE), int(e.LJ))
+	}
+	return b.String()
+}
+
+// embedding maps DFS indices of a partial code to nodes of a host graph.
+type embedding struct {
+	nodes []int // DFS index -> host node
+	used  []bool
+	// inverse: host node -> DFS index + 1 (0 = unmapped)
+	inverse []int
+}
+
+func (e *embedding) extend(hostFrom, hostTo int, discovers bool, g *graph.Graph, edgeID int) *embedding {
+	ne := &embedding{
+		nodes:   append(append([]int(nil), e.nodes...), nil...),
+		used:    append([]bool(nil), e.used...),
+		inverse: append([]int(nil), e.inverse...),
+	}
+	if discovers {
+		ne.nodes = append(ne.nodes, hostTo)
+		ne.inverse[hostTo] = len(ne.nodes)
+	}
+	ne.used[edgeID] = true
+	return ne
+}
+
+// edgeIndex gives each undirected host edge a dense id for used-edge sets.
+type edgeIndex struct {
+	ids map[[2]int]int
+}
+
+func newEdgeIndex(g *graph.Graph) *edgeIndex {
+	idx := &edgeIndex{ids: make(map[[2]int]int, g.NumEdges())}
+	for i, e := range g.Edges() {
+		idx.ids[[2]int{e.From, e.To}] = i
+	}
+	return idx
+}
+
+func (idx *edgeIndex) id(u, v int) int {
+	if u > v {
+		u, v = v, u
+	}
+	return idx.ids[[2]int{u, v}]
+}
+
+// MinimumCode computes the canonical minimum DFS code of a connected
+// labeled graph by greedy minimal extension over all partial embeddings
+// (the construction behind gSpan's isMin test). It panics on empty or
+// disconnected graphs, for which the code is undefined.
+func MinimumCode(g *graph.Graph) Code {
+	code, _ := buildMinimum(g, nil)
+	return code
+}
+
+// IsMinimal reports whether c is the minimum DFS code of the graph it
+// describes. gSpan uses this to discard duplicate pattern-growth states.
+func IsMinimal(c Code) bool {
+	if len(c) == 0 {
+		return true
+	}
+	_, minimal := buildMinimum(c.Graph(), c)
+	return minimal
+}
+
+// buildMinimum constructs the minimum DFS code of g. When reference is
+// non-nil, construction stops early as soon as the minimum is known to
+// differ from reference, returning (nil, false); if it matches the whole
+// way, returns (reference, true).
+func buildMinimum(g *graph.Graph, reference Code) (Code, bool) {
+	if g.NumNodes() == 0 || !g.IsConnected() {
+		panic("dfscode: minimum code requires a nonempty connected graph")
+	}
+	if g.NumEdges() == 0 {
+		// Single vertex: represent as empty code. Callers treat
+		// single-node patterns specially.
+		return Code{}, len(reference) == 0
+	}
+	idx := newEdgeIndex(g)
+	var code Code
+	var embs []*embedding
+
+	// Seed: minimal first entry over all directed edge instances.
+	var best EdgeCode
+	haveBest := false
+	for _, e := range g.Edges() {
+		for _, dir := range [2][2]int{{e.From, e.To}, {e.To, e.From}} {
+			cand := EdgeCode{I: 0, J: 1, LI: g.NodeLabel(dir[0]), LE: e.Label, LJ: g.NodeLabel(dir[1])}
+			if !haveBest || CompareEdges(cand, best) < 0 {
+				best = cand
+				haveBest = true
+			}
+		}
+	}
+	if reference != nil {
+		if c := CompareEdges(best, reference[0]); c != 0 {
+			return nil, false
+		}
+	}
+	code = append(code, best)
+	for _, e := range g.Edges() {
+		for _, dir := range [2][2]int{{e.From, e.To}, {e.To, e.From}} {
+			if g.NodeLabel(dir[0]) == best.LI && e.Label == best.LE && g.NodeLabel(dir[1]) == best.LJ {
+				emb := &embedding{
+					nodes:   []int{dir[0], dir[1]},
+					used:    make([]bool, g.NumEdges()),
+					inverse: make([]int, g.NumNodes()),
+				}
+				emb.inverse[dir[0]] = 1
+				emb.inverse[dir[1]] = 2
+				emb.used[idx.id(dir[0], dir[1])] = true
+				embs = append(embs, emb)
+			}
+		}
+	}
+
+	for len(code) < g.NumEdges() {
+		rmPath := code.RightmostPath()
+		rmv := rmPath[len(rmPath)-1]
+		type ext struct {
+			ec        EdgeCode
+			discovers bool
+		}
+		var bestExt *ext
+		consider := func(e ext) {
+			if bestExt == nil || CompareEdges(e.ec, bestExt.ec) < 0 {
+				cp := e
+				bestExt = &cp
+			}
+		}
+		// Enumerate candidate extensions across all embeddings.
+		for _, emb := range embs {
+			// Backward: from rightmost vertex to rightmost-path vertices.
+			hostRM := emb.nodes[rmv]
+			g.Neighbors(hostRM, func(u int, l graph.Label) {
+				if emb.used[idx.id(hostRM, u)] {
+					return
+				}
+				pi := emb.inverse[u]
+				if pi == 0 {
+					return
+				}
+				pIdx := pi - 1
+				if !onPath(rmPath, pIdx) {
+					return
+				}
+				consider(ext{ec: EdgeCode{I: rmv, J: pIdx, LI: g.NodeLabel(hostRM), LE: l, LJ: g.NodeLabel(u)}})
+			})
+			// Forward: from rightmost-path vertices to undiscovered nodes.
+			for _, pv := range rmPath {
+				hostV := emb.nodes[pv]
+				g.Neighbors(hostV, func(u int, l graph.Label) {
+					if emb.inverse[u] != 0 {
+						return
+					}
+					consider(ext{
+						ec:        EdgeCode{I: pv, J: len(emb.nodes), LI: g.NodeLabel(hostV), LE: l, LJ: g.NodeLabel(u)},
+						discovers: true,
+					})
+				})
+			}
+		}
+		if bestExt == nil {
+			panic("dfscode: no extension for connected graph")
+		}
+		if reference != nil {
+			if c := CompareEdges(bestExt.ec, reference[len(code)]); c != 0 {
+				return nil, false
+			}
+		}
+		code = append(code, bestExt.ec)
+		// Keep only embeddings realizing the chosen extension, extended.
+		var next []*embedding
+		for _, emb := range embs {
+			if bestExt.ec.Forward() {
+				hostV := emb.nodes[bestExt.ec.I]
+				g.Neighbors(hostV, func(u int, l graph.Label) {
+					if emb.inverse[u] != 0 || l != bestExt.ec.LE || g.NodeLabel(u) != bestExt.ec.LJ {
+						return
+					}
+					next = append(next, emb.extend(hostV, u, true, g, idx.id(hostV, u)))
+				})
+			} else {
+				hostV := emb.nodes[bestExt.ec.I]
+				hostU := emb.nodes[bestExt.ec.J]
+				if !emb.used[idx.id(hostV, hostU)] && g.EdgeLabel(hostV, hostU) == bestExt.ec.LE {
+					next = append(next, emb.extend(hostV, hostU, false, g, idx.id(hostV, hostU)))
+				}
+			}
+		}
+		embs = next
+	}
+	if reference != nil {
+		return reference, true
+	}
+	return code, true
+}
+
+func onPath(path []int, v int) bool {
+	for _, p := range path {
+		if p == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Canonical returns a canonical string key for a connected labeled graph:
+// equal strings iff isomorphic graphs. Single-vertex graphs are encoded
+// by their node label.
+func Canonical(g *graph.Graph) string {
+	if g.NumNodes() == 1 {
+		return fmt.Sprintf("v(%d)", int(g.NodeLabel(0)))
+	}
+	return MinimumCode(g).String()
+}

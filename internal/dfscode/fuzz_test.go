@@ -1,0 +1,49 @@
+package dfscode
+
+import (
+	"math/rand"
+	"testing"
+
+	"graphsig/internal/graph"
+	"graphsig/internal/isomorph"
+)
+
+// FuzzCanonicalInvariance decodes a byte string into a random connected
+// labeled graph and checks the canonical-code contract: invariance under
+// node permutation and round-trip isomorphism.
+func FuzzCanonicalInvariance(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5}, int64(1))
+	f.Add([]byte{0}, int64(2))
+	f.Add([]byte{9, 9, 9, 9, 9, 9, 9, 9}, int64(3))
+	f.Fuzz(func(t *testing.T, data []byte, seed int64) {
+		if len(data) == 0 || len(data) > 10 {
+			return
+		}
+		g := graph.New(len(data), len(data))
+		for _, b := range data {
+			g.AddNode(graph.Label(b % 3))
+		}
+		r := rand.New(rand.NewSource(seed))
+		for i := 1; i < g.NumNodes(); i++ {
+			g.MustAddEdge(r.Intn(i), i, graph.Label(int(data[i])%2))
+		}
+		// A couple of extra edges for cycles.
+		for e := 0; e < len(data)/3; e++ {
+			u, v := r.Intn(g.NumNodes()), r.Intn(g.NumNodes())
+			if u != v && !g.HasEdge(u, v) {
+				g.MustAddEdge(u, v, 0)
+			}
+		}
+		canon := Canonical(g)
+		perm := r.Perm(g.NumNodes())
+		if got := Canonical(g.Relabel(perm)); got != canon {
+			t.Fatalf("canonical changed under relabel: %q vs %q", canon, got)
+		}
+		if g.NumEdges() > 0 {
+			back := MinimumCode(g).Graph()
+			if !isomorph.Isomorphic(g, back) {
+				t.Fatal("min-code graph not isomorphic to original")
+			}
+		}
+	})
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"time"
+
+	"graphsig/internal/textchart"
+)
+
+// chart renders a series set to cfg.Out when charts are enabled.
+func (c *Config) chart(title string, series []textchart.Series, opt textchart.Options) {
+	if !c.Charts || c.Out == nil {
+		return
+	}
+	textchart.Render(c.Out, title, series, opt)
+}
+
+func secs(d time.Duration) float64 { return d.Seconds() }
+
+// ChartFig2 renders the Fig 2 runtime curves.
+func ChartFig2(cfg Config, rows []Fig2Row) {
+	gspan := textchart.Series{Name: "gSpan"}
+	fsgS := textchart.Series{Name: "FSG"}
+	for _, r := range rows {
+		gspan.Points = append(gspan.Points, textchart.Point{X: r.FreqPct, Y: secs(r.GSpan), DNF: r.GSpanDNF})
+		fsgS.Points = append(fsgS.Points, textchart.Point{X: r.FreqPct, Y: secs(r.FSG), DNF: r.FSGDNF})
+	}
+	cfg.chart("Fig 2 — runtime vs frequency (log y)", []textchart.Series{gspan, fsgS},
+		textchart.Options{LogY: true, XLabel: "freq %", YLabel: "seconds"})
+}
+
+// ChartFig9 renders the Fig 9 curves.
+func ChartFig9(cfg Config, rows []Fig9Row) {
+	var gs, gsf, gsp, fs textchart.Series
+	gs.Name, gsf.Name, gsp.Name, fs.Name = "GraphSig", "GraphSig+FSG", "gSpan", "FSG"
+	for _, r := range rows {
+		gs.Points = append(gs.Points, textchart.Point{X: r.FreqPct, Y: secs(r.GraphSig)})
+		gsf.Points = append(gsf.Points, textchart.Point{X: r.FreqPct, Y: secs(r.GraphSigFSG)})
+		gsp.Points = append(gsp.Points, textchart.Point{X: r.FreqPct, Y: secs(r.GSpan), DNF: r.GSpanDNF})
+		fs.Points = append(fs.Points, textchart.Point{X: r.FreqPct, Y: secs(r.FSG), DNF: r.FSGDNF})
+	}
+	cfg.chart("Fig 9 — time vs frequency (log x, log y)", []textchart.Series{gs, gsf, gsp, fs},
+		textchart.Options{LogX: true, LogY: true, XLabel: "freq %", YLabel: "seconds"})
+}
+
+// ChartFig11 renders the Fig 11 curves.
+func ChartFig11(cfg Config, rows []Fig11Row) {
+	var gs, gsf, gsp, fs textchart.Series
+	gs.Name, gsf.Name, gsp.Name, fs.Name = "GraphSig", "GraphSig+FSG", "gSpan", "FSG"
+	for _, r := range rows {
+		x := float64(r.Size)
+		gs.Points = append(gs.Points, textchart.Point{X: x, Y: secs(r.GraphSig)})
+		gsf.Points = append(gsf.Points, textchart.Point{X: x, Y: secs(r.GraphSigFSG)})
+		gsp.Points = append(gsp.Points, textchart.Point{X: x, Y: secs(r.GSpan), DNF: r.GSpanDNF})
+		fs.Points = append(fs.Points, textchart.Point{X: x, Y: secs(r.FSG), DNF: r.FSGDNF})
+	}
+	cfg.chart("Fig 11 — time vs dataset size (log y)", []textchart.Series{gs, gsf, gsp, fs},
+		textchart.Options{LogY: true, XLabel: "molecules", YLabel: "seconds"})
+}
+
+// ChartFig12 renders the Fig 12 curves.
+func ChartFig12(cfg Config, rows []Fig12Row) {
+	var gs, gsf textchart.Series
+	gs.Name, gsf.Name = "GraphSig", "GraphSig+FSG"
+	for _, r := range rows {
+		gs.Points = append(gs.Points, textchart.Point{X: r.MaxPvalue, Y: secs(r.GraphSig)})
+		gsf.Points = append(gsf.Points, textchart.Point{X: r.MaxPvalue, Y: secs(r.GraphSigFSG)})
+	}
+	cfg.chart("Fig 12 — time vs p-value threshold", []textchart.Series{gs, gsf},
+		textchart.Options{XLabel: "maxPvalue", YLabel: "seconds"})
+}
+
+// ChartFig16 renders the p-value/frequency scatter with the benzene
+// reference point.
+func ChartFig16(cfg Config, res Fig16Result) {
+	sig := textchart.Series{Name: "significant subgraphs"}
+	for _, p := range res.Points {
+		y := p.PValue
+		if y <= 0 {
+			y = 1e-18
+		}
+		sig.Points = append(sig.Points, textchart.Point{X: 100 * p.Frequency, Y: y})
+	}
+	benzene := textchart.Series{Name: "benzene", Points: []textchart.Point{
+		{X: 100 * res.Benzene.Frequency, Y: res.Benzene.PValue},
+	}}
+	cfg.chart("Fig 16 — p-value vs frequency (log x, log y)", []textchart.Series{sig, benzene},
+		textchart.Options{LogX: true, LogY: true, XLabel: "freq %", YLabel: "p-value"})
+}

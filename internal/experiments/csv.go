@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// writeCSV writes rows (with a header) to <cfg.CSVDir>/<name>.csv when a
+// CSV directory is configured. Errors are reported on cfg.Out rather
+// than failing the experiment.
+func (c *Config) writeCSV(name string, header []string, rows [][]string) {
+	if c.CSVDir == "" {
+		return
+	}
+	if err := os.MkdirAll(c.CSVDir, 0o755); err != nil {
+		c.printf("csv: %v\n", err)
+		return
+	}
+	path := filepath.Join(c.CSVDir, name+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		c.printf("csv: %v\n", err)
+		return
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write(header); err != nil {
+		c.printf("csv: %v\n", err)
+		return
+	}
+	for _, row := range rows {
+		if err := w.Write(row); err != nil {
+			c.printf("csv: %v\n", err)
+			return
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		c.printf("csv: %v\n", err)
+		return
+	}
+	c.printf("wrote %s\n", path)
+}
+
+func csvSeconds(d time.Duration, dnf bool) string {
+	if dnf {
+		return "DNF"
+	}
+	return fmt.Sprintf("%.4f", d.Seconds())
+}
+
+// CSVFig2 exports Fig 2 rows.
+func CSVFig2(cfg Config, rows []Fig2Row) {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			fmt.Sprintf("%g", r.FreqPct),
+			csvSeconds(r.GSpan, r.GSpanDNF),
+			csvSeconds(r.FSG, r.FSGDNF),
+		})
+	}
+	cfg.writeCSV("fig2", []string{"freq_pct", "gspan_s", "fsg_s"}, out)
+}
+
+// CSVFig9 exports Fig 9 rows.
+func CSVFig9(cfg Config, rows []Fig9Row) {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			fmt.Sprintf("%g", r.FreqPct),
+			csvSeconds(r.GraphSig, false),
+			csvSeconds(r.GraphSigFSG, false),
+			csvSeconds(r.GSpan, r.GSpanDNF),
+			csvSeconds(r.FSG, r.FSGDNF),
+		})
+	}
+	cfg.writeCSV("fig9", []string{"freq_pct", "graphsig_s", "graphsig_fsg_s", "gspan_s", "fsg_s"}, out)
+}
+
+// CSVFig11 exports Fig 11 rows.
+func CSVFig11(cfg Config, rows []Fig11Row) {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			fmt.Sprintf("%d", r.Size),
+			csvSeconds(r.GraphSig, false),
+			csvSeconds(r.GraphSigFSG, false),
+			csvSeconds(r.GSpan, r.GSpanDNF),
+			csvSeconds(r.FSG, r.FSGDNF),
+		})
+	}
+	cfg.writeCSV("fig11", []string{"size", "graphsig_s", "graphsig_fsg_s", "gspan_s", "fsg_s"}, out)
+}
+
+// CSVFig16 exports the scatter plus the benzene reference row.
+func CSVFig16(cfg Config, res Fig16Result) {
+	out := make([][]string, 0, len(res.Points)+1)
+	for _, p := range res.Points {
+		out = append(out, []string{
+			fmt.Sprintf("%.6f", p.Frequency),
+			fmt.Sprintf("%.6g", p.PValue),
+			"significant",
+		})
+	}
+	out = append(out, []string{
+		fmt.Sprintf("%.6f", res.Benzene.Frequency),
+		fmt.Sprintf("%.6g", res.Benzene.PValue),
+		"benzene",
+	})
+	cfg.writeCSV("fig16", []string{"frequency", "p_value", "kind"}, out)
+}
+
+// CSVTable6 exports Table VI / Fig 17 rows.
+func CSVTable6(cfg Config, rows []Table6Row) {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Dataset,
+			fmt.Sprintf("%.4f", r.OAAUC), fmt.Sprintf("%.4f", r.OAStd),
+			fmt.Sprintf("%.4f", r.LeapAUC), fmt.Sprintf("%.4f", r.LeapStd),
+			fmt.Sprintf("%.4f", r.GraphSigAUC), fmt.Sprintf("%.4f", r.GraphSigStd),
+			csvSeconds(r.OATime, false), csvSeconds(r.OA3XTime, false),
+			csvSeconds(r.LeapTime, false), csvSeconds(r.GraphSigTime, false),
+		})
+	}
+	cfg.writeCSV("table6", []string{
+		"dataset", "oa_auc", "oa_std", "leap_auc", "leap_std",
+		"graphsig_auc", "graphsig_std", "t_oa_s", "t_oa3x_s", "t_leap_s", "t_graphsig_s",
+	}, out)
+}

@@ -1,0 +1,325 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+// testConfig is a fast configuration for shape assertions.
+func testConfig() Config {
+	return Config{
+		MiningN:   80,
+		ProfileN:  60,
+		ClassifyN: 200,
+		RunBudget: 4 * time.Second,
+		Seed:      1,
+	}
+}
+
+func TestFig2BaselinesSlowDownAtLowFrequency(t *testing.T) {
+	cfg := testConfig()
+	rows := Fig2(cfg)
+	if len(rows) != 6 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// Frequencies descend; runtime (or DNF) must not improve as the
+	// threshold drops: the last point must be at least as expensive as
+	// the first for each baseline.
+	first, last := rows[0], rows[len(rows)-1]
+	if !last.GSpanDNF && last.GSpan < first.GSpan {
+		t.Errorf("gSpan got faster at low frequency: %v -> %v", first.GSpan, last.GSpan)
+	}
+	if !last.FSGDNF && last.FSG < first.FSG {
+		t.Errorf("FSG got faster at low frequency: %v -> %v", first.FSG, last.FSG)
+	}
+	// At the lowest frequencies the baselines blow past the budget
+	// (the paper's '>10 hours' behavior) or at minimum cost much more.
+	if !(last.GSpanDNF || last.GSpan > 4*first.GSpan) {
+		t.Errorf("gSpan did not explode: first=%v last=%v", first.GSpan, last.GSpan)
+	}
+}
+
+func TestFig4TopFiveCoverage(t *testing.T) {
+	profile := Fig4(testConfig())
+	if len(profile) < 5 {
+		t.Fatalf("only %d atoms", len(profile))
+	}
+	if profile[4].CumulativePct < 97 {
+		t.Errorf("top-5 coverage = %.1f%%; want ~99%%", profile[4].CumulativePct)
+	}
+	if profile[0].Name != "C" {
+		t.Errorf("top atom = %s", profile[0].Name)
+	}
+}
+
+func TestFig9GraphSigScalesWhereBaselinesExplode(t *testing.T) {
+	cfg := testConfig()
+	rows := Fig9(cfg)
+	if len(rows) != 6 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// GraphSig completes at the lowest frequency (0.1%) within a small
+	// multiple of its high-frequency cost.
+	low, high := rows[0], rows[len(rows)-1]
+	if low.FreqPct != 0.1 {
+		t.Fatalf("first row freq = %v", low.FreqPct)
+	}
+	if low.GraphSigFSG > 60*high.GraphSigFSG {
+		t.Errorf("GraphSig not scalable: %v at 0.1%% vs %v at 10%%", low.GraphSigFSG, high.GraphSigFSG)
+	}
+	// The baselines fail (DNF) or are far slower than GraphSig at 0.1%.
+	if !low.GSpanDNF && low.GSpan < low.GraphSigFSG {
+		t.Error("gSpan beat GraphSig at 0.1% — shape inverted")
+	}
+	if !low.FSGDNF && low.FSG < low.GraphSigFSG {
+		t.Error("FSG beat GraphSig at 0.1% — shape inverted")
+	}
+}
+
+func TestFig10ProfileSumsToHundred(t *testing.T) {
+	cfg := testConfig()
+	cfg.Datasets = []string{"MOLT-4", "MCF-7"}
+	rows := Fig10(cfg)
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		total := r.RWRPct + r.FeaturePct + r.FSMPct
+		if total < 99.9 || total > 100.1 {
+			t.Errorf("%s: profile sums to %.2f", r.Dataset, total)
+		}
+		if r.RWRPct <= 0 {
+			t.Errorf("%s: RWR share = %.2f", r.Dataset, r.RWRPct)
+		}
+	}
+}
+
+func TestFig11GraphSigGrowsLinearly(t *testing.T) {
+	cfg := testConfig()
+	cfg.MiningN = 60
+	rows := Fig11(cfg)
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// 4x data should cost GraphSig no more than ~12x (linear with
+	// noise), while FSG grows faster than GraphSig in absolute terms.
+	first, last := rows[0], rows[len(rows)-1]
+	if last.GraphSig > 12*first.GraphSig+50*time.Millisecond {
+		t.Errorf("GraphSig growth superlinear: %v -> %v", first.GraphSig, last.GraphSig)
+	}
+	if !last.FSGDNF && last.FSG < last.GraphSigFSG {
+		t.Error("FSG cheaper than GraphSig at largest size — shape inverted")
+	}
+}
+
+func TestFig12PvalueSweep(t *testing.T) {
+	cfg := testConfig()
+	rows := Fig12(cfg)
+	if len(rows) != 6 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// More permissive thresholds cannot yield fewer significant vectors.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Vectors < rows[i-1].Vectors {
+			t.Errorf("vectors decreased: %d @%v -> %d @%v",
+				rows[i-1].Vectors, rows[i-1].MaxPvalue, rows[i].Vectors, rows[i].MaxPvalue)
+		}
+	}
+}
+
+func TestFig13to15RecoversAllCores(t *testing.T) {
+	cfg := testConfig()
+	// The rare-metal cores (Fig 15) sit below 1% frequency; the active
+	// pool must be large enough for them to clear the support floor.
+	cfg.MiningN = 200
+	recs := Fig13to15(cfg)
+	if len(recs) != 3 {
+		t.Fatalf("got %d datasets", len(recs))
+	}
+	for _, rec := range recs {
+		for motif, ok := range rec.Recovered {
+			if !ok {
+				t.Errorf("%s: core %s not recovered", rec.Dataset, motif)
+			}
+		}
+		if len(rec.Mined) == 0 {
+			t.Errorf("%s: nothing mined", rec.Dataset)
+		}
+	}
+}
+
+func TestFig16BenzeneNotSignificantButRarePatternsAre(t *testing.T) {
+	cfg := testConfig()
+	res := Fig16(cfg)
+	if len(res.Points) == 0 {
+		t.Fatal("no significant subgraphs")
+	}
+	if res.Benzene.Frequency < 0.4 {
+		t.Errorf("benzene frequency = %f; generator should make it ubiquitous", res.Benzene.Frequency)
+	}
+	if res.Benzene.PValue <= 0.1 {
+		t.Errorf("benzene p-value = %f; must not be significant", res.Benzene.PValue)
+	}
+	if res.BelowOnePct == 0 {
+		t.Error("no significant subgraph below 1% frequency — the paper's headline claim")
+	}
+	for _, p := range res.Points {
+		if p.PValue > 0.1+1e-9 {
+			t.Errorf("reported subgraph with p=%f above threshold", p.PValue)
+		}
+	}
+}
+
+func TestTable6GraphSigCompetitiveAndFast(t *testing.T) {
+	cfg := testConfig()
+	// Balanced training needs a reasonable active pool (~5% of n).
+	cfg.ClassifyN = 400
+	cfg.Datasets = []string{"MOLT-4", "NCI-H23"}
+	rows := Table6(cfg)
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.GraphSigAUC < 0.6 {
+			t.Errorf("%s: GraphSig AUC = %.2f", r.Dataset, r.GraphSigAUC)
+		}
+		// GraphSig must not lose badly to either baseline (paper: best
+		// or tied on every screen).
+		if r.GraphSigAUC < r.OAAUC-0.15 || r.GraphSigAUC < r.LeapAUC-0.15 {
+			t.Errorf("%s: GraphSig %.2f far below OA %.2f / LEAP %.2f",
+				r.Dataset, r.GraphSigAUC, r.OAAUC, r.LeapAUC)
+		}
+		// Fig 17 shape: OA(3X) is the slowest pipeline by a wide margin.
+		if r.OA3XTime < r.GraphSigTime {
+			t.Errorf("%s: OA(3X) %v faster than GraphSig %v — shape inverted",
+				r.Dataset, r.OA3XTime, r.GraphSigTime)
+		}
+	}
+}
+
+func TestPrintingGoesToWriter(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := testConfig()
+	cfg.Out = &buf
+	Fig4(cfg)
+	if !strings.Contains(buf.String(), "cumulative") {
+		t.Error("no table printed")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	var c Config
+	c.fill()
+	d := Defaults()
+	if c.MiningN != d.MiningN || c.ClassifyN != d.ClassifyN || c.RunBudget != d.RunBudget {
+		t.Errorf("fill gave %+v", c)
+	}
+	if !c.wantDataset("anything") {
+		t.Error("empty filter should accept all")
+	}
+	c.Datasets = []string{"A"}
+	if c.wantDataset("B") || !c.wantDataset("A") {
+		t.Error("filter wrong")
+	}
+}
+
+func TestAblationVectorizerRWRAtLeastAsGood(t *testing.T) {
+	cfg := testConfig()
+	cfg.MiningN = 150
+	rows := AblationVectorizer(cfg)
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	rwrTotal, countsTotal := 0, 0
+	for _, r := range rows {
+		rwrTotal += r.RWRRecovered
+		countsTotal += r.CountsRecovered
+		if r.RWRSubgraphs == 0 {
+			t.Errorf("%s: RWR mined nothing", r.Dataset)
+		}
+	}
+	// RWR must not recover fewer planted cores overall than plain
+	// counting (§II-C: proximity weighting preserves structure).
+	if rwrTotal < countsTotal {
+		t.Errorf("RWR recovered %d cores, window counts %d", rwrTotal, countsTotal)
+	}
+}
+
+func TestCSVExport(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig()
+	cfg.CSVDir = dir
+	Fig4(cfg) // no CSV, should not create anything extra
+	CSVFig2(cfg, []Fig2Row{{FreqPct: 5, GSpan: time.Second, FSG: 2 * time.Second, FSGDNF: true}})
+	data, err := os.ReadFile(dir + "/fig2.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(data)
+	if !strings.Contains(got, "freq_pct,gspan_s,fsg_s") {
+		t.Errorf("header missing: %q", got)
+	}
+	if !strings.Contains(got, "5,1.0000,DNF") {
+		t.Errorf("row missing: %q", got)
+	}
+}
+
+func TestTable5(t *testing.T) {
+	cfg := testConfig()
+	cfg.ProfileN = 80
+	rows := Table5(cfg)
+	if len(rows) != 12 {
+		t.Fatalf("got %d rows; want 12", len(rows))
+	}
+	for _, r := range rows {
+		if r.Generated != 80 {
+			t.Errorf("%s generated %d", r.Dataset, r.Generated)
+		}
+		if r.AvgAtoms < 18 || r.AvgAtoms > 35 {
+			t.Errorf("%s avg atoms %.1f; want ~25", r.Dataset, r.AvgAtoms)
+		}
+		if r.AvgBonds < r.AvgAtoms-2 {
+			t.Errorf("%s avg bonds %.1f below atoms", r.Dataset, r.AvgBonds)
+		}
+		if r.PaperSize < 28000 {
+			t.Errorf("%s paper size %d", r.Dataset, r.PaperSize)
+		}
+	}
+}
+
+func TestChartsRenderToOutput(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := testConfig()
+	cfg.Out = &buf
+	cfg.Charts = true
+	ChartFig2(cfg, []Fig2Row{
+		{FreqPct: 10, GSpan: time.Second, FSG: 2 * time.Second},
+		{FreqPct: 1, GSpanDNF: true, FSGDNF: true},
+	})
+	out := buf.String()
+	if !strings.Contains(out, "Fig 2") || !strings.Contains(out, "^") {
+		t.Errorf("chart output wrong:\n%s", out)
+	}
+	buf.Reset()
+	ChartFig9(cfg, []Fig9Row{{FreqPct: 1, GraphSig: time.Millisecond, GraphSigFSG: 2 * time.Millisecond, GSpan: time.Second, FSG: time.Second}})
+	if !strings.Contains(buf.String(), "GraphSig+FSG") {
+		t.Error("Fig 9 chart missing series")
+	}
+	buf.Reset()
+	ChartFig11(cfg, []Fig11Row{{Size: 100, GraphSig: time.Millisecond, GraphSigFSG: time.Millisecond, GSpan: time.Second, FSG: time.Second}})
+	ChartFig12(cfg, []Fig12Row{{MaxPvalue: 0.1, GraphSig: time.Millisecond, GraphSigFSG: time.Millisecond}})
+	ChartFig16(cfg, Fig16Result{Points: []Fig16Row{{Frequency: 0.01, PValue: 1e-5}}})
+	if buf.Len() == 0 {
+		t.Error("no chart output")
+	}
+	// Disabled charts must write nothing.
+	buf.Reset()
+	cfg.Charts = false
+	ChartFig2(cfg, []Fig2Row{{FreqPct: 10, GSpan: time.Second}})
+	if buf.Len() != 0 {
+		t.Error("chart rendered while disabled")
+	}
+}

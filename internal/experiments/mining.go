@@ -1,0 +1,218 @@
+package experiments
+
+import (
+	"time"
+
+	"graphsig/internal/chem"
+	"graphsig/internal/core"
+	"graphsig/internal/fsg"
+	"graphsig/internal/graph"
+	"graphsig/internal/gspan"
+)
+
+// aidsSample generates an AIDS-like dataset of n molecules.
+func aidsSample(n int, seed int64) []*graph.Graph {
+	spec := chem.AIDSSpec()
+	spec.Seed = seed
+	return chem.GenerateN(spec, n).Graphs
+}
+
+// miningConfig is the GraphSig setup used by the runtime experiments:
+// Table IV parameters with a molecule-scale cutoff radius.
+func miningConfig() core.Config {
+	cfg := core.Defaults()
+	cfg.CutoffRadius = 3
+	cfg.SkipVerify = true // runtime experiments measure the mining phases
+	return cfg
+}
+
+// Fig2Row is one point of Fig 2: baseline miner runtimes at a frequency
+// threshold.
+type Fig2Row struct {
+	FreqPct      float64
+	GSpan, FSG   time.Duration
+	GSpanDNF     bool
+	FSGDNF       bool
+	GSpanResults int
+	FSGResults   int
+}
+
+// Fig2 reproduces the motivating figure: gSpan and FSG runtime explodes
+// as the frequency threshold drops.
+func Fig2(cfg Config) []Fig2Row {
+	cfg.fill()
+	db := aidsSample(cfg.MiningN, cfg.Seed)
+	freqs := []float64{10, 8, 6, 4, 2, 1}
+	cfg.printf("Fig 2 — baseline runtime vs frequency (n=%d molecules)\n", len(db))
+	cfg.printf("%-8s %-14s %-14s\n", "freq%", "gSpan", "FSG")
+	var rows []Fig2Row
+	for _, f := range freqs {
+		row := Fig2Row{FreqPct: f}
+		minSup := gspan.FromPercent(f, len(db))
+
+		t0 := time.Now()
+		gr := gspan.Mine(db, gspan.Options{MinSupport: minSup, Deadline: time.Now().Add(cfg.RunBudget)})
+		row.GSpan = time.Since(t0)
+		row.GSpanDNF = gr.Truncated
+		row.GSpanResults = len(gr.Patterns)
+
+		t1 := time.Now()
+		fr := fsg.Mine(db, fsg.Options{MinSupport: minSup, Deadline: time.Now().Add(cfg.RunBudget)})
+		row.FSG = time.Since(t1)
+		row.FSGDNF = fr.Truncated
+		row.FSGResults = len(fr.Patterns)
+
+		cfg.printf("%-8.1f %-14s %-14s\n", f,
+			fmtDuration(row.GSpan, row.GSpanDNF), fmtDuration(row.FSG, row.FSGDNF))
+		rows = append(rows, row)
+	}
+	ChartFig2(cfg, rows)
+	CSVFig2(cfg, rows)
+	return rows
+}
+
+// Fig9Row is one point of Fig 9: GraphSig vs baselines at a frequency
+// threshold. GraphSig is the set-construction time (RWR + feature
+// analysis); GraphSigFSG adds the maximal FSM on the constructed sets.
+type Fig9Row struct {
+	FreqPct     float64
+	GraphSig    time.Duration
+	GraphSigFSG time.Duration
+	GSpan, FSG  time.Duration
+	GSpanDNF    bool
+	FSGDNF      bool
+	Subgraphs   int
+}
+
+// Fig9 reproduces Time-vs-Frequency: GraphSig grows mildly while the
+// baselines explode; GraphSig+FSG converges to GraphSig at high
+// frequency.
+func Fig9(cfg Config) []Fig9Row {
+	cfg.fill()
+	db := aidsSample(cfg.MiningN, cfg.Seed)
+	freqs := []float64{0.1, 0.5, 1, 2, 5, 10}
+	cfg.printf("Fig 9 — time vs frequency (n=%d molecules)\n", len(db))
+	cfg.printf("%-8s %-12s %-14s %-14s %-14s\n", "freq%", "GraphSig", "GraphSig+FSG", "gSpan", "FSG")
+	var rows []Fig9Row
+	for _, f := range freqs {
+		row := Fig9Row{FreqPct: f}
+
+		gcfg := miningConfig()
+		gcfg.MinFreqPct = f
+		res := core.Mine(db, gcfg)
+		row.GraphSig = res.Profile.RWR + res.Profile.FeatureAnalysis
+		row.GraphSigFSG = row.GraphSig + res.Profile.FSM
+		row.Subgraphs = len(res.Subgraphs)
+
+		minSup := gspan.FromPercent(f, len(db))
+		t0 := time.Now()
+		gr := gspan.Mine(db, gspan.Options{MinSupport: minSup, Deadline: time.Now().Add(cfg.RunBudget)})
+		row.GSpan = time.Since(t0)
+		row.GSpanDNF = gr.Truncated
+
+		t1 := time.Now()
+		fr := fsg.Mine(db, fsg.Options{MinSupport: minSup, Deadline: time.Now().Add(cfg.RunBudget)})
+		row.FSG = time.Since(t1)
+		row.FSGDNF = fr.Truncated
+
+		cfg.printf("%-8.1f %-12s %-14s %-14s %-14s\n", f,
+			fmtDuration(row.GraphSig, false), fmtDuration(row.GraphSigFSG, false),
+			fmtDuration(row.GSpan, row.GSpanDNF), fmtDuration(row.FSG, row.FSGDNF))
+		rows = append(rows, row)
+	}
+	ChartFig9(cfg, rows)
+	CSVFig9(cfg, rows)
+	return rows
+}
+
+// Fig11Row is one point of Fig 11: runtime vs dataset size.
+type Fig11Row struct {
+	Size        int
+	GraphSig    time.Duration
+	GraphSigFSG time.Duration
+	GSpan, FSG  time.Duration
+	GSpanDNF    bool
+	FSGDNF      bool
+}
+
+// Fig11 reproduces Time-vs-Dataset-Size: GraphSig linear (p-value and
+// frequency thresholds 0.1), baselines growing much faster. The paper
+// runs the baselines at 1% frequency "due to enormous execution times";
+// at laptop scale even 1% exceeds any budget, so the baselines run at 5%
+// here — the growth-rate contrast, not the absolute threshold, is the
+// figure's claim (see EXPERIMENTS.md).
+const fig11BaselineFreqPct = 5.0
+
+func Fig11(cfg Config) []Fig11Row {
+	cfg.fill()
+	sizes := []int{cfg.MiningN, 2 * cfg.MiningN, 3 * cfg.MiningN, 4 * cfg.MiningN}
+	cfg.printf("Fig 11 — time vs dataset size\n")
+	cfg.printf("%-8s %-12s %-14s %-14s %-14s\n", "size", "GraphSig", "GraphSig+FSG", "gSpan", "FSG")
+	var rows []Fig11Row
+	for _, n := range sizes {
+		db := aidsSample(n, cfg.Seed)
+		row := Fig11Row{Size: n}
+
+		gcfg := miningConfig()
+		gcfg.MinFreqPct = 0.1
+		gcfg.MaxPvalue = 0.1
+		res := core.Mine(db, gcfg)
+		row.GraphSig = res.Profile.RWR + res.Profile.FeatureAnalysis
+		row.GraphSigFSG = row.GraphSig + res.Profile.FSM
+
+		minSup := gspan.FromPercent(fig11BaselineFreqPct, len(db))
+		t0 := time.Now()
+		gr := gspan.Mine(db, gspan.Options{MinSupport: minSup, Deadline: time.Now().Add(cfg.RunBudget)})
+		row.GSpan = time.Since(t0)
+		row.GSpanDNF = gr.Truncated
+
+		t1 := time.Now()
+		fr := fsg.Mine(db, fsg.Options{MinSupport: minSup, Deadline: time.Now().Add(cfg.RunBudget)})
+		row.FSG = time.Since(t1)
+		row.FSGDNF = fr.Truncated
+
+		cfg.printf("%-8d %-12s %-14s %-14s %-14s\n", n,
+			fmtDuration(row.GraphSig, false), fmtDuration(row.GraphSigFSG, false),
+			fmtDuration(row.GSpan, row.GSpanDNF), fmtDuration(row.FSG, row.FSGDNF))
+		rows = append(rows, row)
+	}
+	ChartFig11(cfg, rows)
+	CSVFig11(cfg, rows)
+	return rows
+}
+
+// Fig12Row is one point of Fig 12: runtime vs p-value threshold.
+type Fig12Row struct {
+	MaxPvalue   float64
+	GraphSig    time.Duration
+	GraphSigFSG time.Duration
+	Vectors     int
+}
+
+// Fig12 reproduces Time-vs-p-value-threshold: slow growth, since most
+// pruning comes from the support threshold.
+func Fig12(cfg Config) []Fig12Row {
+	cfg.fill()
+	db := aidsSample(cfg.MiningN, cfg.Seed)
+	thresholds := []float64{0.01, 0.05, 0.1, 0.2, 0.3, 0.5}
+	cfg.printf("Fig 12 — time vs p-value threshold (n=%d molecules)\n", len(db))
+	cfg.printf("%-10s %-12s %-14s %-8s\n", "maxPvalue", "GraphSig", "GraphSig+FSG", "vectors")
+	var rows []Fig12Row
+	for _, p := range thresholds {
+		gcfg := miningConfig()
+		gcfg.MaxVectorsPerLabel = 500 // let the vector count grow naturally
+		gcfg.MaxPvalue = p
+		res := core.Mine(db, gcfg)
+		row := Fig12Row{
+			MaxPvalue:   p,
+			GraphSig:    res.Profile.RWR + res.Profile.FeatureAnalysis,
+			GraphSigFSG: res.Profile.RWR + res.Profile.FeatureAnalysis + res.Profile.FSM,
+			Vectors:     res.VectorsMined,
+		}
+		cfg.printf("%-10.2f %-12s %-14s %-8d\n", p,
+			fmtDuration(row.GraphSig, false), fmtDuration(row.GraphSigFSG, false), row.Vectors)
+		rows = append(rows, row)
+	}
+	ChartFig12(cfg, rows)
+	return rows
+}

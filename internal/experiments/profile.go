@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"graphsig/internal/chem"
+	"graphsig/internal/core"
+)
+
+// Fig10Row is one bar of Fig 10: GraphSig's cost split on a dataset.
+type Fig10Row struct {
+	Dataset    string
+	RWRPct     float64
+	FeaturePct float64
+	FSMPct     float64
+}
+
+// Fig10 reproduces the computation-cost profile over the eleven cancer
+// screens: RWR around a fifth of the cost, the rest split between
+// feature-space analysis and frequent-subgraph mining.
+func Fig10(cfg Config) []Fig10Row {
+	cfg.fill()
+	cfg.printf("Fig 10 — GraphSig cost profile per dataset (n=%d each)\n", cfg.ProfileN)
+	cfg.printf("%-10s %-8s %-10s %-8s\n", "dataset", "RWR%", "feature%", "FSM%")
+	var rows []Fig10Row
+	for _, spec := range chem.CancerSpecs() {
+		if !cfg.wantDataset(spec.Name) {
+			continue
+		}
+		db := chem.GenerateN(spec, cfg.ProfileN).Graphs
+		gcfg := miningConfig()
+		res := core.Mine(db, gcfg)
+		total := res.Profile.RWR + res.Profile.FeatureAnalysis + res.Profile.FSM
+		row := Fig10Row{Dataset: spec.Name}
+		if total > 0 {
+			row.RWRPct = 100 * float64(res.Profile.RWR) / float64(total)
+			row.FeaturePct = 100 * float64(res.Profile.FeatureAnalysis) / float64(total)
+			row.FSMPct = 100 * float64(res.Profile.FSM) / float64(total)
+		}
+		cfg.printf("%-10s %-8.1f %-10.1f %-8.1f\n", row.Dataset, row.RWRPct, row.FeaturePct, row.FSMPct)
+		rows = append(rows, row)
+	}
+	return rows
+}

@@ -1,0 +1,52 @@
+package feature
+
+// Candidate is a feature candidate for greedy selection (§II-A, Eqn 2):
+// anything with an importance score and pairwise similarity to other
+// candidates.
+type Candidate struct {
+	// Name identifies the candidate (for reporting).
+	Name string
+	// Importance is imp(f) in Eqn 2, e.g. frequency or size.
+	Importance float64
+}
+
+// GreedySelect picks k candidates one at a time, maximizing
+//
+//	w1·imp(f) - (w2/(k-1))·Σ sim(f, already selected)
+//
+// per Eqn 2. sim(i, j) returns the similarity between candidates i and j.
+// It returns the selected candidate indices in selection order. Ties are
+// broken by candidate index for determinism.
+func GreedySelect(candidates []Candidate, k int, w1, w2 float64, sim func(i, j int) float64) []int {
+	if k > len(candidates) {
+		k = len(candidates)
+	}
+	selected := make([]int, 0, k)
+	taken := make([]bool, len(candidates))
+	for len(selected) < k {
+		bestIdx := -1
+		bestScore := 0.0
+		for i, c := range candidates {
+			if taken[i] {
+				continue
+			}
+			score := w1 * c.Importance
+			if len(selected) > 0 {
+				sum := 0.0
+				for _, j := range selected {
+					sum += sim(i, j)
+				}
+				score -= w2 / float64(len(selected)) * sum
+			}
+			if bestIdx == -1 || score > bestScore {
+				bestIdx, bestScore = i, score
+			}
+		}
+		if bestIdx == -1 {
+			break
+		}
+		taken[bestIdx] = true
+		selected = append(selected, bestIdx)
+	}
+	return selected
+}

@@ -1,0 +1,271 @@
+package feature
+
+import (
+	"fmt"
+	"sort"
+
+	"graphsig/internal/graph"
+)
+
+// Set maps graph elements (atoms and bonds) to feature indices. Per §II-B
+// of the paper, the chemistry feature set contains one feature per atom
+// type plus one feature per edge type among the top-k most frequent
+// atoms ("edge types between top 5 atoms") — an edge type being the
+// unordered atom pair together with the bond label, since "bond types
+// are preserved as edge labels". During a walk, an edge whose type is in
+// the set updates its edge feature; otherwise the atom feature of the
+// node stepped onto is updated.
+type Set struct {
+	names        []string
+	atomFeature  map[graph.Label]int
+	edgeFeature  map[[3]graph.Label]int
+	topAtoms     []graph.Label
+	atomCoverage float64
+}
+
+// Len returns the number of features (the vector dimensionality).
+func (s *Set) Len() int { return len(s.names) }
+
+// Name returns a human-readable feature name for index i.
+func (s *Set) Name(i int) string { return s.names[i] }
+
+// Names returns all feature names in index order.
+func (s *Set) Names() []string { return s.names }
+
+// TopAtoms returns the atom labels whose pairwise edge types are features,
+// most frequent first.
+func (s *Set) TopAtoms() []graph.Label { return s.topAtoms }
+
+// TopAtomCoverage returns the fraction of all atom occurrences covered by
+// the top atoms (the ~99% property of Fig 4).
+func (s *Set) TopAtomCoverage() float64 { return s.atomCoverage }
+
+// AtomFeature returns the feature index for atom label l.
+func (s *Set) AtomFeature(l graph.Label) (int, bool) {
+	i, ok := s.atomFeature[l]
+	return i, ok
+}
+
+// EdgeFeature returns the feature index for the edge type: the unordered
+// atom pair (l1, l2) bonded by bond. Present only when both atoms are
+// top atoms and the combination was seen when the set was built.
+func (s *Set) EdgeFeature(l1, l2, bond graph.Label) (int, bool) {
+	if l1 > l2 {
+		l1, l2 = l2, l1
+	}
+	i, ok := s.edgeFeature[[3]graph.Label{l1, l2, bond}]
+	return i, ok
+}
+
+// AtomFrequency is one row of the atom frequency profile of a database.
+type AtomFrequency struct {
+	Label graph.Label
+	Name  string
+	Count int
+	// CumulativePct is the cumulative percentage of all atom occurrences
+	// covered by this atom and every more frequent one (Fig 4's y-axis).
+	CumulativePct float64
+}
+
+// AtomProfile computes the atom frequency distribution of db, most
+// frequent first, with cumulative coverage percentages. alpha may be nil
+// (names fall back to numeric placeholders).
+func AtomProfile(db []*graph.Graph, alpha *graph.Alphabet) []AtomFrequency {
+	counts := map[graph.Label]int{}
+	total := 0
+	for _, g := range db {
+		for _, l := range g.Labels() {
+			counts[l]++
+			total++
+		}
+	}
+	profile := make([]AtomFrequency, 0, len(counts))
+	for l, c := range counts {
+		name := fmt.Sprintf("#%d", int(l))
+		if alpha != nil {
+			name = alpha.Name(l)
+		}
+		profile = append(profile, AtomFrequency{Label: l, Name: name, Count: c})
+	}
+	sort.Slice(profile, func(i, j int) bool {
+		if profile[i].Count != profile[j].Count {
+			return profile[i].Count > profile[j].Count
+		}
+		return profile[i].Label < profile[j].Label
+	})
+	cum := 0
+	for i := range profile {
+		cum += profile[i].Count
+		if total > 0 {
+			profile[i].CumulativePct = 100 * float64(cum) / float64(total)
+		}
+	}
+	return profile
+}
+
+// ChemistrySet builds the paper's chemistry feature set from a database:
+// all atom types seen in db plus the edge types (atom pair × bond label)
+// among the topK most frequent atoms that actually occur in db. alpha
+// may be nil.
+func ChemistrySet(db []*graph.Graph, alpha *graph.Alphabet, topK int) *Set {
+	profile := AtomProfile(db, alpha)
+	s := &Set{
+		atomFeature: map[graph.Label]int{},
+		edgeFeature: map[[3]graph.Label]int{},
+	}
+	if topK > len(profile) {
+		topK = len(profile)
+	}
+	covered, total := 0, 0
+	for _, p := range profile {
+		total += p.Count
+	}
+	rank := map[graph.Label]int{}
+	names := map[graph.Label]string{}
+	for i, p := range profile {
+		rank[p.Label] = i
+		names[p.Label] = p.Name
+	}
+	top := map[graph.Label]bool{}
+	for i := 0; i < topK; i++ {
+		s.topAtoms = append(s.topAtoms, profile[i].Label)
+		top[profile[i].Label] = true
+		covered += profile[i].Count
+	}
+	if total > 0 {
+		s.atomCoverage = float64(covered) / float64(total)
+	}
+	// Edge features: every (top atom, top atom, bond) combination seen
+	// in the database, ordered by atom ranks then bond for stability.
+	type edgeType struct{ key [3]graph.Label }
+	var types []edgeType
+	seen := map[[3]graph.Label]bool{}
+	for _, g := range db {
+		for _, e := range g.Edges() {
+			a, b := g.NodeLabel(e.From), g.NodeLabel(e.To)
+			if !top[a] || !top[b] {
+				continue
+			}
+			key := edgeKey(a, b, e.Label)
+			if !seen[key] {
+				seen[key] = true
+				types = append(types, edgeType{key})
+			}
+		}
+	}
+	sort.Slice(types, func(i, j int) bool {
+		a, b := types[i].key, types[j].key
+		ra, rb := [2]int{rank[a[0]], rank[a[1]]}, [2]int{rank[b[0]], rank[b[1]]}
+		if ra[0] != rb[0] {
+			return ra[0] < rb[0]
+		}
+		if ra[1] != rb[1] {
+			return ra[1] < rb[1]
+		}
+		return a[2] < b[2]
+	})
+	for _, t := range types {
+		s.edgeFeature[t.key] = len(s.names)
+		s.names = append(s.names, fmt.Sprintf("%s-%s/%d", names[t.key[0]], names[t.key[1]], int(t.key[2])))
+	}
+	// Then one feature per atom type.
+	for _, p := range profile {
+		s.atomFeature[p.Label] = len(s.names)
+		s.names = append(s.names, "atom:"+p.Name)
+	}
+	return s
+}
+
+// edgeKey normalizes an edge type to (min atom, max atom, bond).
+func edgeKey(a, b, bond graph.Label) [3]graph.Label {
+	if a > b {
+		a, b = b, a
+	}
+	return [3]graph.Label{a, b, bond}
+}
+
+// EdgeType names one edge-type feature for NewCustomSet: the unordered
+// node-label pair (A, B) joined by edge label Bond.
+type EdgeType struct {
+	A, B, Bond graph.Label
+	// Name is the display name (optional; a numeric form is derived
+	// when empty).
+	Name string
+}
+
+// NewCustomSet builds a feature set from explicit edge types and node
+// labels — the general, non-chemistry path of §II-A, typically fed by
+// GreedySelect over candidate features. Edge features come first in the
+// given order, then atom features.
+func NewCustomSet(edges []EdgeType, atoms []graph.Label, atomNames []string) *Set {
+	s := &Set{
+		atomFeature: map[graph.Label]int{},
+		edgeFeature: map[[3]graph.Label]int{},
+	}
+	for _, e := range edges {
+		key := edgeKey(e.A, e.B, e.Bond)
+		if _, dup := s.edgeFeature[key]; dup {
+			continue
+		}
+		name := e.Name
+		if name == "" {
+			name = fmt.Sprintf("#%d-#%d/%d", int(key[0]), int(key[1]), int(key[2]))
+		}
+		s.edgeFeature[key] = len(s.names)
+		s.names = append(s.names, name)
+	}
+	for i, a := range atoms {
+		if _, dup := s.atomFeature[a]; dup {
+			continue
+		}
+		name := fmt.Sprintf("node:#%d", int(a))
+		if atomNames != nil && i < len(atomNames) && atomNames[i] != "" {
+			name = "node:" + atomNames[i]
+		}
+		s.atomFeature[a] = len(s.names)
+		s.names = append(s.names, name)
+	}
+	return s
+}
+
+// AllEdgeTypesSet builds a feature set with one feature per edge type
+// (node-label pair × edge label) occurring in db and no atom features.
+// This mirrors the simplified feature set of the paper's running example
+// (Fig 6 / Table II, "assume our feature set consists of all edges").
+func AllEdgeTypesSet(db []*graph.Graph, alpha *graph.Alphabet) *Set {
+	s := &Set{
+		atomFeature: map[graph.Label]int{},
+		edgeFeature: map[[3]graph.Label]int{},
+	}
+	type named struct {
+		key  [3]graph.Label
+		name string
+	}
+	var pairs []named
+	seen := map[[3]graph.Label]bool{}
+	for _, g := range db {
+		for _, e := range g.Edges() {
+			a, b := g.NodeLabel(e.From), g.NodeLabel(e.To)
+			key := edgeKey(a, b, e.Label)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			na, nb := fmt.Sprintf("#%d", int(key[0])), fmt.Sprintf("#%d", int(key[1]))
+			if alpha != nil {
+				na, nb = alpha.Name(key[0]), alpha.Name(key[1])
+			}
+			name := na + "-" + nb
+			if key[2] != 0 {
+				name = fmt.Sprintf("%s/%d", name, int(key[2]))
+			}
+			pairs = append(pairs, named{key: key, name: name})
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].name < pairs[j].name })
+	for _, p := range pairs {
+		s.edgeFeature[p.key] = len(s.names)
+		s.names = append(s.names, p.name)
+	}
+	return s
+}

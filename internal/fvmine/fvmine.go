@@ -1,0 +1,211 @@
+// Package fvmine implements FVMine (Algorithm 1 of the paper): a
+// bottom-up, depth-first search over closed sub-feature vectors of a
+// vector database, reporting every closed vector whose binomial p-value
+// is at most a threshold and whose support is at least a threshold.
+//
+// The search state is a pair (x, S) where S is the exact supporting set
+// of the closed vector x = floor(S). Branching on feature position i
+// refines S to the vectors exceeding x_i; three prunes bound the search:
+// support (anti-monotone), duplicate states (a raised floor left of the
+// branch position means another branch owns the state), and the
+// ceiling-based p-value lower bound (the most significant any descendant
+// could be).
+package fvmine
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"graphsig/internal/feature"
+	"graphsig/internal/sigmodel"
+)
+
+// Options configures a mine. MinSupport and MaxPvalue correspond to the
+// paper's minSup and maxPvalue parameters.
+type Options struct {
+	// MinSupport is the minimum supporting-set size (>= 1).
+	MinSupport int
+	// MaxPvalue is the p-value threshold (paper default 0.1).
+	MaxPvalue float64
+	// Model supplies feature priors. When nil, a model is built from the
+	// input vectors themselves (the paper's empirical priors).
+	Model *sigmodel.Model
+	// MaxResults stops the search after this many significant vectors
+	// (0 = unbounded); the result is flagged Truncated.
+	MaxResults int
+	// Deadline aborts the search when exceeded (zero = none).
+	Deadline time.Time
+	// SkipZeroFloor drops reported vectors that are all-zero (an all-zero
+	// floor carries no structural information). GraphSig enables this.
+	SkipZeroFloor bool
+}
+
+// Significant is one mined closed sub-feature vector.
+type Significant struct {
+	// Vec is the closed vector: the floor of its supporting set.
+	Vec feature.Vector
+	// Support is the exact supporting-set size.
+	Support int
+	// SupportIdx are indices into the input vector slice of the
+	// supporting vectors, ascending.
+	SupportIdx []int
+	// PValue is the binomial-tail p-value (may underflow to 0; use
+	// LogPValue for ranking).
+	PValue float64
+	// LogPValue is log(PValue), finite ordering even in deep underflow.
+	LogPValue float64
+}
+
+// Result is the outcome of a mine.
+type Result struct {
+	Vectors   []Significant
+	Truncated bool
+	// StatesExplored counts recursion states, exposing pruning behavior.
+	StatesExplored int
+}
+
+// vectorSet provides floor/ceiling over subsets of a vector database,
+// shared by the threshold and top-k miners.
+type vectorSet []feature.Vector
+
+func (vs vectorSet) floor(set []int) feature.Vector {
+	out := vs[set[0]].Clone()
+	for _, idx := range set[1:] {
+		v := vs[idx]
+		for i := range out {
+			if v[i] < out[i] {
+				out[i] = v[i]
+			}
+		}
+	}
+	return out
+}
+
+func (vs vectorSet) ceiling(set []int) feature.Vector {
+	out := vs[set[0]].Clone()
+	for _, idx := range set[1:] {
+		v := vs[idx]
+		for i := range out {
+			if v[i] > out[i] {
+				out[i] = v[i]
+			}
+		}
+	}
+	return out
+}
+
+type miner struct {
+	vectors  vectorSet
+	model    *sigmodel.Model
+	opt      Options
+	logMaxP  float64
+	out      []Significant
+	states   int
+	stopping bool
+}
+
+// Mine runs FVMine over vectors. All vectors must share one length.
+func Mine(vectors []feature.Vector, opt Options) Result {
+	if opt.MinSupport < 1 {
+		opt.MinSupport = 1
+	}
+	if len(vectors) == 0 || len(vectors) < opt.MinSupport {
+		return Result{}
+	}
+	model := opt.Model
+	if model == nil {
+		model = sigmodel.New(vectors)
+	}
+	m := &miner{
+		vectors: vectors,
+		model:   model,
+		opt:     opt,
+		logMaxP: math.Log(opt.MaxPvalue),
+	}
+	all := make([]int, len(vectors))
+	for i := range all {
+		all[i] = i
+	}
+	m.search(m.vectors.floor(all), all, 0)
+	return Result{Vectors: m.out, Truncated: m.stopping, StatesExplored: m.states}
+}
+
+// search is FVMine(x, S, b): x is the current closed vector, set its
+// supporting indices, b the current starting feature position.
+func (m *miner) search(x feature.Vector, set []int, b int) {
+	if m.stopping {
+		return
+	}
+	m.states++
+	if !m.opt.Deadline.IsZero() && m.states%64 == 0 && time.Now().After(m.opt.Deadline) {
+		m.stopping = true
+		return
+	}
+	// Line 1-2: report x when significant.
+	logP := m.model.LogPValue(x, len(set))
+	if logP <= m.logMaxP && (!m.opt.SkipZeroFloor || !x.IsZero()) {
+		m.out = append(m.out, Significant{
+			Vec:        x.Clone(),
+			Support:    len(set),
+			SupportIdx: append([]int(nil), set...),
+			PValue:     math.Exp(logP),
+			LogPValue:  logP,
+		})
+		if m.opt.MaxResults > 0 && len(m.out) >= m.opt.MaxResults {
+			m.stopping = true
+			return
+		}
+	}
+	// Lines 3-12: branch on each feature position from b.
+	dim := len(x)
+	for i := b; i < dim; i++ {
+		// S' = {y in S : y_i > x_i}.
+		var sub []int
+		for _, idx := range set {
+			if m.vectors[idx][i] > x[i] {
+				sub = append(sub, idx)
+			}
+		}
+		if len(sub) < m.opt.MinSupport {
+			continue
+		}
+		xp := m.vectors.floor(sub)
+		// Duplicate state: the refined floor raised a feature left of i,
+		// so the state is owned by an earlier branch.
+		dup := false
+		for j := 0; j < i; j++ {
+			if xp[j] > x[j] {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		// Ceiling prune: the most significant any descendant can get is
+		// p-value(ceiling(S'), |S'|); if even that misses the threshold,
+		// the whole branch is fruitless.
+		if m.model.LogPValue(m.vectors.ceiling(sub), len(sub)) > m.logMaxP {
+			continue
+		}
+		m.search(xp, sub, i)
+		if m.stopping {
+			return
+		}
+	}
+}
+
+// SortBySignificance orders significant vectors most significant first
+// (ascending log p-value, ties by descending support then vector bytes).
+func SortBySignificance(vs []Significant) {
+	sort.Slice(vs, func(i, j int) bool {
+		if vs[i].LogPValue != vs[j].LogPValue {
+			return vs[i].LogPValue < vs[j].LogPValue
+		}
+		if vs[i].Support != vs[j].Support {
+			return vs[i].Support > vs[j].Support
+		}
+		return vs[i].Vec.Key() < vs[j].Vec.Key()
+	})
+}

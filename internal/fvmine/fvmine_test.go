@@ -1,0 +1,265 @@
+package fvmine
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"graphsig/internal/feature"
+	"graphsig/internal/sigmodel"
+)
+
+func tableI() []feature.Vector {
+	return []feature.Vector{
+		{1, 0, 0, 2}, // v1
+		{1, 1, 0, 2}, // v2
+		{2, 0, 1, 2}, // v3
+		{1, 0, 1, 0}, // v4
+	}
+}
+
+func TestMineTableIAllClosedVectors(t *testing.T) {
+	// With support and p-value thresholds of 1 (the Fig 8 running
+	// example), FVMine reports every closed vector exactly once.
+	res := Mine(tableI(), Options{MinSupport: 1, MaxPvalue: 1})
+	if res.Truncated {
+		t.Fatal("unexpected truncation")
+	}
+	seen := map[string]bool{}
+	for _, s := range res.Vectors {
+		if seen[s.Vec.Key()] {
+			t.Errorf("duplicate closed vector %v", s.Vec)
+		}
+		seen[s.Vec.Key()] = true
+	}
+	// The floor of the full database [1 0 0 0] must be reported with
+	// support 4.
+	foundRoot := false
+	for _, s := range res.Vectors {
+		if s.Vec.Equal(feature.Vector{1, 0, 0, 0}) {
+			foundRoot = true
+			if s.Support != 4 {
+				t.Errorf("root support = %d; want 4", s.Support)
+			}
+		}
+	}
+	if !foundRoot {
+		t.Error("floor of database not reported")
+	}
+	// Each input vector is itself closed (it is the floor of its own
+	// exact-support set).
+	for i, v := range tableI() {
+		if !seen[v.Key()] {
+			t.Errorf("input vector v%d %v not reported as closed", i+1, v)
+		}
+	}
+}
+
+func TestSupportSetsAreExact(t *testing.T) {
+	vectors := tableI()
+	res := Mine(vectors, Options{MinSupport: 1, MaxPvalue: 1})
+	for _, s := range res.Vectors {
+		// Recompute the exact support of s.Vec.
+		var want []int
+		for i, v := range vectors {
+			if s.Vec.SubVectorOf(v) {
+				want = append(want, i)
+			}
+		}
+		if len(want) != len(s.SupportIdx) {
+			t.Errorf("vector %v: support %v; want %v", s.Vec, s.SupportIdx, want)
+			continue
+		}
+		for i := range want {
+			if want[i] != s.SupportIdx[i] {
+				t.Errorf("vector %v: support %v; want %v", s.Vec, s.SupportIdx, want)
+				break
+			}
+		}
+		if s.Support != len(want) {
+			t.Errorf("vector %v: Support=%d; want %d", s.Vec, s.Support, len(want))
+		}
+	}
+}
+
+func TestMinSupportPrunes(t *testing.T) {
+	res := Mine(tableI(), Options{MinSupport: 3, MaxPvalue: 1})
+	for _, s := range res.Vectors {
+		if s.Support < 3 {
+			t.Errorf("vector %v has support %d < 3", s.Vec, s.Support)
+		}
+	}
+}
+
+func TestPValueThresholdFilters(t *testing.T) {
+	vectors := tableI()
+	all := Mine(vectors, Options{MinSupport: 1, MaxPvalue: 1})
+	strict := Mine(vectors, Options{MinSupport: 1, MaxPvalue: 0.3})
+	if len(strict.Vectors) >= len(all.Vectors) {
+		t.Errorf("strict threshold kept %d of %d", len(strict.Vectors), len(all.Vectors))
+	}
+	for _, s := range strict.Vectors {
+		if s.PValue > 0.3+1e-12 {
+			t.Errorf("vector %v has p-value %g > 0.3", s.Vec, s.PValue)
+		}
+	}
+}
+
+func TestSkipZeroFloor(t *testing.T) {
+	vectors := []feature.Vector{{0, 0}, {0, 1}, {1, 0}}
+	res := Mine(vectors, Options{MinSupport: 1, MaxPvalue: 1, SkipZeroFloor: true})
+	for _, s := range res.Vectors {
+		if s.Vec.IsZero() {
+			t.Errorf("zero floor reported despite SkipZeroFloor")
+		}
+	}
+}
+
+func TestMaxResultsTruncates(t *testing.T) {
+	res := Mine(tableI(), Options{MinSupport: 1, MaxPvalue: 1, MaxResults: 2})
+	if !res.Truncated || len(res.Vectors) != 2 {
+		t.Errorf("truncated=%v count=%d; want true,2", res.Truncated, len(res.Vectors))
+	}
+}
+
+func TestDeadline(t *testing.T) {
+	// A generous vector set with an already-expired deadline must stop
+	// early (the check fires every 64 states, so allow some slack).
+	r := rand.New(rand.NewSource(81))
+	vectors := randVectors(r, 200, 8, 4)
+	res := Mine(vectors, Options{MinSupport: 1, MaxPvalue: 1, Deadline: time.Now().Add(-time.Second)})
+	if !res.Truncated {
+		t.Skip("mine finished before first deadline check; nothing to assert")
+	}
+}
+
+func randVectors(r *rand.Rand, count, dim, maxBin int) []feature.Vector {
+	vs := make([]feature.Vector, count)
+	for i := range vs {
+		v := make(feature.Vector, dim)
+		for j := range v {
+			v[j] = uint8(r.Intn(maxBin + 1))
+		}
+		vs[i] = v
+	}
+	return vs
+}
+
+// bruteClosed enumerates every vector in the bounded product space,
+// keeps those with support >= minSup that are closed (equal to the floor
+// of their exact support set) and significant.
+func bruteClosed(vectors []feature.Vector, minSup int, maxPvalue float64) map[string]int {
+	model := sigmodel.New(vectors)
+	dim := len(vectors[0])
+	maxBin := 0
+	for _, v := range vectors {
+		for _, x := range v {
+			if int(x) > maxBin {
+				maxBin = int(x)
+			}
+		}
+	}
+	out := map[string]int{}
+	cur := make(feature.Vector, dim)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == dim {
+			var support []feature.Vector
+			count := 0
+			for _, v := range vectors {
+				if cur.SubVectorOf(v) {
+					support = append(support, v)
+					count++
+				}
+			}
+			if count < minSup {
+				return
+			}
+			if !feature.Floor(support).Equal(cur) {
+				return // not closed
+			}
+			if model.LogPValue(cur, count) <= math.Log(maxPvalue) {
+				out[cur.Key()] = count
+			}
+			return
+		}
+		for v := 0; v <= maxBin; v++ {
+			cur[i] = uint8(v)
+			rec(i + 1)
+		}
+		cur[i] = 0
+	}
+	rec(0)
+	return out
+}
+
+// TestPropertyMineMatchesBruteForce verifies completeness and soundness
+// of FVMine against exhaustive enumeration on small instances.
+func TestPropertyMineMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(82))
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		vectors := randVectors(rr, 3+rr.Intn(8), 1+rr.Intn(3), 2)
+		minSup := 1 + rr.Intn(2)
+		maxP := []float64{0.2, 0.5, 1}[rr.Intn(3)]
+		want := bruteClosed(vectors, minSup, maxP)
+		res := Mine(vectors, Options{MinSupport: minSup, MaxPvalue: maxP})
+		got := map[string]int{}
+		for _, s := range res.Vectors {
+			if _, dup := got[s.Vec.Key()]; dup {
+				t.Logf("duplicate output %v", s.Vec)
+				return false
+			}
+			got[s.Vec.Key()] = s.Support
+		}
+		if len(got) != len(want) {
+			t.Logf("count %d != %d (minSup=%d maxP=%g, db=%v)", len(got), len(want), minSup, maxP, vectors)
+			return false
+		}
+		for k, sup := range want {
+			if got[k] != sup {
+				t.Logf("support mismatch for %v: got %d want %d", feature.Vector(k), got[k], sup)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80, Rand: r}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortBySignificance(t *testing.T) {
+	vs := []Significant{
+		{Vec: feature.Vector{1}, LogPValue: -1, Support: 5},
+		{Vec: feature.Vector{2}, LogPValue: -10, Support: 2},
+		{Vec: feature.Vector{3}, LogPValue: -1, Support: 9},
+	}
+	SortBySignificance(vs)
+	if !vs[0].Vec.Equal(feature.Vector{2}) {
+		t.Errorf("most significant first: got %v", vs[0].Vec)
+	}
+	if !vs[1].Vec.Equal(feature.Vector{3}) {
+		t.Errorf("tie broken by support: got %v", vs[1].Vec)
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	res := Mine(nil, Options{MinSupport: 1, MaxPvalue: 1})
+	if len(res.Vectors) != 0 || res.Truncated {
+		t.Errorf("unexpected result %+v", res)
+	}
+}
+
+func TestStatesExploredExposesPruning(t *testing.T) {
+	r := rand.New(rand.NewSource(83))
+	vectors := randVectors(r, 40, 5, 3)
+	loose := Mine(vectors, Options{MinSupport: 1, MaxPvalue: 1})
+	tight := Mine(vectors, Options{MinSupport: 8, MaxPvalue: 1})
+	if tight.StatesExplored >= loose.StatesExplored {
+		t.Errorf("support pruning did not reduce states: %d >= %d",
+			tight.StatesExplored, loose.StatesExplored)
+	}
+}

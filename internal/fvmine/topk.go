@@ -1,0 +1,130 @@
+package fvmine
+
+import (
+	"container/heap"
+	"math"
+
+	"graphsig/internal/feature"
+	"graphsig/internal/sigmodel"
+)
+
+// MineTopK returns the k most significant closed sub-feature vectors,
+// without requiring a p-value threshold: the search keeps the best k
+// found so far and dynamically tightens the pruning threshold to the
+// current k-th best p-value, so branches that cannot break into the top
+// k are cut. MinSupport still applies. Results come back most
+// significant first.
+func MineTopK(vectors []feature.Vector, k int, minSupport int, model *sigmodel.Model) []Significant {
+	if k <= 0 || len(vectors) == 0 {
+		return nil
+	}
+	if minSupport < 1 {
+		minSupport = 1
+	}
+	if len(vectors) < minSupport {
+		return nil
+	}
+	if model == nil {
+		model = sigmodel.New(vectors)
+	}
+	m := &topKMiner{
+		vectors: vectors,
+		model:   model,
+		minSup:  minSupport,
+		k:       k,
+	}
+	all := make([]int, len(vectors))
+	for i := range all {
+		all[i] = i
+	}
+	m.search(m.vectors.floor(all), all, 0)
+
+	out := make([]Significant, len(m.best))
+	for i := len(m.best) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(&m.best).(Significant)
+	}
+	return out
+}
+
+type topKMiner struct {
+	vectors vectorSet
+	model   *sigmodel.Model
+	minSup  int
+	k       int
+	// best is a max-heap on log p-value: the root is the *worst* of the
+	// current top k, ready for eviction.
+	best significantHeap
+}
+
+// bound returns the current pruning threshold: +Inf until the heap
+// fills, then the k-th best log p-value.
+func (m *topKMiner) bound() float64 {
+	if len(m.best) < m.k {
+		return math.Inf(1)
+	}
+	return m.best[0].LogPValue
+}
+
+func (m *topKMiner) search(x feature.Vector, set []int, b int) {
+	logP := m.model.LogPValue(x, len(set))
+	if !x.IsZero() && logP < m.bound() {
+		heap.Push(&m.best, Significant{
+			Vec:        x.Clone(),
+			Support:    len(set),
+			SupportIdx: append([]int(nil), set...),
+			PValue:     math.Exp(logP),
+			LogPValue:  logP,
+		})
+		if len(m.best) > m.k {
+			heap.Pop(&m.best)
+		}
+	}
+	dim := len(x)
+	for i := b; i < dim; i++ {
+		var sub []int
+		for _, idx := range set {
+			if m.vectors[idx][i] > x[i] {
+				sub = append(sub, idx)
+			}
+		}
+		if len(sub) < m.minSup {
+			continue
+		}
+		xp := m.vectors.floor(sub)
+		dup := false
+		for j := 0; j < i; j++ {
+			if xp[j] > x[j] {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		// Tightening prune: the most significant any descendant can be.
+		if m.model.LogPValue(m.vectors.ceiling(sub), len(sub)) >= m.bound() {
+			continue
+		}
+		m.search(xp, sub, i)
+	}
+}
+
+// significantHeap is a max-heap by log p-value (worst at the root).
+type significantHeap []Significant
+
+func (h significantHeap) Len() int { return len(h) }
+func (h significantHeap) Less(i, j int) bool {
+	if h[i].LogPValue != h[j].LogPValue {
+		return h[i].LogPValue > h[j].LogPValue
+	}
+	return h[i].Support < h[j].Support
+}
+func (h significantHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *significantHeap) Push(x any)   { *h = append(*h, x.(Significant)) }
+func (h *significantHeap) Pop() any {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}

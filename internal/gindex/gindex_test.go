@@ -1,0 +1,192 @@
+package gindex
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"graphsig/internal/chem"
+	"graphsig/internal/graph"
+)
+
+func moleculeDB(n int, seed int64) []*graph.Graph {
+	gen := chem.NewGenerator(seed)
+	db := make([]*graph.Graph, n)
+	for i := range db {
+		m := gen.Molecule()
+		m.ID = i
+		db[i] = m
+	}
+	return db
+}
+
+// randomQuery cuts a random connected piece out of a database graph so
+// queries always have at least one answer.
+func randomQuery(r *rand.Rand, db []*graph.Graph) *graph.Graph {
+	g := db[r.Intn(len(db))]
+	center := r.Intn(g.NumNodes())
+	return g.CutGraph(center, 1+r.Intn(2))
+}
+
+func TestQueryMatchesScan(t *testing.T) {
+	db := moleculeDB(40, 1)
+	ix := BuildFrequent(db, FrequentOptions{MinSupportPct: 20, MaxPatternEdges: 3})
+	r := rand.New(rand.NewSource(2))
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		q := randomQuery(rr, db)
+		got := ix.Query(q)
+		want := ScanQuery(db, q)
+		if len(got) != len(want) {
+			t.Logf("query %s: got %v want %v", q, got, want)
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: r}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCandidatesAreFilteredButComplete(t *testing.T) {
+	db := moleculeDB(60, 3)
+	ix := BuildFrequent(db, FrequentOptions{MinSupportPct: 15, MaxPatternEdges: 3})
+	r := rand.New(rand.NewSource(4))
+	totalCand, totalAns, queries := 0, 0, 0
+	for i := 0; i < 25; i++ {
+		q := randomQuery(r, db)
+		cand := ix.Candidates(q)
+		answers := ScanQuery(db, q)
+		// Completeness: every answer is a candidate.
+		inCand := map[int]bool{}
+		for _, id := range cand {
+			inCand[id] = true
+		}
+		for _, id := range answers {
+			if !inCand[id] {
+				t.Fatalf("answer %d missing from candidates for %s", id, q)
+			}
+		}
+		totalCand += len(cand)
+		totalAns += len(answers)
+		queries++
+	}
+	if totalCand >= queries*len(db) {
+		t.Errorf("index never filtered: %d candidates over %d queries on %d graphs",
+			totalCand, queries, len(db))
+	}
+	t.Logf("avg candidates %.1f vs avg answers %.1f (db %d)",
+		float64(totalCand)/float64(queries), float64(totalAns)/float64(queries), len(db))
+}
+
+func TestBuildWithExplicitDictionary(t *testing.T) {
+	db := moleculeDB(30, 5)
+	dict := []*graph.Graph{chem.Benzene(), chem.Benzene(), graph.New(1, 0)}
+	dict[2].AddNode(chem.Atom("C")) // zero-edge pattern must be ignored
+	ix := Build(db, dict)
+	s := ix.Stats()
+	if s.Patterns != 1 {
+		t.Fatalf("patterns = %d; want 1 (dedup + drop edgeless)", s.Patterns)
+	}
+	if s.Graphs != 30 {
+		t.Errorf("graphs = %d", s.Graphs)
+	}
+	if s.AvgPostingLen <= 0 {
+		t.Errorf("benzene posting empty: %+v", s)
+	}
+}
+
+func TestQueryWithNoDictionaryHit(t *testing.T) {
+	db := moleculeDB(20, 6)
+	// A dictionary that cannot match anything keeps queries correct via
+	// the full-scan fallback.
+	exotic := graph.New(2, 1)
+	exotic.AddNode(chem.Atom("U"))
+	exotic.AddNode(chem.Atom("U"))
+	exotic.MustAddEdge(0, 1, 0)
+	ix := Build(db, []*graph.Graph{exotic})
+	q := db[0].CutGraph(0, 1)
+	got := ix.Query(q)
+	want := ScanQuery(db, q)
+	if len(got) != len(want) {
+		t.Fatalf("fallback broken: got %d answers, want %d", len(got), len(want))
+	}
+}
+
+func TestQueryContainingRarePatternPrunesHard(t *testing.T) {
+	db := moleculeDB(30, 7)
+	// Plant one Sb core into a single graph and index with it.
+	gen := chem.NewGenerator(8)
+	gen.Implant(db[4], chem.MotifByName("antimony"))
+	core := chem.SbCore()
+	ix := Build(db, []*graph.Graph{core})
+	cand := ix.Candidates(core)
+	if len(cand) != 1 || cand[0] != 4 {
+		t.Fatalf("candidates = %v; want [4]", cand)
+	}
+	ans := ix.Query(core)
+	if len(ans) != 1 || ans[0] != 4 {
+		t.Fatalf("answers = %v; want [4]", ans)
+	}
+}
+
+func TestStatsEmptyIndex(t *testing.T) {
+	ix := Build(nil, nil)
+	s := ix.Stats()
+	if s.Graphs != 0 || s.Patterns != 0 || s.AvgPostingLen != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestIntersectSorted(t *testing.T) {
+	tests := []struct {
+		a, b, want []int
+	}{
+		{[]int{1, 3, 5}, []int{3, 5, 7}, []int{3, 5}},
+		{[]int{1, 2}, []int{3, 4}, nil},
+		{nil, []int{1}, nil},
+		{[]int{1, 2, 3}, []int{1, 2, 3}, []int{1, 2, 3}},
+	}
+	for _, tc := range tests {
+		got := intersectSorted(tc.a, tc.b)
+		if len(got) != len(tc.want) {
+			t.Errorf("intersect(%v,%v) = %v; want %v", tc.a, tc.b, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("intersect(%v,%v) = %v; want %v", tc.a, tc.b, got, tc.want)
+			}
+		}
+	}
+}
+
+func TestDiscriminativePruningShrinksDictionary(t *testing.T) {
+	db := moleculeDB(50, 9)
+	full := BuildFrequent(db, FrequentOptions{MinSupportPct: 15, MaxPatternEdges: 3})
+	pruned := BuildFrequent(db, FrequentOptions{
+		MinSupportPct: 15, MaxPatternEdges: 3, DiscriminativeRatio: 0.8,
+	})
+	sf, sp := full.Stats(), pruned.Stats()
+	if sp.Patterns >= sf.Patterns {
+		t.Errorf("pruning did not shrink dictionary: %d -> %d", sf.Patterns, sp.Patterns)
+	}
+	if sp.Patterns == 0 {
+		t.Fatal("pruning removed everything")
+	}
+	// Query correctness is unaffected.
+	r := rand.New(rand.NewSource(10))
+	for i := 0; i < 15; i++ {
+		q := randomQuery(r, db)
+		got := pruned.Query(q)
+		want := ScanQuery(db, q)
+		if len(got) != len(want) {
+			t.Fatalf("pruned index wrong on query %d", i)
+		}
+	}
+}

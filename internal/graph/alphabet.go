@@ -1,0 +1,49 @@
+package graph
+
+import "fmt"
+
+// Alphabet maps human-readable symbol strings (atom names, bond names) to
+// dense Label values and back. It is append-only; Labels are assigned in
+// first-seen order, making datasets deterministic given insertion order.
+type Alphabet struct {
+	byName map[string]Label
+	names  []string
+}
+
+// NewAlphabet returns an empty alphabet.
+func NewAlphabet() *Alphabet {
+	return &Alphabet{byName: make(map[string]Label)}
+}
+
+// Intern returns the Label for name, assigning a fresh one if unseen.
+func (a *Alphabet) Intern(name string) Label {
+	if l, ok := a.byName[name]; ok {
+		return l
+	}
+	l := Label(len(a.names))
+	a.byName[name] = l
+	a.names = append(a.names, name)
+	return l
+}
+
+// Lookup returns the Label for name and whether it exists.
+func (a *Alphabet) Lookup(name string) (Label, bool) {
+	l, ok := a.byName[name]
+	return l, ok
+}
+
+// Name returns the symbol string for l, or a numeric placeholder if l was
+// never interned (e.g. labels from a foreign alphabet).
+func (a *Alphabet) Name(l Label) string {
+	if l >= 0 && int(l) < len(a.names) {
+		return a.names[l]
+	}
+	return fmt.Sprintf("#%d", int(l))
+}
+
+// Len returns the number of interned symbols.
+func (a *Alphabet) Len() int { return len(a.names) }
+
+// Names returns all interned symbols in Label order. The caller must not
+// mutate the returned slice.
+func (a *Alphabet) Names() []string { return a.names }

@@ -1,0 +1,39 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteDOT renders g in GraphViz DOT format for visualization of mined
+// patterns. Node labels are resolved through alpha when non-nil;
+// edgeName, when non-nil, maps edge labels to display strings (e.g. bond
+// glyphs). The output is deterministic.
+func WriteDOT(w io.Writer, g *Graph, name string, alpha *Alphabet, edgeName func(Label) string) error {
+	if name == "" {
+		name = "g"
+	}
+	if _, err := fmt.Fprintf(w, "graph %q {\n", name); err != nil {
+		return err
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		label := fmt.Sprintf("%d", int(g.NodeLabel(v)))
+		if alpha != nil {
+			label = alpha.Name(g.NodeLabel(v))
+		}
+		if _, err := fmt.Fprintf(w, "  n%d [label=%q];\n", v, label); err != nil {
+			return err
+		}
+	}
+	for _, e := range g.Edges() {
+		label := fmt.Sprintf("%d", int(e.Label))
+		if edgeName != nil {
+			label = edgeName(e.Label)
+		}
+		if _, err := fmt.Fprintf(w, "  n%d -- n%d [label=%q];\n", e.From, e.To, label); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

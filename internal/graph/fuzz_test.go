@@ -1,0 +1,42 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadDB feeds arbitrary text to the codec: it must never panic, and
+// anything it accepts must survive a write/read round trip.
+func FuzzReadDB(f *testing.F) {
+	f.Add("t # 0\nv 0 C\nv 1 O\ne 0 1 -\n")
+	f.Add("t # 0\nv 0 1\n")
+	f.Add("")
+	f.Add("% comment only\n")
+	f.Add("t # 0\nv 0 C\ne 0 0 -\n")
+	f.Add("t # 5\nv 0 A\nv 1 B\nv 2 C\ne 0 1 x\ne 1 2 y\ne 0 2 z\n")
+	f.Add("garbage\nlines\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		alpha := NewAlphabet()
+		graphs, err := ReadDB(strings.NewReader(input), alpha)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		// Accepted input must round-trip.
+		var sb strings.Builder
+		if err := WriteDB(&sb, graphs, alpha); err != nil {
+			t.Fatalf("write after successful read: %v", err)
+		}
+		back, err := ReadDB(strings.NewReader(sb.String()), alpha)
+		if err != nil {
+			t.Fatalf("re-read of own output: %v", err)
+		}
+		if len(back) != len(graphs) {
+			t.Fatalf("round trip changed graph count: %d -> %d", len(graphs), len(back))
+		}
+		for i := range graphs {
+			if back[i].NumNodes() != graphs[i].NumNodes() || back[i].NumEdges() != graphs[i].NumEdges() {
+				t.Fatalf("round trip changed graph %d shape", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,299 @@
+// Package graph provides the labeled undirected graph type that the whole
+// repository is built on: molecules in the chemistry substrate, patterns in
+// the miners, and windows cut around nodes by GraphSig.
+//
+// Graphs are node- and edge-labeled, undirected, and simple (at most one
+// edge between a pair of nodes). Node identifiers are dense ints in
+// [0, NumNodes). The zero Graph is empty and ready to use.
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Label identifies a node label (e.g. an atom type) or an edge label
+// (e.g. a bond type). Labels are small dense ints managed by an Alphabet.
+type Label int
+
+// NoLabel marks an absent label.
+const NoLabel Label = -1
+
+// Edge is an undirected labeled edge between nodes From and To.
+// Invariant maintained by AddEdge: From < To.
+type Edge struct {
+	From, To int
+	Label    Label
+}
+
+// halfEdge is an adjacency entry: the neighbor and the edge label.
+type halfEdge struct {
+	to    int
+	label Label
+}
+
+// Graph is a labeled undirected simple graph. Create with New or the zero
+// value; mutate with AddNode/AddEdge.
+type Graph struct {
+	// ID is an optional database identifier (index of the graph in its
+	// dataset). It is carried through mining so that supports can be
+	// reported as graph ID sets.
+	ID int
+
+	labels []Label
+	adj    [][]halfEdge
+	edges  []Edge
+}
+
+// New returns an empty graph with capacity hints for n nodes and m edges.
+func New(n, m int) *Graph {
+	return &Graph{
+		labels: make([]Label, 0, n),
+		adj:    make([][]halfEdge, 0, n),
+		edges:  make([]Edge, 0, m),
+	}
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		ID:     g.ID,
+		labels: append([]Label(nil), g.labels...),
+		adj:    make([][]halfEdge, len(g.adj)),
+		edges:  append([]Edge(nil), g.edges...),
+	}
+	for i, a := range g.adj {
+		c.adj[i] = append([]halfEdge(nil), a...)
+	}
+	return c
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.labels) }
+
+// NumEdges returns the number of edges.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// AddNode appends a node with the given label and returns its id.
+func (g *Graph) AddNode(l Label) int {
+	g.labels = append(g.labels, l)
+	g.adj = append(g.adj, nil)
+	return len(g.labels) - 1
+}
+
+// NodeLabel returns the label of node v.
+func (g *Graph) NodeLabel(v int) Label { return g.labels[v] }
+
+// AddEdge inserts an undirected edge (u, v) with label l. It panics if u
+// or v is out of range or u == v, and reports an error if the edge already
+// exists (graphs are simple).
+func (g *Graph) AddEdge(u, v int, l Label) error {
+	if u == v {
+		panic("graph: self loop")
+	}
+	if u < 0 || u >= len(g.labels) || v < 0 || v >= len(g.labels) {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, len(g.labels)))
+	}
+	if g.HasEdge(u, v) {
+		return fmt.Errorf("graph: duplicate edge (%d,%d)", u, v)
+	}
+	if u > v {
+		u, v = v, u
+	}
+	g.adj[u] = append(g.adj[u], halfEdge{to: v, label: l})
+	g.adj[v] = append(g.adj[v], halfEdge{to: u, label: l})
+	g.edges = append(g.edges, Edge{From: u, To: v, Label: l})
+	return nil
+}
+
+// MustAddEdge is AddEdge that panics on duplicates; used by construction
+// code where duplicates indicate a programming error.
+func (g *Graph) MustAddEdge(u, v int, l Label) {
+	if err := g.AddEdge(u, v, l); err != nil {
+		panic(err)
+	}
+}
+
+// HasEdge reports whether an edge between u and v exists.
+func (g *Graph) HasEdge(u, v int) bool {
+	return g.EdgeLabel(u, v) != NoLabel || g.hasEdgeNoLabel(u, v)
+}
+
+func (g *Graph) hasEdgeNoLabel(u, v int) bool {
+	for _, h := range g.adj[u] {
+		if h.to == v {
+			return true
+		}
+	}
+	return false
+}
+
+// EdgeLabel returns the label of edge (u, v), or NoLabel if absent.
+func (g *Graph) EdgeLabel(u, v int) Label {
+	if u < 0 || u >= len(g.adj) {
+		return NoLabel
+	}
+	for _, h := range g.adj[u] {
+		if h.to == v {
+			return h.label
+		}
+	}
+	return NoLabel
+}
+
+// Degree returns the degree of node v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// Neighbors calls fn for each neighbor of v with the neighbor id and the
+// connecting edge label. Iteration order is insertion order.
+func (g *Graph) Neighbors(v int, fn func(u int, l Label)) {
+	for _, h := range g.adj[v] {
+		fn(h.to, h.label)
+	}
+}
+
+// NeighborIDs returns the neighbor ids of v in insertion order.
+func (g *Graph) NeighborIDs(v int) []int {
+	out := make([]int, len(g.adj[v]))
+	for i, h := range g.adj[v] {
+		out[i] = h.to
+	}
+	return out
+}
+
+// Edges returns the edge list. The caller must not mutate it.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// Labels returns the node label slice. The caller must not mutate it.
+func (g *Graph) Labels() []Label { return g.labels }
+
+// IsConnected reports whether g is connected (the empty graph counts as
+// connected).
+func (g *Graph) IsConnected() bool {
+	n := g.NumNodes()
+	if n <= 1 {
+		return true
+	}
+	seen := make([]bool, n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, h := range g.adj[v] {
+			if !seen[h.to] {
+				seen[h.to] = true
+				count++
+				stack = append(stack, h.to)
+			}
+		}
+	}
+	return count == n
+}
+
+// InducedSubgraph returns the subgraph induced by the given node ids, in
+// the given order (node i of the result corresponds to nodes[i]). Edges
+// between selected nodes are preserved. The result's ID is copied from g.
+func (g *Graph) InducedSubgraph(nodes []int) *Graph {
+	index := make(map[int]int, len(nodes))
+	sub := New(len(nodes), 0)
+	sub.ID = g.ID
+	for i, v := range nodes {
+		index[v] = i
+		sub.AddNode(g.labels[v])
+	}
+	for _, e := range g.edges {
+		fi, okF := index[e.From]
+		ti, okT := index[e.To]
+		if okF && okT {
+			sub.MustAddEdge(fi, ti, e.Label)
+		}
+	}
+	return sub
+}
+
+// CutGraph returns the ball of the given radius (in hops) around center,
+// as an induced subgraph. Node 0 of the result is the center. This is the
+// CutGraph(n, radius) primitive of Algorithm 2, line 12.
+func (g *Graph) CutGraph(center, radius int) *Graph {
+	type qe struct{ v, d int }
+	seen := map[int]bool{center: true}
+	order := []int{center}
+	queue := []qe{{center, 0}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur.d == radius {
+			continue
+		}
+		for _, h := range g.adj[cur.v] {
+			if !seen[h.to] {
+				seen[h.to] = true
+				order = append(order, h.to)
+				queue = append(queue, qe{h.to, cur.d + 1})
+			}
+		}
+	}
+	return g.InducedSubgraph(order)
+}
+
+// Relabel returns a copy of g with nodes permuted by perm: node v of g
+// becomes node perm[v] of the result. perm must be a permutation of
+// [0, NumNodes). Useful for isomorphism-invariance tests.
+func (g *Graph) Relabel(perm []int) *Graph {
+	if len(perm) != g.NumNodes() {
+		panic("graph: bad permutation length")
+	}
+	out := New(g.NumNodes(), g.NumEdges())
+	out.ID = g.ID
+	newLabels := make([]Label, g.NumNodes())
+	for v, p := range perm {
+		newLabels[p] = g.labels[v]
+	}
+	for _, l := range newLabels {
+		out.AddNode(l)
+	}
+	for _, e := range g.edges {
+		out.MustAddEdge(perm[e.From], perm[e.To], e.Label)
+	}
+	return out
+}
+
+// LabelCounts returns a map from node label to its count in g.
+func (g *Graph) LabelCounts() map[Label]int {
+	m := make(map[Label]int)
+	for _, l := range g.labels {
+		m[l]++
+	}
+	return m
+}
+
+// String renders a compact human-readable form, stable across runs.
+func (g *Graph) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph(id=%d, n=%d, m=%d; ", g.ID, g.NumNodes(), g.NumEdges())
+	for v, l := range g.labels {
+		if v > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "v%d:%d", v, l)
+	}
+	b.WriteString("; ")
+	edges := append([]Edge(nil), g.edges...)
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].From != edges[j].From {
+			return edges[i].From < edges[j].From
+		}
+		return edges[i].To < edges[j].To
+	})
+	for i, e := range edges {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d-%d:%d", e.From, e.To, e.Label)
+	}
+	b.WriteByte(')')
+	return b.String()
+}

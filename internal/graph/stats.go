@@ -1,0 +1,85 @@
+package graph
+
+import "sort"
+
+// ConnectedComponents returns the node sets of g's connected components,
+// each sorted ascending, ordered by their smallest node.
+func (g *Graph) ConnectedComponents() [][]int {
+	n := g.NumNodes()
+	seen := make([]bool, n)
+	var comps [][]int
+	for start := 0; start < n; start++ {
+		if seen[start] {
+			continue
+		}
+		var comp []int
+		stack := []int{start}
+		seen[start] = true
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, v)
+			g.Neighbors(v, func(u int, _ Label) {
+				if !seen[u] {
+					seen[u] = true
+					stack = append(stack, u)
+				}
+			})
+		}
+		sort.Ints(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// DegreeHistogram returns counts[d] = number of nodes with degree d.
+func (g *Graph) DegreeHistogram() []int {
+	maxDeg := 0
+	for v := 0; v < g.NumNodes(); v++ {
+		if d := g.Degree(v); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	counts := make([]int, maxDeg+1)
+	for v := 0; v < g.NumNodes(); v++ {
+		counts[g.Degree(v)]++
+	}
+	return counts
+}
+
+// CycleRank returns the cycle space dimension m - n + c (number of
+// independent cycles); for molecules this is the ring count.
+func (g *Graph) CycleRank() int {
+	return g.NumEdges() - g.NumNodes() + len(g.ConnectedComponents())
+}
+
+// Diameter returns the longest shortest-path distance within g's largest
+// connected component (0 for empty or single-node graphs). It runs BFS
+// from every node: O(n·(n+m)), intended for molecule-scale graphs.
+func (g *Graph) Diameter() int {
+	n := g.NumNodes()
+	best := 0
+	dist := make([]int, n)
+	queue := make([]int, 0, n)
+	for src := 0; src < n; src++ {
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[src] = 0
+		queue = queue[:0]
+		queue = append(queue, src)
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
+			g.Neighbors(v, func(u int, _ Label) {
+				if dist[u] < 0 {
+					dist[u] = dist[v] + 1
+					if dist[u] > best {
+						best = dist[u]
+					}
+					queue = append(queue, u)
+				}
+			})
+		}
+	}
+	return best
+}

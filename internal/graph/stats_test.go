@@ -1,0 +1,126 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConnectedComponents(t *testing.T) {
+	g := New(6, 3)
+	for i := 0; i < 6; i++ {
+		g.AddNode(0)
+	}
+	g.MustAddEdge(0, 1, 0)
+	g.MustAddEdge(1, 2, 0)
+	g.MustAddEdge(4, 5, 0)
+	comps := g.ConnectedComponents()
+	if len(comps) != 3 {
+		t.Fatalf("got %d components; want 3", len(comps))
+	}
+	if len(comps[0]) != 3 || comps[0][0] != 0 {
+		t.Errorf("comp0 = %v", comps[0])
+	}
+	if len(comps[1]) != 1 || comps[1][0] != 3 {
+		t.Errorf("comp1 = %v", comps[1])
+	}
+	if len(comps[2]) != 2 || comps[2][0] != 4 {
+		t.Errorf("comp2 = %v", comps[2])
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	g := path(0, 0, 0, 0) // degrees 1,2,2,1
+	h := g.DegreeHistogram()
+	if len(h) != 3 || h[0] != 0 || h[1] != 2 || h[2] != 2 {
+		t.Errorf("histogram = %v", h)
+	}
+	empty := New(0, 0)
+	if len(empty.DegreeHistogram()) != 1 {
+		t.Error("empty histogram should have one zero bucket")
+	}
+}
+
+func TestCycleRank(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *Graph
+		want int
+	}{
+		{"path", path(0, 0, 0), 0},
+		{"single", path(0), 0},
+	}
+	tri := path(0, 0, 0)
+	tri.MustAddEdge(0, 2, 0)
+	tests = append(tests, struct {
+		name string
+		g    *Graph
+		want int
+	}{"triangle", tri, 1})
+	two := tri.Clone()
+	two.AddNode(0)
+	two.AddNode(0)
+	two.MustAddEdge(3, 4, 0)
+	tests = append(tests, struct {
+		name string
+		g    *Graph
+		want int
+	}{"triangle + edge component", two, 1})
+
+	for _, tc := range tests {
+		if got := tc.g.CycleRank(); got != tc.want {
+			t.Errorf("%s: CycleRank = %d; want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	if got := path(0, 0, 0, 0, 0).Diameter(); got != 4 {
+		t.Errorf("path diameter = %d; want 4", got)
+	}
+	tri := path(0, 0, 0)
+	tri.MustAddEdge(0, 2, 0)
+	if got := tri.Diameter(); got != 1 {
+		t.Errorf("triangle diameter = %d; want 1", got)
+	}
+	if got := New(0, 0).Diameter(); got != 0 {
+		t.Errorf("empty diameter = %d", got)
+	}
+}
+
+func TestPropertyComponentsPartitionNodes(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 1 + rr.Intn(15)
+		g := New(n, n)
+		for i := 0; i < n; i++ {
+			g.AddNode(0)
+		}
+		for e := 0; e < rr.Intn(2*n); e++ {
+			u, v := rr.Intn(n), rr.Intn(n)
+			if u != v && !g.HasEdge(u, v) {
+				g.MustAddEdge(u, v, 0)
+			}
+		}
+		seen := map[int]int{}
+		for _, comp := range g.ConnectedComponents() {
+			for _, v := range comp {
+				seen[v]++
+			}
+		}
+		if len(seen) != n {
+			return false
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		// Connectivity consistency.
+		return g.IsConnected() == (len(g.ConnectedComponents()) <= 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: r}); err != nil {
+		t.Error(err)
+	}
+}

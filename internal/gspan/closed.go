@@ -1,0 +1,52 @@
+package gspan
+
+import "graphsig/internal/dfscode"
+
+// Closed filters patterns down to the closed ones: patterns with no
+// super-pattern of identical support in the list (the CloseGraph output
+// condition, Yan & Han KDD 2003). Mining all frequent patterns and
+// filtering is exponentially worse than CloseGraph's native pruning, but
+// the output set is identical, which is what the library's consumers
+// (deduplication, indexing dictionaries) need.
+func Closed(patterns []Pattern) []Pattern {
+	// Group by support first: a closed-ness witness must have equal
+	// support, so only same-support patterns need isomorphism checks.
+	bySupport := map[int][]int{}
+	for i, p := range patterns {
+		bySupport[p.Support] = append(bySupport[p.Support], i)
+	}
+	var out []Pattern
+	for _, p := range patterns {
+		closed := true
+		for _, j := range bySupport[p.Support] {
+			q := patterns[j]
+			if q.Graph.NumEdges() <= p.Graph.NumEdges() {
+				continue
+			}
+			if isoSubgraph(p.Graph, q.Graph) {
+				closed = false
+				break
+			}
+		}
+		if closed {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Dedup removes isomorphic duplicates from a pattern list, keeping the
+// first occurrence (useful when merging pattern sets from several runs).
+func Dedup(patterns []Pattern) []Pattern {
+	seen := map[string]bool{}
+	var out []Pattern
+	for _, p := range patterns {
+		key := dfscode.Canonical(p.Graph)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, p)
+	}
+	return out
+}

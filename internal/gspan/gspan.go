@@ -1,0 +1,411 @@
+// Package gspan implements the gSpan frequent-subgraph miner (Yan & Han,
+// ICDM 2002): DFS-code pattern growth with rightmost-path extension,
+// projected embedding lists for support counting, and minimum-code
+// duplicate pruning. It serves two roles in this repository: the
+// exponential baseline of Figs 2, 9 and 11, and (with the maximal filter)
+// the frequent-subgraph step GraphSig runs on each candidate set.
+//
+// Projections use the classical linked PDFS representation: each
+// projection stores only the host edge realizing the newest code entry
+// plus a pointer to its parent projection, so extending costs O(1) memory
+// and the full embedding is reconstructed on demand in O(|code|).
+package gspan
+
+import (
+	"sort"
+	"time"
+
+	"graphsig/internal/dfscode"
+	"graphsig/internal/graph"
+)
+
+// Options configures a mining run. MinSupport is an absolute graph count
+// (use FromPercent for a percentage threshold).
+type Options struct {
+	// MinSupport is the minimum number of database graphs a pattern must
+	// occur in. Values < 1 are treated as 1.
+	MinSupport int
+	// MaxEdges bounds the pattern size in edges (0 = unbounded).
+	MaxEdges int
+	// MaxPatterns stops the mine after this many patterns (0 = unbounded).
+	// The result is flagged Truncated when the cap is hit.
+	MaxPatterns int
+	// Deadline aborts the mine when exceeded (zero = none). The result is
+	// flagged Truncated. This mirrors the paper's ">10 hours, did not
+	// finish" handling for low-frequency baseline runs.
+	Deadline time.Time
+	// IncludeSingleNodes also reports frequent single-node patterns.
+	IncludeSingleNodes bool
+}
+
+// FromPercent converts a percentage frequency threshold (e.g. 5.0 for 5%)
+// into an absolute support for a database of n graphs, with a floor of 1.
+func FromPercent(pct float64, n int) int {
+	s := int(pct * float64(n) / 100.0)
+	if s < 1 {
+		return 1
+	}
+	return s
+}
+
+// Pattern is a mined frequent subgraph.
+type Pattern struct {
+	// Graph is the pattern structure (node 0 is the DFS root).
+	Graph *graph.Graph
+	// Code is the pattern's minimum DFS code (empty for single nodes).
+	Code dfscode.Code
+	// Support is the number of database graphs containing the pattern.
+	Support int
+	// GraphIDs lists the supporting database indices in ascending order.
+	GraphIDs []int
+}
+
+// Result is the outcome of a mining run.
+type Result struct {
+	Patterns []Pattern
+	// Truncated reports that MaxPatterns or Deadline cut the run short.
+	Truncated bool
+	// Stats exposes the search effort behind the run.
+	Stats Stats
+}
+
+// Stats counts the work a mining run performed.
+type Stats struct {
+	// StatesExplored is the number of grow() calls (pattern states).
+	StatesExplored int
+	// ExtensionsTried is the number of distinct rightmost extensions
+	// evaluated across all states.
+	ExtensionsTried int
+	// MinimalityRejected counts extensions discarded as non-minimal
+	// DFS codes (duplicate search states).
+	MinimalityRejected int
+}
+
+// projection is one embedding of the current DFS code into a database
+// graph, as a linked chain: the host edge realizing the newest code
+// entry plus the parent projection for the code prefix.
+type projection struct {
+	gid int
+	// hostFrom -> hostTo is the directed host edge of the newest entry.
+	hostFrom, hostTo int
+	eid              int
+	prev             *projection
+}
+
+// embeddingState is a projection unrolled against its code: the host
+// node of every DFS index and the set of consumed host edge ids.
+type embeddingState struct {
+	nodes []int
+	used  []int // host edge ids, parallel to code entries
+}
+
+// unroll reconstructs the embedding of code realized by p. Buffers are
+// reused via the passed state.
+func unroll(code dfscode.Code, p *projection, st *embeddingState) {
+	n := len(code)
+	st.used = st.used[:0]
+	st.nodes = st.nodes[:0]
+	// Collect the chain newest-first, then walk code order.
+	chain := make([]*projection, n)
+	for i := n - 1; i >= 0; i-- {
+		chain[i] = p
+		p = p.prev
+	}
+	numNodes := code.NumNodes()
+	for len(st.nodes) < numNodes {
+		st.nodes = append(st.nodes, -1)
+	}
+	for i, e := range code {
+		pr := chain[i]
+		st.used = append(st.used, pr.eid)
+		if e.Forward() {
+			st.nodes[e.I] = pr.hostFrom
+			st.nodes[e.J] = pr.hostTo
+		}
+	}
+}
+
+func (st *embeddingState) usedEdge(eid int) bool {
+	for _, e := range st.used {
+		if e == eid {
+			return true
+		}
+	}
+	return false
+}
+
+func (st *embeddingState) hostIndex(host int) int {
+	for i, n := range st.nodes {
+		if n == host {
+			return i
+		}
+	}
+	return -1
+}
+
+type miner struct {
+	db       []*graph.Graph
+	edgeIDs  []map[[2]int]int
+	opt      Options
+	patterns []Pattern
+	stats    Stats
+	stop     bool
+}
+
+// Mine runs gSpan over db and returns all frequent connected subgraph
+// patterns with at least opt.MinSupport supporting graphs.
+func Mine(db []*graph.Graph, opt Options) Result {
+	if opt.MinSupport < 1 {
+		opt.MinSupport = 1
+	}
+	m := &miner{db: db, opt: opt}
+	m.edgeIDs = make([]map[[2]int]int, len(db))
+	for i, g := range db {
+		ids := make(map[[2]int]int, g.NumEdges())
+		for j, e := range g.Edges() {
+			ids[[2]int{e.From, e.To}] = j
+		}
+		m.edgeIDs[i] = ids
+	}
+
+	if opt.IncludeSingleNodes {
+		m.mineSingleNodes()
+	}
+
+	// Frequent seed edges, in DFS-code order.
+	type seed struct {
+		code dfscode.EdgeCode
+		gids map[int]bool
+	}
+	seeds := make(map[dfscode.EdgeCode]*seed)
+	for gid, g := range db {
+		for _, e := range g.Edges() {
+			lu, lv := g.NodeLabel(e.From), g.NodeLabel(e.To)
+			if lu > lv {
+				lu, lv = lv, lu
+			}
+			ec := dfscode.EdgeCode{I: 0, J: 1, LI: lu, LE: e.Label, LJ: lv}
+			s, ok := seeds[ec]
+			if !ok {
+				s = &seed{code: ec, gids: make(map[int]bool)}
+				seeds[ec] = s
+			}
+			s.gids[gid] = true
+		}
+	}
+	var ordered []*seed
+	for _, s := range seeds {
+		if len(s.gids) >= opt.MinSupport {
+			ordered = append(ordered, s)
+		}
+	}
+	sort.Slice(ordered, func(i, j int) bool {
+		return dfscode.CompareEdges(ordered[i].code, ordered[j].code) < 0
+	})
+
+	for _, s := range ordered {
+		if m.stop {
+			break
+		}
+		var projs []*projection
+		for gid := range s.gids {
+			g := db[gid]
+			for _, e := range g.Edges() {
+				for _, dir := range [2][2]int{{e.From, e.To}, {e.To, e.From}} {
+					if g.NodeLabel(dir[0]) != s.code.LI || e.Label != s.code.LE || g.NodeLabel(dir[1]) != s.code.LJ {
+						continue
+					}
+					projs = append(projs, &projection{
+						gid:      gid,
+						hostFrom: dir[0],
+						hostTo:   dir[1],
+						eid:      m.edgeIDs[gid][normPair(dir[0], dir[1])],
+					})
+				}
+			}
+		}
+		m.grow(dfscode.Code{s.code}, projs)
+	}
+
+	return Result{Patterns: m.patterns, Truncated: m.stop, Stats: m.stats}
+}
+
+func normPair(u, v int) [2]int {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]int{u, v}
+}
+
+func (m *miner) mineSingleNodes() {
+	counts := make(map[graph.Label]map[int]bool)
+	for gid, g := range m.db {
+		for _, l := range g.Labels() {
+			if counts[l] == nil {
+				counts[l] = make(map[int]bool)
+			}
+			counts[l][gid] = true
+		}
+	}
+	var labels []graph.Label
+	for l, gids := range counts {
+		if len(gids) >= m.opt.MinSupport {
+			labels = append(labels, l)
+		}
+	}
+	sort.Slice(labels, func(i, j int) bool { return labels[i] < labels[j] })
+	for _, l := range labels {
+		g := graph.New(1, 0)
+		g.AddNode(l)
+		m.record(Pattern{Graph: g, Support: len(counts[l]), GraphIDs: sortedIDs(counts[l])})
+	}
+}
+
+func sortedIDs(set map[int]bool) []int {
+	ids := make([]int, 0, len(set))
+	for id := range set {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+func (m *miner) record(p Pattern) {
+	m.patterns = append(m.patterns, p)
+	if m.opt.MaxPatterns > 0 && len(m.patterns) >= m.opt.MaxPatterns {
+		m.stop = true
+	}
+}
+
+func (m *miner) deadlineHit() bool {
+	return !m.opt.Deadline.IsZero() && time.Now().After(m.opt.Deadline)
+}
+
+// grow records the pattern for code (already minimal) and recursively
+// explores its rightmost-path extensions.
+func (m *miner) grow(code dfscode.Code, projs []*projection) {
+	if m.stop {
+		return
+	}
+	m.stats.StatesExplored++
+	if m.deadlineHit() {
+		m.stop = true
+		return
+	}
+	gids := make(map[int]bool)
+	for _, p := range projs {
+		gids[p.gid] = true
+	}
+	m.record(Pattern{Graph: code.Graph(), Code: append(dfscode.Code(nil), code...), Support: len(gids), GraphIDs: sortedIDs(gids)})
+	if m.stop {
+		return
+	}
+	if m.opt.MaxEdges > 0 && len(code) >= m.opt.MaxEdges {
+		return
+	}
+
+	rmPath := code.RightmostPath()
+	rmv := rmPath[len(rmPath)-1]
+
+	// Collect extensions: code entry -> projections realizing it.
+	exts := make(map[dfscode.EdgeCode][]*projection)
+	var st embeddingState
+	for _, p := range projs {
+		g := m.db[p.gid]
+		unroll(code, p, &st)
+		hostRM := st.nodes[rmv]
+		// Backward extensions from the rightmost vertex.
+		g.Neighbors(hostRM, func(u int, l graph.Label) {
+			eid := m.edgeIDs[p.gid][normPair(hostRM, u)]
+			if st.usedEdge(eid) {
+				return
+			}
+			pIdx := st.hostIndex(u)
+			if pIdx < 0 || !onPath(rmPath, pIdx) || pIdx == rmv {
+				return
+			}
+			ec := dfscode.EdgeCode{I: rmv, J: pIdx, LI: g.NodeLabel(hostRM), LE: l, LJ: g.NodeLabel(u)}
+			exts[ec] = append(exts[ec], &projection{gid: p.gid, hostFrom: hostRM, hostTo: u, eid: eid, prev: p})
+		})
+		// Forward extensions from rightmost-path vertices.
+		for _, pv := range rmPath {
+			hostV := st.nodes[pv]
+			g.Neighbors(hostV, func(u int, l graph.Label) {
+				if st.hostIndex(u) >= 0 {
+					return
+				}
+				eid := m.edgeIDs[p.gid][normPair(hostV, u)]
+				ec := dfscode.EdgeCode{I: pv, J: len(st.nodes), LI: g.NodeLabel(hostV), LE: l, LJ: g.NodeLabel(u)}
+				exts[ec] = append(exts[ec], &projection{gid: p.gid, hostFrom: hostV, hostTo: u, eid: eid, prev: p})
+			})
+		}
+	}
+
+	// Recurse over frequent, minimal extensions in DFS-code order.
+	var order []dfscode.EdgeCode
+	for ec := range exts {
+		order = append(order, ec)
+	}
+	sort.Slice(order, func(i, j int) bool { return dfscode.CompareEdges(order[i], order[j]) < 0 })
+	for _, ec := range order {
+		if m.stop {
+			return
+		}
+		m.stats.ExtensionsTried++
+		childProjs := exts[ec]
+		sup := make(map[int]bool)
+		for _, p := range childProjs {
+			sup[p.gid] = true
+		}
+		if len(sup) < m.opt.MinSupport {
+			continue
+		}
+		child := append(append(dfscode.Code(nil), code...), ec)
+		if !dfscode.IsMinimal(child) {
+			m.stats.MinimalityRejected++
+			continue
+		}
+		m.grow(child, childProjs)
+	}
+}
+
+func onPath(path []int, v int) bool {
+	for _, p := range path {
+		if p == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Maximal filters patterns down to the maximal ones: those not strictly
+// contained (as a subgraph) in any other pattern of the list. This is the
+// MaximalFSM primitive of Algorithm 2, line 13.
+func Maximal(patterns []Pattern) []Pattern {
+	var out []Pattern
+	for i, p := range patterns {
+		maximal := true
+		for j, q := range patterns {
+			if i == j {
+				continue
+			}
+			if q.Graph.NumEdges() < p.Graph.NumEdges() ||
+				(q.Graph.NumEdges() == p.Graph.NumEdges() && q.Graph.NumNodes() <= p.Graph.NumNodes()) {
+				continue
+			}
+			if contains(q.Graph, p.Graph) {
+				maximal = false
+				break
+			}
+		}
+		if maximal {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// contains reports whether pattern small occurs inside big.
+func contains(big, small *graph.Graph) bool {
+	return isoSubgraph(small, big)
+}

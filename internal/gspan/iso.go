@@ -1,0 +1,12 @@
+package gspan
+
+import (
+	"graphsig/internal/graph"
+	"graphsig/internal/isomorph"
+)
+
+// isoSubgraph wraps the isomorph package so that the maximality filter
+// stays testable in isolation.
+func isoSubgraph(pattern, target *graph.Graph) bool {
+	return isomorph.SubgraphIsomorphic(pattern, target)
+}

@@ -1,0 +1,277 @@
+// Package isomorph implements labeled (sub)graph isomorphism testing in
+// the style of the VF2 algorithm. It is the correctness workhorse behind
+// support counting in the miners, pattern containment in the classifiers,
+// and maximality filtering in GraphSig's last phase.
+//
+// All matching is label-aware: a pattern node may only map to a target
+// node with an identical label, and a pattern edge to a target edge with
+// an identical label. Subgraph isomorphism here means *subgraph
+// monomorphism onto a general (not necessarily induced) subgraph*, the
+// semantics used by gSpan/FSG support counting: every pattern edge must be
+// present in the target, but the target may have extra edges between
+// mapped nodes.
+package isomorph
+
+import (
+	"graphsig/internal/graph"
+)
+
+// state carries the mutable search state of one VF2 run.
+type state struct {
+	pattern, target *graph.Graph
+	// core maps pattern node -> target node (-1 when unmapped).
+	core []int
+	// used marks target nodes already claimed by the mapping.
+	used []bool
+	// order is the matching order of pattern nodes (connected order).
+	order []int
+	// candBufs holds one reusable candidate buffer per search depth, so
+	// the hot match loop allocates nothing after warm-up.
+	candBufs [][]int
+	// limit, if > 0, bounds the number of embeddings enumerated.
+	limit int
+	count int
+	// emit receives each complete mapping; return false to stop.
+	emit func(mapping []int) bool
+}
+
+// SubgraphIsomorphic reports whether pattern occurs in target (labeled
+// subgraph monomorphism with injective node mapping).
+func SubgraphIsomorphic(pattern, target *graph.Graph) bool {
+	found := false
+	enumerate(pattern, target, 1, func([]int) bool {
+		found = true
+		return false
+	})
+	return found
+}
+
+// FindEmbedding returns one mapping from pattern nodes to target nodes,
+// or nil if none exists. The returned slice is owned by the caller.
+func FindEmbedding(pattern, target *graph.Graph) []int {
+	var result []int
+	enumerate(pattern, target, 1, func(m []int) bool {
+		result = append([]int(nil), m...)
+		return false
+	})
+	return result
+}
+
+// CountEmbeddings returns the number of distinct embeddings of pattern in
+// target, up to max (pass 0 for unbounded). Distinct means distinct
+// injective node mappings; automorphic images count separately.
+func CountEmbeddings(pattern, target *graph.Graph, max int) int {
+	n := 0
+	enumerate(pattern, target, max, func([]int) bool {
+		n++
+		return max == 0 || n < max
+	})
+	return n
+}
+
+// ForEachEmbedding calls fn with every embedding of pattern in target
+// until fn returns false. The mapping slice is reused across calls; copy
+// it if retained.
+func ForEachEmbedding(pattern, target *graph.Graph, fn func(mapping []int) bool) {
+	enumerate(pattern, target, 0, fn)
+}
+
+// Isomorphic reports whether a and b are isomorphic as labeled graphs.
+func Isomorphic(a, b *graph.Graph) bool {
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	if !labelMultisetsEqual(a, b) {
+		return false
+	}
+	// Same node and edge count plus monomorphism a -> b implies edge
+	// bijectivity, hence isomorphism.
+	return SubgraphIsomorphic(a, b)
+}
+
+func labelMultisetsEqual(a, b *graph.Graph) bool {
+	ca, cb := a.LabelCounts(), b.LabelCounts()
+	if len(ca) != len(cb) {
+		return false
+	}
+	for l, n := range ca {
+		if cb[l] != n {
+			return false
+		}
+	}
+	ea := make(map[[3]int]int)
+	for _, e := range a.Edges() {
+		ea[edgeKey(a, e)]++
+	}
+	for _, e := range b.Edges() {
+		k := edgeKey(b, e)
+		ea[k]--
+		if ea[k] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func edgeKey(g *graph.Graph, e graph.Edge) [3]int {
+	la, lb := int(g.NodeLabel(e.From)), int(g.NodeLabel(e.To))
+	if la > lb {
+		la, lb = lb, la
+	}
+	return [3]int{la, lb, int(e.Label)}
+}
+
+func enumerate(pattern, target *graph.Graph, limit int, emit func([]int) bool) {
+	np := pattern.NumNodes()
+	if np == 0 {
+		emit(nil)
+		return
+	}
+	if np > target.NumNodes() || pattern.NumEdges() > target.NumEdges() {
+		return
+	}
+	s := &state{
+		pattern:  pattern,
+		target:   target,
+		core:     make([]int, np),
+		used:     make([]bool, target.NumNodes()),
+		order:    connectedOrder(pattern),
+		candBufs: make([][]int, np),
+		limit:    limit,
+		emit:     emit,
+	}
+	for i := range s.core {
+		s.core[i] = -1
+	}
+	s.match(0)
+}
+
+// connectedOrder returns pattern nodes in an order where each node after
+// the first is adjacent to an earlier node when possible (BFS over
+// components), which keeps the VF2 frontier connected and pruning strong.
+func connectedOrder(g *graph.Graph) []int {
+	n := g.NumNodes()
+	order := make([]int, 0, n)
+	seen := make([]bool, n)
+	for start := 0; start < n; start++ {
+		if seen[start] {
+			continue
+		}
+		seen[start] = true
+		queue := []int{start}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			order = append(order, v)
+			g.Neighbors(v, func(u int, _ graph.Label) {
+				if !seen[u] {
+					seen[u] = true
+					queue = append(queue, u)
+				}
+			})
+		}
+	}
+	return order
+}
+
+// match extends the mapping with the depth-th pattern node in order.
+// It returns false when enumeration should stop entirely.
+func (s *state) match(depth int) bool {
+	if depth == len(s.order) {
+		s.count++
+		if !s.emit(s.core) {
+			return false
+		}
+		return s.limit == 0 || s.count < s.limit
+	}
+	pv := s.order[depth]
+	pl := s.pattern.NodeLabel(pv)
+
+	// Candidate targets: neighbors of an already-mapped pattern
+	// neighbor when one exists (cheap frontier restriction), otherwise
+	// all unused target nodes. The buffer is reused per depth.
+	candidates := s.candBufs[depth][:0]
+	anchored := false
+	s.pattern.Neighbors(pv, func(pu int, _ graph.Label) {
+		if anchored {
+			return
+		}
+		if tv := s.core[pu]; tv >= 0 {
+			anchored = true
+			candidates = candidates[:0]
+			s.target.Neighbors(tv, func(tu int, _ graph.Label) {
+				candidates = append(candidates, tu)
+			})
+		}
+	})
+	if !anchored {
+		for tv := 0; tv < s.target.NumNodes(); tv++ {
+			candidates = append(candidates, tv)
+		}
+	}
+	s.candBufs[depth] = candidates
+
+	for _, tv := range candidates {
+		if s.used[tv] || s.target.NodeLabel(tv) != pl {
+			continue
+		}
+		if s.target.Degree(tv) < s.pattern.Degree(pv) {
+			continue
+		}
+		if !s.feasible(pv, tv) {
+			continue
+		}
+		s.core[pv] = tv
+		s.used[tv] = true
+		ok := s.match(depth + 1)
+		s.core[pv] = -1
+		s.used[tv] = false
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// feasible checks that mapping pv -> tv preserves every pattern edge to
+// an already-mapped neighbor, with matching edge labels.
+func (s *state) feasible(pv, tv int) bool {
+	ok := true
+	s.pattern.Neighbors(pv, func(pu int, l graph.Label) {
+		if !ok {
+			return
+		}
+		tu := s.core[pu]
+		if tu < 0 {
+			return
+		}
+		if s.target.EdgeLabel(tv, tu) != l {
+			ok = false
+		}
+	})
+	return ok
+}
+
+// Support counts the number of graphs in db that contain pattern. This is
+// transaction support: each database graph contributes at most 1.
+func Support(pattern *graph.Graph, db []*graph.Graph) int {
+	n := 0
+	for _, g := range db {
+		if SubgraphIsomorphic(pattern, g) {
+			n++
+		}
+	}
+	return n
+}
+
+// SupportingIDs returns, in database order, the indices of graphs in db
+// that contain pattern.
+func SupportingIDs(pattern *graph.Graph, db []*graph.Graph) []int {
+	var ids []int
+	for i, g := range db {
+		if SubgraphIsomorphic(pattern, g) {
+			ids = append(ids, i)
+		}
+	}
+	return ids
+}

@@ -1,0 +1,117 @@
+package kernel
+
+import (
+	"testing"
+
+	"graphsig/internal/chem"
+	"graphsig/internal/graph"
+)
+
+func chain(labels ...graph.Label) *graph.Graph {
+	g := graph.New(len(labels), len(labels)-1)
+	for _, l := range labels {
+		g.AddNode(l)
+	}
+	for i := 1; i < len(labels); i++ {
+		g.MustAddEdge(i-1, i, 0)
+	}
+	return g
+}
+
+func TestSimilaritySymmetric(t *testing.T) {
+	a := chain(1, 2, 3)
+	b := chain(1, 2, 2, 3)
+	k := DefaultOA()
+	if s1, s2 := k.Similarity(a, b), k.Similarity(b, a); s1 != s2 {
+		t.Errorf("asymmetric: %f vs %f", s1, s2)
+	}
+}
+
+func TestSelfSimilarityIsMaximal(t *testing.T) {
+	k := DefaultOA()
+	a := chain(1, 2, 3, 2, 1)
+	self := k.Similarity(a, a)
+	for _, other := range []*graph.Graph{chain(1, 2, 3), chain(9, 9, 9, 9, 9), chain(1, 2, 3, 2, 9)} {
+		if s := k.Similarity(a, other); s > self+1e-9 {
+			t.Errorf("Similarity(a, %v) = %f > self %f", other.Labels(), s, self)
+		}
+	}
+}
+
+func TestIdenticalLabelsScoreHigherThanDisjoint(t *testing.T) {
+	k := DefaultOA()
+	a := chain(1, 2, 3)
+	same := chain(1, 2, 3)
+	disjoint := chain(7, 8, 9)
+	if !(k.Similarity(a, same) > k.Similarity(a, disjoint)) {
+		t.Error("identical chains should beat disjoint-label chains")
+	}
+	if k.Similarity(a, disjoint) != 0 {
+		t.Errorf("disjoint similarity = %f; want 0", k.Similarity(a, disjoint))
+	}
+}
+
+func TestNeighborhoodDiscriminates(t *testing.T) {
+	// Same label multiset, different wiring: path C-O-C vs C-C-O. The
+	// kernel with depth 1 must prefer the graph with matching
+	// neighborhoods.
+	k := DefaultOA()
+	a := chain(0, 1, 0) // C-O-C
+	b := chain(0, 1, 0) // identical
+	c := chain(0, 0, 1) // C-C-O
+	sAB := k.Similarity(a, b)
+	sAC := k.Similarity(a, c)
+	if !(sAB > sAC) {
+		t.Errorf("identical wiring %f should beat different wiring %f", sAB, sAC)
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	k := DefaultOA()
+	if s := k.Similarity(graph.New(0, 0), chain(1, 2)); s != 0 {
+		t.Errorf("empty similarity = %f", s)
+	}
+}
+
+func TestMatrixSymmetricAndDiagonalDominant(t *testing.T) {
+	gen := chem.NewGenerator(5)
+	var db []*graph.Graph
+	for i := 0; i < 6; i++ {
+		db = append(db, gen.Molecule())
+	}
+	k := DefaultOA()
+	m := k.Matrix(db)
+	for i := range m {
+		for j := range m {
+			if m[i][j] != m[j][i] {
+				t.Fatalf("matrix asymmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+	// Self similarity should be at least the row mean (graphs match
+	// themselves at least as well as typical others).
+	for i := range m {
+		sum := 0.0
+		for j := range m {
+			sum += m[i][j]
+		}
+		if m[i][i] < sum/float64(len(m))-1e-9 {
+			t.Errorf("diagonal weak at %d: %f < row mean %f", i, m[i][i], sum/float64(len(m)))
+		}
+	}
+}
+
+func TestRowMatchesSimilarity(t *testing.T) {
+	gen := chem.NewGenerator(6)
+	var db []*graph.Graph
+	for i := 0; i < 4; i++ {
+		db = append(db, gen.Molecule())
+	}
+	k := DefaultOA()
+	row := k.Row(db[0], db)
+	for i, g := range db {
+		if row[i] != k.Similarity(db[0], g) {
+			t.Errorf("Row[%d] mismatch", i)
+		}
+	}
+}

@@ -1,0 +1,232 @@
+// Package leap is the pattern-based classification baseline standing in
+// for LEAP, structural leap search (Yan et al., SIGMOD 2008) — see
+// DESIGN.md, substitution 3. It mines subgraph patterns that discriminate
+// a positive from a negative graph set: candidates are enumerated by
+// gSpan over the positive set, scored by the G-test statistic between
+// their class-conditional frequencies, pruned with the frequency-envelope
+// upper bound (a pattern's descendants can never score above the bound
+// achieved by keeping all its positive support and dropping all negative
+// support), and reduced to a diverse top-k. Downstream, graphs become
+// binary pattern-occurrence feature vectors for a linear SVM.
+package leap
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"graphsig/internal/dfscode"
+	"graphsig/internal/graph"
+	"graphsig/internal/gspan"
+	"graphsig/internal/isomorph"
+)
+
+// Options configures discriminative mining.
+type Options struct {
+	// MinPosFreq is the minimum frequency in the positive set, as a
+	// fraction (default 0.15).
+	MinPosFreq float64
+	// TopK is the number of discriminative patterns retained
+	// (default 20).
+	TopK int
+	// MaxEdges bounds candidate size (default 10).
+	MaxEdges int
+	// Deadline aborts enumeration when exceeded (zero = none).
+	Deadline time.Time
+}
+
+func (o *Options) fill() {
+	if o.MinPosFreq <= 0 {
+		o.MinPosFreq = 0.15
+	}
+	if o.TopK <= 0 {
+		o.TopK = 20
+	}
+	if o.MaxEdges <= 0 {
+		o.MaxEdges = 10
+	}
+}
+
+// Pattern is a discriminative subgraph with its class statistics.
+type Pattern struct {
+	Graph *graph.Graph
+	// PosFreq and NegFreq are class-conditional frequencies in [0,1].
+	PosFreq, NegFreq float64
+	// Score is the G-test statistic of the frequency contrast.
+	Score float64
+}
+
+// GTest returns the G-test statistic contrasting a pattern's frequency p
+// in the positive class against q in the negative class (per-graph
+// Bernoulli formulation, as used by LEAP's objective family).
+func GTest(p, q float64) float64 {
+	return 2 * (term(p, q) + term(1-p, 1-q))
+}
+
+func term(p, q float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	if q <= 0 {
+		q = 1e-9 // smoothed: absent in the other class is maximal evidence
+	}
+	return p * math.Log(p/q)
+}
+
+// Mine returns the top-k discriminative patterns contrasting pos against
+// neg, using LEAP's frequency-descending strategy: candidates are
+// enumerated at a high positive-frequency threshold first (cheap,
+// high-quality patterns tend to be frequent in their own class), the
+// threshold halves each round, and mining stops once the frequency
+// envelope proves that no lower-frequency pattern can beat the current
+// k-th best score.
+func Mine(pos, neg []*graph.Graph, opt Options) []Pattern {
+	opt.fill()
+	if len(pos) == 0 {
+		return nil
+	}
+
+	scoredByKey := map[string]Pattern{}
+	minedAbove := len(pos) + 1 // support threshold of the previous round
+	for freq := 0.8; ; freq /= 2 {
+		if freq < opt.MinPosFreq {
+			freq = opt.MinPosFreq
+		}
+		minSup := int(math.Ceil(freq * float64(len(pos))))
+		if minSup < 1 {
+			minSup = 1
+		}
+		if minSup < minedAbove {
+			res := gspan.Mine(pos, gspan.Options{
+				MinSupport: minSup,
+				MaxEdges:   opt.MaxEdges,
+				Deadline:   opt.Deadline,
+			})
+			kth := kthBestScore(scoredByKey, opt.TopK)
+			scoreCandidates(res.Patterns, pos, neg, opt, minedAbove, scoredByKey, kth)
+			minedAbove = minSup
+		}
+		if freq <= opt.MinPosFreq {
+			break
+		}
+		if !opt.Deadline.IsZero() && time.Now().After(opt.Deadline) {
+			break
+		}
+		// Leap: a pattern first appearing below the next threshold has
+		// positive frequency < freq; even with zero negative support it
+		// scores at most GTest(freq, 0). If that cannot displace the
+		// current top k, descending further is fruitless.
+		if len(scoredByKey) >= opt.TopK && GTest(freq, 0) <= kthBestScore(scoredByKey, opt.TopK) {
+			break
+		}
+	}
+
+	scored := make([]Pattern, 0, len(scoredByKey))
+	for _, p := range scoredByKey {
+		scored = append(scored, p)
+	}
+	sort.Slice(scored, func(i, j int) bool {
+		if scored[i].Score != scored[j].Score {
+			return scored[i].Score > scored[j].Score
+		}
+		if scored[i].Graph.NumEdges() != scored[j].Graph.NumEdges() {
+			return scored[i].Graph.NumEdges() > scored[j].Graph.NumEdges()
+		}
+		return dfscode.Canonical(scored[i].Graph) < dfscode.Canonical(scored[j].Graph)
+	})
+	return diverseTopK(scored, opt.TopK)
+}
+
+// kthBestScore returns the k-th largest score among the scored patterns,
+// or 0 when fewer than k exist — the displacement bar a new pattern must
+// clear to enter the top k.
+func kthBestScore(scoredByKey map[string]Pattern, k int) float64 {
+	if len(scoredByKey) < k {
+		return 0
+	}
+	scores := make([]float64, 0, len(scoredByKey))
+	for _, p := range scoredByKey {
+		scores = append(scores, p.Score)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(scores)))
+	return scores[k-1]
+}
+
+// scoreCandidates scores the patterns of one descending round, skipping
+// those already scored in earlier rounds (support >= minedAbove) and
+// pruning patterns whose frequency envelope cannot clear the k-th best
+// score captured at round start.
+func scoreCandidates(cands []gspan.Pattern, pos, neg []*graph.Graph, opt Options,
+	minedAbove int, scoredByKey map[string]Pattern, kth float64) {
+	sort.Slice(cands, func(i, j int) bool { return cands[i].Support > cands[j].Support })
+	for _, cand := range cands {
+		if cand.Support >= minedAbove {
+			continue // scored in an earlier, higher-threshold round
+		}
+		if !opt.Deadline.IsZero() && time.Now().After(opt.Deadline) {
+			return
+		}
+		p := float64(cand.Support) / float64(len(pos))
+		if len(scoredByKey) >= opt.TopK && GTest(p, 0) <= kth {
+			continue
+		}
+		negSup := 0
+		if len(neg) > 0 {
+			negSup = isomorph.Support(cand.Graph, neg)
+		}
+		q := 0.0
+		if len(neg) > 0 {
+			q = float64(negSup) / float64(len(neg))
+		}
+		score := GTest(p, q)
+		key := dfscode.Canonical(cand.Graph)
+		scoredByKey[key] = Pattern{Graph: cand.Graph, PosFreq: p, NegFreq: q, Score: score}
+	}
+}
+
+// diverseTopK keeps the k best patterns, skipping patterns contained in
+// an already-kept pattern with the same score signature (near-duplicate
+// structural variants add no feature diversity).
+func diverseTopK(scored []Pattern, k int) []Pattern {
+	var out []Pattern
+	seen := map[string]bool{}
+	for _, cand := range scored {
+		if len(out) >= k {
+			break
+		}
+		key := dfscode.Canonical(cand.Graph)
+		if seen[key] {
+			continue
+		}
+		dup := false
+		for _, kept := range out {
+			if kept.PosFreq == cand.PosFreq && kept.NegFreq == cand.NegFreq &&
+				isomorph.SubgraphIsomorphic(cand.Graph, kept.Graph) {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		seen[key] = true
+		out = append(out, cand)
+	}
+	return out
+}
+
+// Featurize converts graphs to binary pattern-occurrence vectors over the
+// mined patterns, the representation LEAP feeds to its SVM.
+func Featurize(graphs []*graph.Graph, patterns []Pattern) [][]float64 {
+	out := make([][]float64, len(graphs))
+	for i, g := range graphs {
+		v := make([]float64, len(patterns))
+		for j, p := range patterns {
+			if isomorph.SubgraphIsomorphic(p.Graph, g) {
+				v[j] = 1
+			}
+		}
+		out[i] = v
+	}
+	return out
+}

@@ -1,0 +1,173 @@
+package leap
+
+import (
+	"math"
+	"testing"
+
+	"graphsig/internal/chem"
+	"graphsig/internal/graph"
+	"graphsig/internal/isomorph"
+)
+
+func TestGTest(t *testing.T) {
+	if GTest(0.5, 0.5) != 0 {
+		t.Error("equal frequencies should score 0")
+	}
+	if !(GTest(0.9, 0.1) > GTest(0.6, 0.4)) {
+		t.Error("larger contrast should score higher")
+	}
+	if g := GTest(0.5, 0); math.IsInf(g, 1) || g <= 0 {
+		t.Errorf("GTest(0.5, 0) = %f; want large finite", g)
+	}
+	// Symmetric-ish in direction of contrast: a pattern depleted in the
+	// positive class also scores.
+	if GTest(0.1, 0.9) <= 0 {
+		t.Error("depletion should score positive")
+	}
+}
+
+// plantedClasses builds positives carrying a core and negatives without.
+func plantedClasses(core *graph.Graph, nPos, nNeg int) (pos, neg []*graph.Graph) {
+	gen := chem.NewGenerator(17)
+	for i := 0; i < nPos; i++ {
+		m := gen.Molecule()
+		base := m.NumNodes()
+		for v := 0; v < core.NumNodes(); v++ {
+			m.AddNode(core.NodeLabel(v))
+		}
+		for _, e := range core.Edges() {
+			m.MustAddEdge(base+e.From, base+e.To, e.Label)
+		}
+		m.MustAddEdge(0, base, chem.BondSingle)
+		pos = append(pos, m)
+	}
+	for i := 0; i < nNeg; i++ {
+		neg = append(neg, gen.Molecule())
+	}
+	return pos, neg
+}
+
+func TestMineFindsDiscriminativeCore(t *testing.T) {
+	core := chem.SbCore()
+	pos, neg := plantedClasses(core, 15, 15)
+	patterns := Mine(pos, neg, Options{TopK: 10, MinPosFreq: 0.5, MaxEdges: 8})
+	if len(patterns) == 0 {
+		t.Fatal("no patterns mined")
+	}
+	// The top patterns must include one inside the planted core that is
+	// absent from negatives.
+	found := false
+	for _, p := range patterns[:min(5, len(patterns))] {
+		if p.NegFreq == 0 && p.PosFreq >= 0.9 && isomorph.SubgraphIsomorphic(p.Graph, core) && p.Graph.NumEdges() >= 2 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		for _, p := range patterns {
+			t.Logf("pattern %s pos=%.2f neg=%.2f score=%.2f", p.Graph, p.PosFreq, p.NegFreq, p.Score)
+		}
+		t.Error("no core fragment among top discriminative patterns")
+	}
+	// Scores must be sorted descending.
+	for i := 1; i < len(patterns); i++ {
+		if patterns[i].Score > patterns[i-1].Score {
+			t.Error("patterns not sorted by score")
+		}
+	}
+}
+
+func TestMineTopKBound(t *testing.T) {
+	core := chem.QuinoneCore()
+	pos, neg := plantedClasses(core, 10, 10)
+	patterns := Mine(pos, neg, Options{TopK: 3, MinPosFreq: 0.4, MaxEdges: 6})
+	if len(patterns) > 3 {
+		t.Errorf("got %d patterns; want <= 3", len(patterns))
+	}
+}
+
+func TestMineEmptyPositives(t *testing.T) {
+	if got := Mine(nil, nil, Options{}); got != nil {
+		t.Errorf("got %v; want nil", got)
+	}
+}
+
+func TestFeaturize(t *testing.T) {
+	core := chem.ThiopheneCore()
+	pos, neg := plantedClasses(core, 8, 8)
+	patterns := Mine(pos, neg, Options{TopK: 5, MinPosFreq: 0.5, MaxEdges: 6})
+	if len(patterns) == 0 {
+		t.Fatal("no patterns")
+	}
+	feats := Featurize(append(append([]*graph.Graph{}, pos...), neg...), patterns)
+	if len(feats) != 16 {
+		t.Fatalf("got %d feature vectors", len(feats))
+	}
+	for i, v := range feats {
+		if len(v) != len(patterns) {
+			t.Fatalf("vector %d has %d dims; want %d", i, len(v), len(patterns))
+		}
+		for j, x := range v {
+			want := 0.0
+			g := pos[i%8]
+			if i >= 8 {
+				g = neg[i-8]
+			}
+			if isomorph.SubgraphIsomorphic(patterns[j].Graph, g) {
+				want = 1
+			}
+			if x != want {
+				t.Fatalf("feats[%d][%d] = %f; want %f", i, j, x, want)
+			}
+		}
+	}
+	// Positives should average more pattern hits than negatives.
+	sum := func(vs [][]float64) float64 {
+		s := 0.0
+		for _, v := range vs {
+			for _, x := range v {
+				s += x
+			}
+		}
+		return s
+	}
+	if !(sum(feats[:8]) > sum(feats[8:])) {
+		t.Error("positives not richer in discriminative patterns")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// TestDescendingStrategyPreservesTopPattern: lowering the frequency
+// floor must not lose the best high-frequency discriminative pattern —
+// the leap bound only skips regions that provably cannot displace the
+// top k.
+func TestDescendingStrategyPreservesTopPattern(t *testing.T) {
+	core := chem.SbCore()
+	pos, neg := plantedClasses(core, 16, 16)
+	high := Mine(pos, neg, Options{TopK: 5, MinPosFreq: 0.5, MaxEdges: 6})
+	low := Mine(pos, neg, Options{TopK: 5, MinPosFreq: 0.05, MaxEdges: 6})
+	if len(high) == 0 || len(low) == 0 {
+		t.Fatal("no patterns")
+	}
+	if low[0].Score < high[0].Score-1e-9 {
+		t.Errorf("descending lost the top pattern: %f < %f", low[0].Score, high[0].Score)
+	}
+}
+
+func TestKthBestScore(t *testing.T) {
+	m := map[string]Pattern{
+		"a": {Score: 3}, "b": {Score: 1}, "c": {Score: 2},
+	}
+	if got := kthBestScore(m, 2); got != 2 {
+		t.Errorf("kth = %f; want 2", got)
+	}
+	if got := kthBestScore(m, 5); got != 0 {
+		t.Errorf("kth with few patterns = %f; want 0", got)
+	}
+}

@@ -1,0 +1,110 @@
+package metrics
+
+// Confusion is a binary confusion matrix.
+type Confusion struct {
+	TP, FP, TN, FN int
+}
+
+// Confusions tallies predictions (score > 0 means positive) against
+// labels.
+func Confusions(scores []float64, labels []bool) Confusion {
+	var c Confusion
+	for i, s := range scores {
+		switch {
+		case s > 0 && labels[i]:
+			c.TP++
+		case s > 0 && !labels[i]:
+			c.FP++
+		case s <= 0 && labels[i]:
+			c.FN++
+		default:
+			c.TN++
+		}
+	}
+	return c
+}
+
+// Accuracy returns (TP+TN)/total, or 0 for an empty matrix.
+func (c Confusion) Accuracy() float64 {
+	total := c.TP + c.FP + c.TN + c.FN
+	if total == 0 {
+		return 0
+	}
+	return float64(c.TP+c.TN) / float64(total)
+}
+
+// Precision returns TP/(TP+FP), or 0 when nothing was predicted positive.
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP/(TP+FN), or 0 when there are no positives.
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall (0 when both are
+// 0).
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// AveragePrecision computes the area under the precision-recall curve by
+// the step-wise interpolation over descending scores (ties grouped).
+// Returns 0 when there are no positives.
+func AveragePrecision(scores []float64, labels []bool) float64 {
+	if len(scores) != len(labels) {
+		panic("metrics: scores/labels length mismatch")
+	}
+	type pair struct {
+		score float64
+		pos   bool
+	}
+	ps := make([]pair, len(scores))
+	nPos := 0
+	for i := range scores {
+		ps[i] = pair{scores[i], labels[i]}
+		if labels[i] {
+			nPos++
+		}
+	}
+	if nPos == 0 {
+		return 0
+	}
+	// Sort descending by score.
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0 && ps[j].score > ps[j-1].score; j-- {
+			ps[j], ps[j-1] = ps[j-1], ps[j]
+		}
+	}
+	ap := 0.0
+	tp := 0
+	i := 0
+	for i < len(ps) {
+		j := i
+		groupTP := 0
+		for j < len(ps) && ps[j].score == ps[i].score {
+			if ps[j].pos {
+				groupTP++
+			}
+			j++
+		}
+		if groupTP > 0 {
+			tp += groupTP
+			precision := float64(tp) / float64(j)
+			ap += precision * float64(groupTP)
+		}
+		i = j
+	}
+	return ap / float64(nPos)
+}

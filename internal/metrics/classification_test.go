@@ -1,0 +1,72 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestConfusions(t *testing.T) {
+	scores := []float64{1, 1, -1, -1, 1, -1}
+	labels := []bool{true, false, true, false, true, false}
+	c := Confusions(scores, labels)
+	if c.TP != 2 || c.FP != 1 || c.FN != 1 || c.TN != 2 {
+		t.Fatalf("confusion = %+v", c)
+	}
+	if got := c.Accuracy(); math.Abs(got-4.0/6) > 1e-12 {
+		t.Errorf("accuracy = %f", got)
+	}
+	if got := c.Precision(); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("precision = %f", got)
+	}
+	if got := c.Recall(); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("recall = %f", got)
+	}
+	if got := c.F1(); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("F1 = %f", got)
+	}
+}
+
+func TestConfusionEdgeCases(t *testing.T) {
+	var c Confusion
+	if c.Accuracy() != 0 || c.Precision() != 0 || c.Recall() != 0 || c.F1() != 0 {
+		t.Error("empty confusion should be all zeros")
+	}
+	// No predicted positives.
+	c = Confusion{TN: 5, FN: 2}
+	if c.Precision() != 0 {
+		t.Error("precision with no predictions should be 0")
+	}
+}
+
+func TestAveragePrecisionPerfect(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	labels := []bool{true, true, false, false}
+	if got := AveragePrecision(scores, labels); got != 1 {
+		t.Errorf("AP = %f; want 1", got)
+	}
+}
+
+func TestAveragePrecisionKnown(t *testing.T) {
+	// Ranking: pos, neg, pos, neg. Precisions at hits: 1/1 and 2/3.
+	scores := []float64{4, 3, 2, 1}
+	labels := []bool{true, false, true, false}
+	want := (1.0 + 2.0/3) / 2
+	if got := AveragePrecision(scores, labels); math.Abs(got-want) > 1e-12 {
+		t.Errorf("AP = %f; want %f", got, want)
+	}
+}
+
+func TestAveragePrecisionNoPositives(t *testing.T) {
+	if got := AveragePrecision([]float64{1, 2}, []bool{false, false}); got != 0 {
+		t.Errorf("AP = %f; want 0", got)
+	}
+}
+
+func TestAveragePrecisionTies(t *testing.T) {
+	// All scores tied: group precision = nPos/n applies to each hit.
+	scores := []float64{1, 1, 1, 1}
+	labels := []bool{true, false, true, false}
+	if got := AveragePrecision(scores, labels); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("AP = %f; want 0.5", got)
+	}
+}

@@ -1,0 +1,145 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"graphsig/internal/chem"
+	"graphsig/internal/graph"
+)
+
+// Client is a typed client for the GraphSig HTTP service.
+type Client struct {
+	// BaseURL is the service root, e.g. "http://localhost:8080".
+	BaseURL string
+	// HTTP is the underlying client (http.DefaultClient when nil).
+	HTTP *http.Client
+}
+
+// NewClient returns a client for the service at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: baseURL}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// Stats returns the served database's summary.
+func (c *Client) Stats() (graphs int, avgAtoms, avgBonds float64, err error) {
+	var out statsResponse
+	if err := c.get("/stats", &out); err != nil {
+		return 0, 0, 0, err
+	}
+	return out.Graphs, out.AvgAtoms, out.AvgBonds, nil
+}
+
+// MineOptions configures a remote mine.
+type MineOptions struct {
+	MaxPvalue  float64
+	MinFreqPct float64
+	Radius     int
+	TopK       int
+	TimeoutMs  int
+	Limit      int
+}
+
+// MinedPattern is one remotely mined significant subgraph.
+type MinedPattern struct {
+	// Graph is the pattern parsed back from the service's SMILES.
+	Graph     *graph.Graph
+	SMILES    string
+	PValue    float64
+	Support   int
+	Frequency float64
+}
+
+// Mine runs GraphSig on the served database.
+func (c *Client) Mine(opt MineOptions) ([]MinedPattern, bool, error) {
+	req := mineRequest{
+		MaxPvalue:  opt.MaxPvalue,
+		MinFreqPct: opt.MinFreqPct,
+		Radius:     opt.Radius,
+		TopK:       opt.TopK,
+		TimeoutMs:  opt.TimeoutMs,
+		Limit:      opt.Limit,
+	}
+	var out mineResponse
+	if err := c.post("/mine", req, &out); err != nil {
+		return nil, false, err
+	}
+	patterns := make([]MinedPattern, 0, len(out.Patterns))
+	for _, p := range out.Patterns {
+		g, err := chem.ParseSMILES(p.SMILES)
+		if err != nil {
+			return nil, false, fmt.Errorf("server returned unparseable pattern %q: %w", p.SMILES, err)
+		}
+		patterns = append(patterns, MinedPattern{
+			Graph:     g,
+			SMILES:    p.SMILES,
+			PValue:    p.PValue,
+			Support:   p.Support,
+			Frequency: p.Frequency,
+		})
+	}
+	return patterns, out.Truncated, nil
+}
+
+// Query returns the ids of served graphs containing the SMILES pattern.
+func (c *Client) Query(smiles string) ([]int, error) {
+	var out queryResponse
+	if err := c.post("/query", smilesRequest{SMILES: smiles}, &out); err != nil {
+		return nil, err
+	}
+	return out.IDs, nil
+}
+
+// Significance evaluates one pattern's support, frequency and p-value
+// against the served database.
+func (c *Client) Significance(smiles string) (support int, frequency, pValue float64, err error) {
+	var out significanceResponse
+	if err := c.post("/significance", smilesRequest{SMILES: smiles}, &out); err != nil {
+		return 0, 0, 0, err
+	}
+	return out.Support, out.Frequency, out.PValue, nil
+}
+
+func (c *Client) get(path string, out any) error {
+	resp, err := c.httpClient().Get(c.BaseURL + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return decodeResponse(resp, out)
+}
+
+func (c *Client) post(path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Post(c.BaseURL+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return decodeResponse(resp, out)
+}
+
+func decodeResponse(resp *http.Response, out any) error {
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			return fmt.Errorf("server: %s (status %d)", e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("server: status %d", resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

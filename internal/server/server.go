@@ -1,0 +1,239 @@
+// Package server exposes a loaded chemical screen over HTTP: significant-
+// subgraph mining, indexed substructure search, and single-pattern
+// significance evaluation. Molecules cross the wire as SMILES; everything
+// else is JSON. The server is read-only over its database and safe for
+// concurrent requests.
+//
+//	POST /mine          {"maxPvalue":0.1,"minFreqPct":0.1,"radius":4,"topK":0,"timeoutMs":30000}
+//	POST /query         {"smiles":"c1ccccc1"}
+//	POST /significance  {"smiles":"[Sb](O)(O)O"}
+//	GET  /stats
+//	GET  /healthz
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"graphsig/internal/chem"
+	"graphsig/internal/core"
+	"graphsig/internal/gindex"
+	"graphsig/internal/graph"
+	"graphsig/internal/rwr"
+)
+
+// Server answers mining and search requests over one immutable database.
+type Server struct {
+	db    []*graph.Graph
+	alpha *graph.Alphabet
+
+	mu    sync.Mutex
+	index *gindex.Index // built lazily on the first /query
+
+	vecOnce sync.Once
+	vectors []rwr.NodeVector // built lazily on the first /significance
+	vecCfg  core.Config
+}
+
+// New creates a server over db. Node labels must follow the standard
+// chemistry alphabet (datagen output or SMILES input qualify).
+func New(db []*graph.Graph) *Server {
+	return &Server{db: db, alpha: chem.Alphabet(), vecCfg: core.Defaults()}
+}
+
+// Handler returns the HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("POST /mine", s.handleMine)
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("POST /significance", s.handleSignificance)
+	return mux
+}
+
+type statsResponse struct {
+	Graphs   int     `json:"graphs"`
+	AvgAtoms float64 `json:"avgAtoms"`
+	AvgBonds float64 `json:"avgBonds"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	atoms, bonds := 0, 0
+	for _, g := range s.db {
+		atoms += g.NumNodes()
+		bonds += g.NumEdges()
+	}
+	resp := statsResponse{Graphs: len(s.db)}
+	if len(s.db) > 0 {
+		resp.AvgAtoms = float64(atoms) / float64(len(s.db))
+		resp.AvgBonds = float64(bonds) / float64(len(s.db))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type mineRequest struct {
+	MaxPvalue  float64 `json:"maxPvalue"`
+	MinFreqPct float64 `json:"minFreqPct"`
+	Radius     int     `json:"radius"`
+	TopK       int     `json:"topK"`
+	TimeoutMs  int     `json:"timeoutMs"`
+	Limit      int     `json:"limit"`
+}
+
+type minedPattern struct {
+	SMILES    string  `json:"smiles"`
+	PValue    float64 `json:"pValue"`
+	Support   int     `json:"support"`
+	Frequency float64 `json:"frequency"`
+	Nodes     int     `json:"nodes"`
+	Edges     int     `json:"edges"`
+}
+
+type mineResponse struct {
+	Patterns  []minedPattern `json:"patterns"`
+	Truncated bool           `json:"truncated"`
+	ElapsedMs int64          `json:"elapsedMs"`
+}
+
+func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
+	var req mineRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	cfg := core.Defaults()
+	if req.MaxPvalue > 0 {
+		cfg.MaxPvalue = req.MaxPvalue
+	}
+	if req.MinFreqPct > 0 {
+		cfg.MinFreqPct = req.MinFreqPct
+	}
+	if req.Radius > 0 {
+		cfg.CutoffRadius = req.Radius
+	}
+	cfg.TopKPerLabel = req.TopK
+	if req.TimeoutMs > 0 {
+		cfg.Deadline = time.Now().Add(time.Duration(req.TimeoutMs) * time.Millisecond)
+	}
+	t0 := time.Now()
+	res := core.Mine(s.db, cfg)
+	resp := mineResponse{Truncated: res.Truncated, ElapsedMs: time.Since(t0).Milliseconds()}
+	limit := req.Limit
+	if limit <= 0 || limit > len(res.Subgraphs) {
+		limit = len(res.Subgraphs)
+	}
+	for _, sg := range res.Subgraphs[:limit] {
+		smiles, err := chem.WriteSMILES(sg.Graph)
+		if err != nil {
+			continue
+		}
+		resp.Patterns = append(resp.Patterns, minedPattern{
+			SMILES:    smiles,
+			PValue:    sg.VectorPValue,
+			Support:   sg.Support,
+			Frequency: sg.Frequency,
+			Nodes:     sg.Graph.NumNodes(),
+			Edges:     sg.Graph.NumEdges(),
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type smilesRequest struct {
+	SMILES string `json:"smiles"`
+}
+
+type queryResponse struct {
+	IDs     []int `json:"ids"`
+	Support int   `json:"support"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	pattern, ok := s.decodeSMILES(w, r)
+	if !ok {
+		return
+	}
+	ids := s.lazyIndex().Query(pattern)
+	if ids == nil {
+		ids = []int{}
+	}
+	writeJSON(w, http.StatusOK, queryResponse{IDs: ids, Support: len(ids)})
+}
+
+type significanceResponse struct {
+	Support   int     `json:"support"`
+	Frequency float64 `json:"frequency"`
+	PValue    float64 `json:"pValue"`
+	LogPValue float64 `json:"logPValue"`
+}
+
+func (s *Server) handleSignificance(w http.ResponseWriter, r *http.Request) {
+	pattern, ok := s.decodeSMILES(w, r)
+	if !ok {
+		return
+	}
+	s.vecOnce.Do(func() {
+		fs := core.BuildFeatureSet(s.db, s.vecCfg)
+		s.vectors = rwr.DatabaseVectors(s.db, fs, rwr.Config{Alpha: s.vecCfg.Alpha, Bins: s.vecCfg.Bins})
+	})
+	stats := core.EvaluateSubgraph(s.db, s.vectors, pattern, s.vecCfg)
+	writeJSON(w, http.StatusOK, significanceResponse{
+		Support:   stats.Support,
+		Frequency: stats.Frequency,
+		PValue:    stats.PValue,
+		LogPValue: stats.LogPValue,
+	})
+}
+
+func (s *Server) decodeSMILES(w http.ResponseWriter, r *http.Request) (*graph.Graph, bool) {
+	var req smilesRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return nil, false
+	}
+	if req.SMILES == "" {
+		httpError(w, http.StatusBadRequest, "missing smiles")
+		return nil, false
+	}
+	g, err := chem.ParseSMILES(req.SMILES)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return nil, false
+	}
+	if g.NumNodes() == 0 {
+		httpError(w, http.StatusBadRequest, "empty pattern")
+		return nil, false
+	}
+	return g, true
+}
+
+// lazyIndex builds the substructure index on first use.
+func (s *Server) lazyIndex() *gindex.Index {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.index == nil {
+		s.index = gindex.BuildFrequent(s.db, gindex.FrequentOptions{
+			MinSupportPct:   10,
+			MaxPatternEdges: 3,
+			MaxPatterns:     128,
+		})
+	}
+	return s.index
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

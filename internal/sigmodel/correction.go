@@ -1,0 +1,52 @@
+package sigmodel
+
+import (
+	"math"
+	"sort"
+)
+
+// Multiple-testing corrections. FVMine evaluates a large family of
+// candidate vectors; a production deployment may want family-wise or
+// false-discovery-rate control on top of the paper's raw threshold.
+
+// BonferroniThreshold returns the per-test log p-value threshold that
+// controls the family-wise error rate at alpha over m tests:
+// log(alpha / m).
+func BonferroniThreshold(alpha float64, m int) float64 {
+	if m < 1 {
+		m = 1
+	}
+	return math.Log(alpha) - math.Log(float64(m))
+}
+
+// BenjaminiHochberg applies the FDR procedure at level alpha to a slice
+// of log p-values and returns a keep-mask: keep[i] is true when test i
+// survives. The input is not modified.
+func BenjaminiHochberg(logPValues []float64, alpha float64) []bool {
+	n := len(logPValues)
+	keep := make([]bool, n)
+	if n == 0 {
+		return keep
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return logPValues[order[a]] < logPValues[order[b]]
+	})
+	// Find the largest k with p_(k) <= (k/n)·alpha, in log space.
+	cut := -1
+	logAlpha := math.Log(alpha)
+	for k := n - 1; k >= 0; k-- {
+		bound := logAlpha + math.Log(float64(k+1)) - math.Log(float64(n))
+		if logPValues[order[k]] <= bound {
+			cut = k
+			break
+		}
+	}
+	for k := 0; k <= cut; k++ {
+		keep[order[k]] = true
+	}
+	return keep
+}

@@ -1,0 +1,90 @@
+package sigmodel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBonferroniThreshold(t *testing.T) {
+	// alpha=0.05 over 100 tests: per-test threshold 5e-4.
+	got := BonferroniThreshold(0.05, 100)
+	if math.Abs(got-math.Log(5e-4)) > 1e-12 {
+		t.Errorf("threshold = %f; want log(5e-4)", got)
+	}
+	if BonferroniThreshold(0.05, 0) != math.Log(0.05) {
+		t.Error("m<1 should behave as m=1")
+	}
+}
+
+func TestBenjaminiHochbergKnown(t *testing.T) {
+	// Classic example: p = {0.01, 0.02, 0.03, 0.50}, alpha = 0.05.
+	// Bounds: 0.0125, 0.025, 0.0375, 0.05. Largest k with p_(k) <= bound
+	// is k=3 (0.03 <= 0.0375), so the first three survive.
+	ps := []float64{0.01, 0.5, 0.03, 0.02}
+	logs := make([]float64, len(ps))
+	for i, p := range ps {
+		logs[i] = math.Log(p)
+	}
+	keep := BenjaminiHochberg(logs, 0.05)
+	want := []bool{true, false, true, true}
+	for i := range want {
+		if keep[i] != want[i] {
+			t.Errorf("keep[%d] = %v; want %v", i, keep[i], want[i])
+		}
+	}
+}
+
+func TestBenjaminiHochbergAllLarge(t *testing.T) {
+	logs := []float64{math.Log(0.9), math.Log(0.8)}
+	for i, k := range BenjaminiHochberg(logs, 0.05) {
+		if k {
+			t.Errorf("keep[%d] = true for non-significant p", i)
+		}
+	}
+}
+
+func TestBenjaminiHochbergEmpty(t *testing.T) {
+	if got := BenjaminiHochberg(nil, 0.05); len(got) != 0 {
+		t.Errorf("got %v", got)
+	}
+}
+
+// Property: BH keeps a downward-closed set in p-value order, and is at
+// least as permissive as Bonferroni.
+func TestPropertyBHDownwardClosedAndDominatesBonferroni(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 1 + rr.Intn(30)
+		logs := make([]float64, n)
+		for i := range logs {
+			logs[i] = math.Log(rr.Float64())
+		}
+		alpha := 0.01 + 0.2*rr.Float64()
+		keep := BenjaminiHochberg(logs, alpha)
+		// Downward closed: if a p-value is kept, every smaller one is too.
+		for i := range logs {
+			if !keep[i] {
+				continue
+			}
+			for j := range logs {
+				if logs[j] <= logs[i] && !keep[j] {
+					return false
+				}
+			}
+		}
+		// Dominates Bonferroni.
+		bon := BonferroniThreshold(alpha, n)
+		for i := range logs {
+			if logs[i] <= bon && !keep[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: r}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,237 @@
+// Package svm provides the two support-vector machines used by the
+// classification baselines (LIBSVM substitute, see DESIGN.md): a linear
+// SVM trained with the Pegasos stochastic subgradient method for the
+// pattern-feature classifier, and a kernel SVM trained with a simplified
+// SMO over a precomputed kernel matrix for the optimal-assignment kernel
+// classifier.
+package svm
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Linear is a linear SVM. Train with TrainLinear.
+type Linear struct {
+	// W are the learned weights; Bias the learned intercept.
+	W    []float64
+	Bias float64
+}
+
+// LinearOptions configures Pegasos training.
+type LinearOptions struct {
+	// Lambda is the regularization strength (default 1e-3).
+	Lambda float64
+	// Epochs is the number of passes over the data (default 40).
+	Epochs int
+	// Seed drives the sampling order.
+	Seed int64
+}
+
+// TrainLinear fits a linear SVM on feature vectors x with labels y
+// (true = positive class) using the Pegasos projected stochastic
+// subgradient method. A constant bias feature is handled internally.
+func TrainLinear(x [][]float64, y []bool, opt LinearOptions) *Linear {
+	if len(x) == 0 {
+		return &Linear{}
+	}
+	if opt.Lambda <= 0 {
+		opt.Lambda = 1e-3
+	}
+	if opt.Epochs <= 0 {
+		opt.Epochs = 40
+	}
+	dim := len(x[0])
+	w := make([]float64, dim)
+	bias := 0.0
+	rng := rand.New(rand.NewSource(opt.Seed))
+	t := 0
+	for epoch := 0; epoch < opt.Epochs; epoch++ {
+		order := rng.Perm(len(x))
+		for _, i := range order {
+			t++
+			eta := 1 / (opt.Lambda * float64(t))
+			yi := -1.0
+			if y[i] {
+				yi = 1
+			}
+			margin := yi * (dot(w, x[i]) + bias)
+			for d := range w {
+				w[d] *= 1 - eta*opt.Lambda
+			}
+			if margin < 1 {
+				for d := range w {
+					w[d] += eta * yi * x[i][d]
+				}
+				bias += eta * yi
+			}
+			// Project onto the 1/sqrt(lambda) ball.
+			norm := math.Sqrt(dot(w, w))
+			bound := 1 / math.Sqrt(opt.Lambda)
+			if norm > bound {
+				scale := bound / norm
+				for d := range w {
+					w[d] *= scale
+				}
+			}
+		}
+	}
+	return &Linear{W: w, Bias: bias}
+}
+
+// Decision returns the signed decision value for a feature vector.
+func (l *Linear) Decision(x []float64) float64 {
+	if len(l.W) == 0 {
+		return 0
+	}
+	return dot(l.W, x) + l.Bias
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Kernel is a kernel SVM trained on a precomputed kernel matrix.
+type Kernel struct {
+	// Alpha are the per-example dual coefficients (alpha_i * y_i).
+	Alpha []float64
+	Bias  float64
+}
+
+// KernelOptions configures the simplified SMO trainer.
+type KernelOptions struct {
+	// C is the box constraint (default 1).
+	C float64
+	// Tol is the KKT tolerance (default 1e-3).
+	Tol float64
+	// MaxPasses is the number of consecutive alpha-stable passes before
+	// stopping (default 5); MaxIter caps total passes (default 200).
+	MaxPasses int
+	MaxIter   int
+	// Seed drives partner selection.
+	Seed int64
+}
+
+// TrainKernel fits a C-SVC on a precomputed symmetric kernel matrix k
+// (k[i][j] = K(x_i, x_j)) with labels y, using Platt's simplified SMO.
+func TrainKernel(k [][]float64, y []bool, opt KernelOptions) *Kernel {
+	n := len(k)
+	if n == 0 {
+		return &Kernel{}
+	}
+	if opt.C <= 0 {
+		opt.C = 1
+	}
+	if opt.Tol <= 0 {
+		opt.Tol = 1e-3
+	}
+	if opt.MaxPasses <= 0 {
+		opt.MaxPasses = 5
+	}
+	if opt.MaxIter <= 0 {
+		opt.MaxIter = 200
+	}
+	ys := make([]float64, n)
+	for i, v := range y {
+		if v {
+			ys[i] = 1
+		} else {
+			ys[i] = -1
+		}
+	}
+	alpha := make([]float64, n)
+	b := 0.0
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	f := func(i int) float64 {
+		s := b
+		for j := 0; j < n; j++ {
+			if alpha[j] != 0 {
+				s += alpha[j] * ys[j] * k[j][i]
+			}
+		}
+		return s
+	}
+
+	passes, iter := 0, 0
+	for passes < opt.MaxPasses && iter < opt.MaxIter {
+		changed := 0
+		for i := 0; i < n; i++ {
+			ei := f(i) - ys[i]
+			if (ys[i]*ei < -opt.Tol && alpha[i] < opt.C) || (ys[i]*ei > opt.Tol && alpha[i] > 0) {
+				j := rng.Intn(n - 1)
+				if j >= i {
+					j++
+				}
+				ej := f(j) - ys[j]
+				ai, aj := alpha[i], alpha[j]
+				var lo, hi float64
+				if ys[i] != ys[j] {
+					lo = math.Max(0, aj-ai)
+					hi = math.Min(opt.C, opt.C+aj-ai)
+				} else {
+					lo = math.Max(0, ai+aj-opt.C)
+					hi = math.Min(opt.C, ai+aj)
+				}
+				if lo == hi {
+					continue
+				}
+				eta := 2*k[i][j] - k[i][i] - k[j][j]
+				if eta >= 0 {
+					continue
+				}
+				alpha[j] = aj - ys[j]*(ei-ej)/eta
+				if alpha[j] > hi {
+					alpha[j] = hi
+				}
+				if alpha[j] < lo {
+					alpha[j] = lo
+				}
+				if math.Abs(alpha[j]-aj) < 1e-7 {
+					alpha[j] = aj
+					continue
+				}
+				alpha[i] = ai + ys[i]*ys[j]*(aj-alpha[j])
+				b1 := b - ei - ys[i]*(alpha[i]-ai)*k[i][i] - ys[j]*(alpha[j]-aj)*k[i][j]
+				b2 := b - ej - ys[i]*(alpha[i]-ai)*k[i][j] - ys[j]*(alpha[j]-aj)*k[j][j]
+				switch {
+				case alpha[i] > 0 && alpha[i] < opt.C:
+					b = b1
+				case alpha[j] > 0 && alpha[j] < opt.C:
+					b = b2
+				default:
+					b = (b1 + b2) / 2
+				}
+				changed++
+			}
+		}
+		if changed == 0 {
+			passes++
+		} else {
+			passes = 0
+		}
+		iter++
+	}
+	return &Kernel{Alpha: alpha, Bias: b}
+}
+
+// Decision returns the decision value for a test point given its kernel
+// row against the training set and the training labels.
+func (m *Kernel) Decision(kernelRow []float64, y []bool) float64 {
+	s := m.Bias
+	for i, a := range m.Alpha {
+		if a == 0 {
+			continue
+		}
+		yi := -1.0
+		if y[i] {
+			yi = 1
+		}
+		s += a * yi * kernelRow[i]
+	}
+	return s
+}

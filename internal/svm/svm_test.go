@@ -1,0 +1,145 @@
+package svm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"graphsig/internal/metrics"
+)
+
+// separable2D builds a linearly separable 2D dataset.
+func separable2D(r *rand.Rand, n int) (x [][]float64, y []bool) {
+	for i := 0; i < n; i++ {
+		pos := i%2 == 0
+		cx, cy := -2.0, -2.0
+		if pos {
+			cx, cy = 2.0, 2.0
+		}
+		x = append(x, []float64{cx + r.NormFloat64()*0.5, cy + r.NormFloat64()*0.5})
+		y = append(y, pos)
+	}
+	return x, y
+}
+
+func TestLinearSeparable(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	x, y := separable2D(r, 80)
+	m := TrainLinear(x, y, LinearOptions{Seed: 1})
+	correct := 0
+	for i := range x {
+		if (m.Decision(x[i]) > 0) == y[i] {
+			correct++
+		}
+	}
+	if correct < 78 {
+		t.Errorf("accuracy %d/80 on separable data", correct)
+	}
+}
+
+func TestLinearAUC(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	x, y := separable2D(r, 60)
+	m := TrainLinear(x, y, LinearOptions{Seed: 2})
+	scores := make([]float64, len(x))
+	for i := range x {
+		scores[i] = m.Decision(x[i])
+	}
+	if auc := metrics.AUC(scores, y); auc < 0.99 {
+		t.Errorf("AUC = %f on separable data", auc)
+	}
+}
+
+func TestLinearDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	x, y := separable2D(r, 40)
+	a := TrainLinear(x, y, LinearOptions{Seed: 7})
+	b := TrainLinear(x, y, LinearOptions{Seed: 7})
+	for i := range a.W {
+		if a.W[i] != b.W[i] {
+			t.Fatal("training not deterministic")
+		}
+	}
+	if a.Bias != b.Bias {
+		t.Fatal("bias differs")
+	}
+}
+
+func TestLinearEmpty(t *testing.T) {
+	m := TrainLinear(nil, nil, LinearOptions{})
+	if m.Decision([]float64{1, 2}) != 0 {
+		t.Error("empty model should return 0")
+	}
+}
+
+// xorKernel builds the XOR dataset with an RBF-like precomputed kernel,
+// which a linear model cannot separate but a kernel SVM can.
+func xorData() (pts [][]float64, y []bool) {
+	base := [][]float64{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	lab := []bool{false, true, true, false}
+	r := rand.New(rand.NewSource(4))
+	for rep := 0; rep < 10; rep++ {
+		for i, b := range base {
+			pts = append(pts, []float64{b[0] + r.NormFloat64()*0.05, b[1] + r.NormFloat64()*0.05})
+			y = append(y, lab[i])
+		}
+	}
+	return pts, y
+}
+
+func rbf(a, b []float64) float64 {
+	d := 0.0
+	for i := range a {
+		diff := a[i] - b[i]
+		d += diff * diff
+	}
+	return math.Exp(-3 * d)
+}
+
+func TestKernelXOR(t *testing.T) {
+	pts, y := xorData()
+	n := len(pts)
+	k := make([][]float64, n)
+	for i := range k {
+		k[i] = make([]float64, n)
+		for j := range k[i] {
+			k[i][j] = rbf(pts[i], pts[j])
+		}
+	}
+	m := TrainKernel(k, y, KernelOptions{C: 10, Seed: 5})
+	correct := 0
+	for i := 0; i < n; i++ {
+		if (m.Decision(k[i], y) > 0) == y[i] {
+			correct++
+		}
+	}
+	if correct < n-2 {
+		t.Errorf("kernel SVM got %d/%d on XOR", correct, n)
+	}
+}
+
+func TestKernelEmpty(t *testing.T) {
+	m := TrainKernel(nil, nil, KernelOptions{})
+	if m.Decision(nil, nil) != 0 {
+		t.Error("empty kernel model should return 0")
+	}
+}
+
+func TestKernelAlphasBoxed(t *testing.T) {
+	pts, y := xorData()
+	n := len(pts)
+	k := make([][]float64, n)
+	for i := range k {
+		k[i] = make([]float64, n)
+		for j := range k[i] {
+			k[i][j] = rbf(pts[i], pts[j])
+		}
+	}
+	const c = 2.5
+	m := TrainKernel(k, y, KernelOptions{C: c, Seed: 6})
+	for i, a := range m.Alpha {
+		if a < -1e-9 || a > c+1e-9 {
+			t.Errorf("alpha[%d] = %f outside [0, %f]", i, a, c)
+		}
+	}
+}

@@ -1,0 +1,203 @@
+// Package textchart renders small scatter/line charts as text, so that
+// cmd/experiments can draw the paper's figures (runtime-vs-threshold
+// curves, the p-value/frequency scatter) directly in the terminal.
+// Rendering is deterministic: fixed input produces identical output.
+package textchart
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Point is one chart point. DNF points (runs that exceeded their budget)
+// are drawn pinned to the top of the plot with a '^' marker.
+type Point struct {
+	X, Y float64
+	DNF  bool
+}
+
+// Series is a named point set; each series gets its own marker rune.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Options controls the canvas.
+type Options struct {
+	// Width and Height are the plot area size in characters
+	// (defaults 60×16).
+	Width, Height int
+	// LogY/LogX use log10 scales (nonpositive values are clamped to the
+	// smallest positive value present).
+	LogY, LogX bool
+	// XLabel/YLabel annotate the axes.
+	XLabel, YLabel string
+}
+
+var markers = []rune{'*', 'o', '+', 'x', '#', '@'}
+
+// Render draws the chart to w.
+func Render(w io.Writer, title string, series []Series, opt Options) {
+	if opt.Width <= 0 {
+		opt.Width = 60
+	}
+	if opt.Height <= 0 {
+		opt.Height = 16
+	}
+	xs, ys := collect(series, opt)
+	if len(xs) == 0 {
+		fmt.Fprintf(w, "%s: (no data)\n", title)
+		return
+	}
+	xMin, xMax := minMax(xs)
+	yMin, yMax := minMax(ys)
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+
+	grid := make([][]rune, opt.Height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", opt.Width))
+	}
+	for si, s := range series {
+		marker := markers[si%len(markers)]
+		for _, p := range s.Points {
+			col := scaleTo(tx(p.X, opt), xMin, xMax, opt.Width-1)
+			var row int
+			if p.DNF {
+				row = 0
+			} else {
+				row = opt.Height - 1 - scaleTo(ty(p.Y, opt, ys), yMin, yMax, opt.Height-1)
+			}
+			m := marker
+			if p.DNF {
+				m = '^'
+			}
+			if grid[row][col] != ' ' && grid[row][col] != m {
+				grid[row][col] = '&' // overlapping series
+			} else {
+				grid[row][col] = m
+			}
+		}
+	}
+
+	fmt.Fprintf(w, "%s\n", title)
+	yTop := label(yMax, opt.LogY)
+	yBot := label(yMin, opt.LogY)
+	pad := len(yTop)
+	if len(yBot) > pad {
+		pad = len(yBot)
+	}
+	for r, row := range grid {
+		prefix := strings.Repeat(" ", pad)
+		switch r {
+		case 0:
+			prefix = fmt.Sprintf("%*s", pad, yTop)
+		case opt.Height - 1:
+			prefix = fmt.Sprintf("%*s", pad, yBot)
+		}
+		fmt.Fprintf(w, "%s |%s\n", prefix, string(row))
+	}
+	fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", pad), strings.Repeat("-", opt.Width))
+	fmt.Fprintf(w, "%s  %-*s%s\n", strings.Repeat(" ", pad), opt.Width-len(label(xMax, opt.LogX)), label(xMin, opt.LogX), label(xMax, opt.LogX))
+	var legend []string
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c=%s", markers[si%len(markers)], s.Name))
+	}
+	if opt.XLabel != "" || opt.YLabel != "" {
+		fmt.Fprintf(w, "  x: %s   y: %s   (^ = DNF)\n", opt.XLabel, opt.YLabel)
+	}
+	fmt.Fprintf(w, "  %s\n", strings.Join(legend, "  "))
+}
+
+// collect gathers transformed coordinates; DNF points contribute X only.
+func collect(series []Series, opt Options) (xs, ys []float64) {
+	for _, s := range series {
+		for _, p := range s.Points {
+			xs = append(xs, tx(p.X, opt))
+			if !p.DNF {
+				ys = append(ys, tyRaw(p.Y, opt))
+			}
+		}
+	}
+	return xs, ys
+}
+
+func tx(x float64, opt Options) float64 {
+	if opt.LogX {
+		return safeLog(x)
+	}
+	return x
+}
+
+func tyRaw(y float64, opt Options) float64 {
+	if opt.LogY {
+		return safeLog(y)
+	}
+	return y
+}
+
+func ty(y float64, opt Options, population []float64) float64 {
+	v := tyRaw(y, opt)
+	// Clamp into the observed range so DNF-free series stay in frame.
+	lo, hi := minMax(population)
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func safeLog(v float64) float64 {
+	if v <= 0 {
+		return -18 // sentinel floor for log scales
+	}
+	return math.Log10(v)
+}
+
+func minMax(vs []float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, v := range vs {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return 0, 1
+	}
+	return lo, hi
+}
+
+func scaleTo(v, lo, hi float64, max int) int {
+	if hi == lo {
+		return 0
+	}
+	p := (v - lo) / (hi - lo)
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return int(math.Round(p * float64(max)))
+}
+
+func label(v float64, logScale bool) string {
+	if logScale {
+		return fmt.Sprintf("1e%.0f", v)
+	}
+	if v == math.Trunc(v) && math.Abs(v) < 1e6 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.3g", v)
+}

@@ -1,0 +1,98 @@
+package textchart
+
+import (
+	"strings"
+	"testing"
+)
+
+func render(series []Series, opt Options) string {
+	var sb strings.Builder
+	Render(&sb, "test chart", series, opt)
+	return sb.String()
+}
+
+func TestRenderBasic(t *testing.T) {
+	out := render([]Series{
+		{Name: "a", Points: []Point{{X: 1, Y: 1}, {X: 2, Y: 2}, {X: 3, Y: 3}}},
+		{Name: "b", Points: []Point{{X: 1, Y: 3}, {X: 3, Y: 1}}},
+	}, Options{Width: 20, Height: 8, XLabel: "x", YLabel: "y"})
+	if !strings.Contains(out, "test chart") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "*=a") || !strings.Contains(out, "o=b") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("markers missing")
+	}
+	if !strings.Contains(out, "x: x   y: y") {
+		t.Error("axis labels missing")
+	}
+}
+
+func TestRenderDeterministic(t *testing.T) {
+	series := []Series{{Name: "s", Points: []Point{{X: 0, Y: 5}, {X: 10, Y: 1}}}}
+	a := render(series, Options{})
+	b := render(series, Options{})
+	if a != b {
+		t.Error("render not deterministic")
+	}
+}
+
+func TestRenderDNFPinnedToTop(t *testing.T) {
+	out := render([]Series{
+		{Name: "m", Points: []Point{{X: 1, Y: 1}, {X: 2, DNF: true}}},
+	}, Options{Width: 10, Height: 5})
+	lines := strings.Split(out, "\n")
+	// The first plot row (index 1, after title) must contain the '^'.
+	if !strings.Contains(lines[1], "^") {
+		t.Errorf("DNF marker not on top row:\n%s", out)
+	}
+}
+
+func TestRenderLogScale(t *testing.T) {
+	out := render([]Series{
+		{Name: "t", Points: []Point{{X: 1, Y: 0.001}, {X: 10, Y: 100}}},
+	}, Options{Width: 30, Height: 8, LogY: true})
+	if !strings.Contains(out, "1e2") || !strings.Contains(out, "1e-3") {
+		t.Errorf("log labels missing:\n%s", out)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	out := render(nil, Options{})
+	if !strings.Contains(out, "no data") {
+		t.Errorf("empty chart output: %q", out)
+	}
+	out = render([]Series{{Name: "x"}}, Options{})
+	if !strings.Contains(out, "no data") {
+		t.Errorf("pointless chart output: %q", out)
+	}
+}
+
+func TestRenderSinglePoint(t *testing.T) {
+	out := render([]Series{{Name: "p", Points: []Point{{X: 5, Y: 5}}}}, Options{Width: 10, Height: 4})
+	if !strings.Contains(out, "*") {
+		t.Errorf("single point missing:\n%s", out)
+	}
+}
+
+func TestOverlapMarker(t *testing.T) {
+	out := render([]Series{
+		{Name: "a", Points: []Point{{X: 1, Y: 1}}},
+		{Name: "b", Points: []Point{{X: 1, Y: 1}}},
+	}, Options{Width: 10, Height: 4})
+	if !strings.Contains(out, "&") {
+		t.Errorf("overlap marker missing:\n%s", out)
+	}
+}
+
+func TestNonpositiveOnLogScale(t *testing.T) {
+	// p-value 0 on a log axis must not panic and lands at the floor.
+	out := render([]Series{
+		{Name: "p", Points: []Point{{X: 1, Y: 0}, {X: 2, Y: 0.5}}},
+	}, Options{Width: 12, Height: 5, LogY: true})
+	if out == "" {
+		t.Error("no output")
+	}
+}
