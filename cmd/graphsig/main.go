@@ -6,6 +6,11 @@
 // Labels in the input may be symbols (atom names) or integers. The
 // output lists each significant subgraph with its describing vector's
 // p-value, its verified support, and its structure.
+//
+// Exit status: 0 on a complete mine, 2 on usage errors, 3 when the mine
+// was truncated (timeout, budget, or an isolated worker failure) — the
+// printed results are then a valid but partial answer, and the
+// degradation report on stderr says which stage stopped and why.
 package main
 
 import (
@@ -20,7 +25,12 @@ import (
 	"graphsig/internal/chem"
 	"graphsig/internal/core"
 	"graphsig/internal/graph"
+	"graphsig/internal/runctl"
 )
+
+// exitTruncated is the exit status for a partial (degraded) mine,
+// distinct from 1 (fatal error) and 2 (usage).
+const exitTruncated = 3
 
 func main() {
 	log.SetFlags(0)
@@ -36,6 +46,9 @@ func main() {
 	topK := flag.Int("topk", 0, "threshold-free mode: keep the k most significant vectors per label")
 	dotDir := flag.String("dot", "", "write one GraphViz .dot file per printed subgraph into this directory")
 	timeout := flag.Duration("timeout", 0, "abort mining after this duration (0 = none)")
+	maxStates := flag.Int64("max-states", 0, "budget on FVMine search states (0 = unbounded)")
+	maxSteps := flag.Int64("max-steps", 0, "budget on FSM candidate/extension steps (0 = unbounded)")
+	maxVF2 := flag.Int64("max-vf2", 0, "budget on VF2 isomorphism search nodes (0 = unbounded)")
 	useGSpan := flag.Bool("gspan", false, "use gSpan instead of FSG for the group mining step")
 	flag.Parse()
 
@@ -79,6 +92,11 @@ func main() {
 	if *timeout > 0 {
 		cfg.Deadline = time.Now().Add(*timeout)
 	}
+	cfg.Budgets = runctl.Budgets{
+		FVMineStates: *maxStates,
+		MinerSteps:   *maxSteps,
+		VF2Nodes:     *maxVF2,
+	}
 
 	t0 := time.Now()
 	res := core.Mine(db, cfg)
@@ -88,7 +106,14 @@ func main() {
 		res.Profile.FeatureAnalysis.Round(time.Millisecond),
 		res.Profile.FSM.Round(time.Millisecond))
 	if res.Truncated {
-		log.Printf("warning: mining truncated by timeout")
+		// log prints to stderr, keeping stdout a clean pattern listing.
+		log.Printf("warning: partial results: %s", res.Degradation.String())
+		for _, st := range res.Degradation.Stages {
+			log.Printf("  stage %s: %s", st.Stage, stageLine(st))
+		}
+	}
+	if res.GroupErrors > 0 {
+		log.Printf("warning: %d region groups failed and were skipped", res.GroupErrors)
 	}
 
 	if *dotDir != "" {
@@ -118,6 +143,26 @@ func main() {
 			}
 		}
 	}
+	if res.Truncated || res.GroupErrors > 0 {
+		os.Exit(exitTruncated)
+	}
+}
+
+// stageLine renders one stage report for the stderr degradation listing.
+func stageLine(st runctl.StageReport) string {
+	s := fmt.Sprintf("%s", st.Reason)
+	if st.Detail != "" {
+		s += ": " + st.Detail
+	}
+	if st.Planned > 0 {
+		s += fmt.Sprintf(" (%d/%d done)", st.Completed, st.Planned)
+	} else if st.Completed > 0 {
+		s += fmt.Sprintf(" (%d done)", st.Completed)
+	}
+	if st.Err != "" {
+		s += " err=" + st.Err
+	}
+	return s
 }
 
 func printGraph(g *graph.Graph, alpha *graph.Alphabet) {

@@ -5,14 +5,24 @@
 //
 // Endpoints: GET /healthz, GET /stats, POST /mine, POST /query,
 // POST /significance (see internal/server).
+//
+// The server carries connection timeouts, a request concurrency limit,
+// request body caps, and per-request mine deadlines; SIGINT/SIGTERM
+// triggers a graceful shutdown that drains in-flight requests up to
+// -drain before forcing connections closed.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"graphsig/internal/chem"
 	"graphsig/internal/graph"
@@ -27,6 +37,10 @@ func main() {
 	in := flag.String("in", "", "graph database file (.db transaction format or .smi)")
 	dataset := flag.String("dataset", "", "generate this catalog dataset instead of loading")
 	n := flag.Int("n", 1000, "molecules to generate with -dataset")
+	maxConc := flag.Int("max-concurrent", server.DefaultMaxConcurrent, "max in-flight requests before 503 (0 = unbounded)")
+	maxBody := flag.Int64("max-body", server.DefaultMaxBodyBytes, "request body cap in bytes (0 = unbounded)")
+	mineCap := flag.Duration("mine-cap", server.DefaultMineTimeoutCap, "hard cap on a single /mine run")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
 	flag.Parse()
 
 	var db []*graph.Graph
@@ -61,8 +75,51 @@ func main() {
 		os.Exit(2)
 	}
 
-	log.Printf("serving %d graphs on %s", len(db), *addr)
-	if err := http.ListenAndServe(*addr, server.New(db).Handler()); err != nil {
+	svc := server.New(db)
+	svc.MaxConcurrent = *maxConc
+	svc.MaxBodyBytes = *maxBody
+	svc.MineTimeoutCap = *mineCap
+	if *mineCap <= 0 {
+		svc.MineTimeoutCap = server.DefaultMineTimeoutCap
+	}
+
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: svc.Handler(),
+		// Header/read timeouts bound slow-loris clients; the write
+		// timeout must outlast the longest admissible mine, so it tracks
+		// the mine cap with headroom for serialization.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      svc.MineTimeoutCap + 30*time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("serving %d graphs on %s", len(db), *addr)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		// Listener failed before any shutdown signal.
 		log.Fatal(err)
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second signal kills immediately
+		log.Printf("shutdown signal received, draining for up to %s", *drain)
+		shCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(shCtx); err != nil {
+			log.Printf("drain deadline exceeded, closing connections: %v", err)
+			srv.Close()
+		}
+		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+		log.Printf("shutdown complete")
 	}
 }

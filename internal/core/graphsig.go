@@ -10,10 +10,13 @@
 package core
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"graphsig/internal/chem"
@@ -24,6 +27,7 @@ import (
 	"graphsig/internal/graph"
 	"graphsig/internal/gspan"
 	"graphsig/internal/isomorph"
+	"graphsig/internal/runctl"
 	"graphsig/internal/rwr"
 	"graphsig/internal/sigmodel"
 )
@@ -80,8 +84,20 @@ type Config struct {
 	// MaxPatternEdges bounds mined pattern size (0 = unbounded).
 	MaxPatternEdges int
 	// Deadline aborts the mine when exceeded (zero = none); the result
-	// is flagged Truncated.
+	// is flagged Truncated with a Degradation report. Ignored when Ctl
+	// is set.
 	Deadline time.Time
+	// Ctx cancels the mine when done (nil = background). Ignored when
+	// Ctl is set.
+	Ctx context.Context
+	// Budgets bounds per-stage work (FVMine states, miner steps, VF2
+	// nodes); zero fields are unbounded. Ignored when Ctl is set.
+	Budgets runctl.Budgets
+	// Ctl, when non-nil, is the run controller the mine observes —
+	// supply one to share cancellation and budgets with a caller (e.g.
+	// an HTTP handler). When nil, Mine builds one from Ctx, Deadline and
+	// Budgets.
+	Ctl *runctl.Controller
 	// Alphabet names atom labels in reports (optional).
 	Alphabet *graph.Alphabet
 	// FeatureSet overrides the feature set (nil = chemistry set built
@@ -175,7 +191,17 @@ type Result struct {
 	// GroupsPruned counts groups dropped as false positives (no frequent
 	// subgraph at the FSM threshold).
 	GroupsPruned int
-	Truncated    bool
+	// GroupErrors counts groups whose mining worker panicked; each is
+	// isolated into a Degradation stage report instead of crashing the
+	// process.
+	GroupErrors int
+	// Truncated reports that the mine was cut short — see Degradation
+	// for which stage, why, and how much work completed.
+	Truncated bool
+	// Degradation is the trust contract of a partial result: stage,
+	// reason and per-stage completion counts. Zero value (Truncated
+	// false) means the result is complete.
+	Degradation runctl.Degradation
 }
 
 // BuildFeatureSet returns the feature set Mine uses for db under cfg:
@@ -203,24 +229,47 @@ type VectorGroup struct {
 // (Alg 2 lines 3-7): RWR over the database and FVMine per source label
 // under global empirical priors. The classifier of §V trains on its
 // output. It returns the groups, the feature set used, and whether the
-// search was truncated by the deadline.
+// search was truncated (deadline, cancellation, or budget).
 func SignificantVectors(db []*graph.Graph, cfg Config) ([]VectorGroup, *feature.Set, bool) {
 	fillConfig(&cfg)
+	ctl := controllerFor(cfg)
 	fs := cfg.FeatureSet
 	if fs == nil {
 		fs = feature.ChemistrySet(db, cfg.Alphabet, cfg.TopAtoms)
 	}
-	vectors := computeVectors(db, fs, cfg)
-	groups, trunc := significantVectorGroups(vectors, cfg)
-	return groups, fs, trunc
+	vectors := computeVectors(db, fs, cfg, ctl)
+	groups := significantVectorGroups(vectors, cfg, ctl)
+	return groups, fs, ctl.Report().Truncated
 }
 
+// controllerFor returns the run controller a mine observes: the
+// caller's when supplied, else one built from the config's context,
+// deadline and budgets.
+func controllerFor(cfg Config) *runctl.Controller {
+	if cfg.Ctl != nil {
+		return cfg.Ctl
+	}
+	return runctl.New(runctl.Options{Context: cfg.Ctx, Deadline: cfg.Deadline, Budgets: cfg.Budgets})
+}
+
+// rwrChunk is how many graphs the RWR phase vectorizes between
+// controller checks; overshoot past a deadline is bounded by one
+// chunk's worth of random walks.
+const rwrChunk = 32
+
 // computeVectors turns every node of every graph into a feature vector
-// with the configured vectorizer.
-func computeVectors(db []*graph.Graph, fs *feature.Set, cfg Config) []rwr.NodeVector {
+// with the configured vectorizer. On truncation it returns the vectors
+// of the database prefix processed so far and records the partial
+// completion on the controller.
+func computeVectors(db []*graph.Graph, fs *feature.Set, cfg Config, ctl *runctl.Controller) []rwr.NodeVector {
+	cp := ctl.Checkpoint(runctl.StageRWR)
 	if cfg.Vectorizer == VectorizerWindowCounts {
 		var out []rwr.NodeVector
 		for gid, g := range db {
+			if err := cp.Force(); err != nil {
+				ctl.RecordStop(runctl.StageRWR, int64(gid), int64(len(db)), "graphs vectorized (window counts)")
+				return out
+			}
 			for v := 0; v < g.NumNodes(); v++ {
 				out = append(out, rwr.NodeVector{
 					GraphID: gid,
@@ -232,7 +281,23 @@ func computeVectors(db []*graph.Graph, fs *feature.Set, cfg Config) []rwr.NodeVe
 		}
 		return out
 	}
-	return rwr.DatabaseVectors(db, fs, rwr.Config{Alpha: cfg.Alpha, Bins: cfg.Bins})
+	var out []rwr.NodeVector
+	for base := 0; base < len(db); base += rwrChunk {
+		if err := cp.Force(); err != nil {
+			ctl.RecordStop(runctl.StageRWR, int64(base), int64(len(db)), "graphs vectorized")
+			return out
+		}
+		end := base + rwrChunk
+		if end > len(db) {
+			end = len(db)
+		}
+		vecs := rwr.DatabaseVectors(db[base:end], fs, rwr.Config{Alpha: cfg.Alpha, Bins: cfg.Bins})
+		for i := range vecs {
+			vecs[i].GraphID += base
+		}
+		out = append(out, vecs...)
+	}
+	return out
 }
 
 // significantVectorGroups mines significant closed sub-feature vectors
@@ -240,8 +305,7 @@ func computeVectors(db []*graph.Graph, fs *feature.Set, cfg Config) []rwr.NodeVe
 // (§III): a region vector's significance is judged against random
 // vectors drawn from all of D, not just its own label group — a rare
 // atom's homogeneous contexts must not look "expected" among themselves.
-func significantVectorGroups(vectors []rwr.NodeVector, cfg Config) ([]VectorGroup, bool) {
-	truncatedRun := false
+func significantVectorGroups(vectors []rwr.NodeVector, cfg Config, ctl *runctl.Controller) []VectorGroup {
 	allVecs := make([]feature.Vector, len(vectors))
 	for i, nv := range vectors {
 		allVecs[i] = nv.Vec
@@ -258,21 +322,29 @@ func significantVectorGroups(vectors []rwr.NodeVector, cfg Config) ([]VectorGrou
 	sort.Slice(labels, func(i, j int) bool { return labels[i] < labels[j] })
 
 	// Label groups are independent: mine them in parallel, then assemble
-	// in sorted label order so the output stays deterministic.
+	// in sorted label order so the output stays deterministic. A panic
+	// in one worker degrades only that label's group (recorded on the
+	// controller); the rest of the mine proceeds.
 	perLabel := make([][]VectorGroup, len(labels))
-	truncFlags := make([]bool, len(labels))
+	var statesMined, labelsTrunc atomic.Int64
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	spawned := 0
 	for li, label := range labels {
-		if truncated(cfg) {
-			truncatedRun = true
+		if ctl.Stopped() {
 			break
 		}
 		wg.Add(1)
 		sem <- struct{}{}
+		spawned++
 		go func(li int, label graph.Label) {
 			defer wg.Done()
 			defer func() { <-sem }()
+			defer func() {
+				if r := recover(); r != nil {
+					ctl.Recovered(runctl.StageFVMine, fmt.Sprintf("label %d group worker", label), r)
+				}
+			}()
 			idxs := byLabel[label]
 			vecs := make([]feature.Vector, len(idxs))
 			for i, idx := range idxs {
@@ -281,17 +353,18 @@ func significantVectorGroups(vectors []rwr.NodeVector, cfg Config) ([]VectorGrou
 			minSup := supportThreshold(cfg, len(vecs))
 			var sig []fvmine.Significant
 			if cfg.TopKPerLabel > 0 {
-				sig = fvmine.MineTopK(vecs, cfg.TopKPerLabel, minSup, globalModel)
+				sig = fvmine.MineTopKCtl(vecs, cfg.TopKPerLabel, minSup, globalModel, ctl)
 			} else {
 				mres := fvmine.Mine(vecs, fvmine.Options{
 					MinSupport:    minSup,
 					MaxPvalue:     cfg.MaxPvalue,
 					Model:         globalModel,
 					SkipZeroFloor: true,
-					Deadline:      cfg.Deadline,
+					Ctl:           ctl,
 				})
+				statesMined.Add(int64(mres.StatesExplored))
 				if mres.Truncated {
-					truncFlags[li] = true
+					labelsTrunc.Add(1)
 				}
 				sig = mres.Vectors
 				fvmine.SortBySignificance(sig)
@@ -314,9 +387,13 @@ func significantVectorGroups(vectors []rwr.NodeVector, cfg Config) ([]VectorGrou
 	var groups []VectorGroup
 	for li := range perLabel {
 		groups = append(groups, perLabel[li]...)
-		truncatedRun = truncatedRun || truncFlags[li]
 	}
-	return groups, truncatedRun
+	if ctl.Stopped() || labelsTrunc.Load() > 0 {
+		ctl.RecordStop(runctl.StageFVMine, statesMined.Load(), 0,
+			fmt.Sprintf("%d of %d label groups truncated, %d not started",
+				labelsTrunc.Load(), len(labels), len(labels)-spawned))
+	}
+	return groups
 }
 
 // Mine runs GraphSig over db.
@@ -326,6 +403,7 @@ func Mine(db []*graph.Graph, cfg Config) Result {
 	if len(db) == 0 {
 		return res
 	}
+	ctl := controllerFor(cfg)
 
 	// Phase 1: RWR over every node of every graph (Alg 2 lines 3-4).
 	t0 := time.Now()
@@ -333,24 +411,27 @@ func Mine(db []*graph.Graph, cfg Config) Result {
 	if fs == nil {
 		fs = feature.ChemistrySet(db, cfg.Alphabet, cfg.TopAtoms)
 	}
-	vectors := computeVectors(db, fs, cfg)
+	vectors := computeVectors(db, fs, cfg, ctl)
 	res.Profile.RWR = time.Since(t0)
 
 	// Phase 2: group by source label, FVMine per group (lines 5-7).
 	t1 := time.Now()
-	groups, trunc := significantVectorGroups(vectors, cfg)
-	res.Truncated = res.Truncated || trunc
+	groups := significantVectorGroups(vectors, cfg, ctl)
 	res.VectorsMined = len(groups)
 	res.Profile.FeatureAnalysis = time.Since(t1)
 
 	// Phase 3: cut regions and run maximal FSM per group (lines 8-13).
+	// A panicking group miner is isolated into a per-group error; the
+	// remaining groups still mine.
 	t2 := time.Now()
 	best := map[string]*Subgraph{}
+	groupsDone := 0
 	for _, grp := range groups {
-		if truncated(cfg) {
-			res.Truncated = true
+		if ctl.Stopped() {
+			ctl.RecordStop(runctl.StageGroupMine, int64(groupsDone), int64(len(groups)), "vector groups mined")
 			break
 		}
+		groupsDone++
 		nodes := grp.Nodes
 		if cfg.MaxGroupSize > 0 && len(nodes) > cfg.MaxGroupSize {
 			nodes = subsample(nodes, cfg.MaxGroupSize)
@@ -368,7 +449,11 @@ func Mine(db []*graph.Graph, cfg Config) Result {
 			continue
 		}
 		res.GroupsMined++
-		maximal := mineMaximal(windows, minSup, cfg)
+		maximal, panicked := mineMaximalIsolated(windows, minSup, cfg, ctl, grp.Label)
+		if panicked {
+			res.GroupErrors++
+			continue
+		}
 		if len(maximal) == 0 {
 			res.GroupsPruned++
 			continue
@@ -397,6 +482,8 @@ func Mine(db []*graph.Graph, cfg Config) Result {
 
 	// Final: verify support in graph space (in parallel across patterns;
 	// counting is read-only on the database) and order the answer set.
+	// Each worker draws from the shared VF2 node budget, so one
+	// pathological pattern/target pair cannot stall verification.
 	t3 := time.Now()
 	ordered := make([]*Subgraph, 0, len(best))
 	for _, sg := range best {
@@ -404,6 +491,7 @@ func Mine(db []*graph.Graph, cfg Config) Result {
 	}
 	if !cfg.SkipVerify {
 		var wg sync.WaitGroup
+		var verified atomic.Int64
 		work := make(chan *Subgraph)
 		workers := runtime.GOMAXPROCS(0)
 		if workers > len(ordered) {
@@ -413,9 +501,27 @@ func Mine(db []*graph.Graph, cfg Config) Result {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				defer func() {
+					if r := recover(); r != nil {
+						ctl.Recovered(runctl.StageVerify, "support verification worker", r)
+						for range work {
+							// Drain so the feeder never blocks; the drained
+							// patterns simply stay unverified (Support 0).
+						}
+					}
+				}()
+				cp := ctl.Checkpoint(runctl.StageVF2)
 				for sg := range work {
-					sg.Support = isomorph.Support(sg.Graph, db)
-					sg.Frequency = float64(sg.Support) / float64(len(db))
+					if ctl.Stopped() {
+						continue // drain; remaining patterns stay unverified
+					}
+					sup, err := isomorph.SupportCtl(sg.Graph, db, cp)
+					if err != nil {
+						continue // partial count is a lower bound: discard
+					}
+					sg.Support = sup
+					sg.Frequency = float64(sup) / float64(len(db))
+					verified.Add(1)
 				}
 			}()
 		}
@@ -424,6 +530,9 @@ func Mine(db []*graph.Graph, cfg Config) Result {
 		}
 		close(work)
 		wg.Wait()
+		if n := int(verified.Load()); n < len(ordered) {
+			ctl.RecordStop(runctl.StageVerify, int64(n), int64(len(ordered)), "patterns support-verified")
+		}
 	}
 	for _, sg := range ordered {
 		res.Subgraphs = append(res.Subgraphs, *sg)
@@ -439,6 +548,8 @@ func Mine(db []*graph.Graph, cfg Config) Result {
 		return a.Canonical < b.Canonical
 	})
 	res.Profile.Verify = time.Since(t3)
+	res.Degradation = ctl.Report()
+	res.Truncated = res.Degradation.Truncated
 	return res
 }
 
@@ -478,10 +589,6 @@ func supportThreshold(cfg Config, setSize int) int {
 	return s
 }
 
-func truncated(cfg Config) bool {
-	return !cfg.Deadline.IsZero() && time.Now().After(cfg.Deadline)
-}
-
 // subsample deterministically picks k evenly spaced elements.
 func subsample(nodes []rwr.NodeVector, k int) []rwr.NodeVector {
 	out := make([]rwr.NodeVector, 0, k)
@@ -498,16 +605,33 @@ type groupPattern struct {
 	Support int
 }
 
-func mineMaximal(windows []*graph.Graph, minSup int, cfg Config) []groupPattern {
+// mineMaximalIsolated runs one group's maximal FSM behind a panic
+// barrier: a crash in the miner becomes a structured per-group error on
+// the controller instead of killing the process.
+func mineMaximalIsolated(windows []*graph.Graph, minSup int, cfg Config, ctl *runctl.Controller, label graph.Label) (out []groupPattern, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			ctl.Recovered(runctl.StageGroupMine, fmt.Sprintf("FSM worker for label %d group (%d windows)", label, len(windows)), r)
+			out, panicked = nil, true
+		}
+	}()
+	return mineMaximal(windows, minSup, cfg, ctl), false
+}
+
+func mineMaximal(windows []*graph.Graph, minSup int, cfg Config, ctl *runctl.Controller) []groupPattern {
 	switch cfg.Miner {
 	case MinerGSpan:
 		r := gspan.Mine(windows, gspan.Options{
 			MinSupport: minSup,
 			MaxEdges:   cfg.MaxPatternEdges,
-			Deadline:   cfg.Deadline,
+			Ctl:        ctl,
 		})
+		// The maximality filter observes the controller too: after a trip
+		// it returns only the prefix already decided maximal instead of
+		// finishing an O(n²) containment pass over the partial list.
+		maximal, _ := gspan.MaximalCtl(r.Patterns, ctl.Checkpoint(runctl.StageVF2))
 		var out []groupPattern
-		for _, p := range gspan.Maximal(r.Patterns) {
+		for _, p := range maximal {
 			out = append(out, groupPattern{Graph: p.Graph, Support: p.Support})
 		}
 		return out
@@ -515,7 +639,7 @@ func mineMaximal(windows []*graph.Graph, minSup int, cfg Config) []groupPattern 
 		r := fsg.MaximalMine(windows, fsg.Options{
 			MinSupport: minSup,
 			MaxEdges:   cfg.MaxPatternEdges,
-			Deadline:   cfg.Deadline,
+			Ctl:        ctl,
 		})
 		var out []groupPattern
 		for _, p := range r.Patterns {

@@ -1,0 +1,7 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector is compiled in; timing
+// assertions widen their slack under its ~10x slowdown.
+const raceEnabled = true

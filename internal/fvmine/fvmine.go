@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"graphsig/internal/feature"
+	"graphsig/internal/runctl"
 	"graphsig/internal/sigmodel"
 )
 
@@ -34,8 +35,15 @@ type Options struct {
 	// MaxResults stops the search after this many significant vectors
 	// (0 = unbounded); the result is flagged Truncated.
 	MaxResults int
-	// Deadline aborts the search when exceeded (zero = none).
+	// Deadline aborts the search when exceeded (zero = none). Ignored
+	// when Ctl is set; kept for standalone runs.
 	Deadline time.Time
+	// Ctl is the shared run controller carrying cancellation, deadline
+	// and the FVMine state budget. The search checkpoints every
+	// runctl.DefaultCheckInterval recursion states, so overshoot past a
+	// deadline is bounded by one interval of state expansions rather
+	// than one arbitrary subtree.
+	Ctl *runctl.Controller
 	// SkipZeroFloor drops reported vectors that are all-zero (an all-zero
 	// floor carries no structural information). GraphSig enables this.
 	SkipZeroFloor bool
@@ -61,6 +69,9 @@ type Significant struct {
 type Result struct {
 	Vectors   []Significant
 	Truncated bool
+	// StopReason classifies why a truncated mine stopped ("" when the
+	// mine completed or was cut by MaxResults).
+	StopReason runctl.Reason
 	// StatesExplored counts recursion states, exposing pruning behavior.
 	StatesExplored int
 }
@@ -99,10 +110,12 @@ type miner struct {
 	vectors  vectorSet
 	model    *sigmodel.Model
 	opt      Options
+	cp       *runctl.Checkpoint
 	logMaxP  float64
 	out      []Significant
 	states   int
 	stopping bool
+	stopWhy  runctl.Reason
 }
 
 // Mine runs FVMine over vectors. All vectors must share one length.
@@ -117,18 +130,28 @@ func Mine(vectors []feature.Vector, opt Options) Result {
 	if model == nil {
 		model = sigmodel.New(vectors)
 	}
+	ctl := opt.Ctl
+	if ctl == nil {
+		ctl = runctl.FromDeadline(opt.Deadline)
+	}
 	m := &miner{
 		vectors: vectors,
 		model:   model,
 		opt:     opt,
+		cp:      ctl.Checkpoint(runctl.StageFVMine),
 		logMaxP: math.Log(opt.MaxPvalue),
+	}
+	// Un-amortized check up front so an already-expired deadline or
+	// canceled context truncates before any work.
+	if err := m.cp.Force(); err != nil {
+		return Result{Truncated: true, StopReason: runctl.ReasonOf(err)}
 	}
 	all := make([]int, len(vectors))
 	for i := range all {
 		all[i] = i
 	}
 	m.search(m.vectors.floor(all), all, 0)
-	return Result{Vectors: m.out, Truncated: m.stopping, StatesExplored: m.states}
+	return Result{Vectors: m.out, Truncated: m.stopping, StopReason: m.stopWhy, StatesExplored: m.states}
 }
 
 // search is FVMine(x, S, b): x is the current closed vector, set its
@@ -138,8 +161,11 @@ func (m *miner) search(x feature.Vector, set []int, b int) {
 		return
 	}
 	m.states++
-	if !m.opt.Deadline.IsZero() && m.states%64 == 0 && time.Now().After(m.opt.Deadline) {
+	if err := m.cp.Step(); err != nil {
 		m.stopping = true
+		if se, ok := runctl.AsStop(err); ok {
+			m.stopWhy = se.Reason
+		}
 		return
 	}
 	// Line 1-2: report x when significant.

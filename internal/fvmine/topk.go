@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"graphsig/internal/feature"
+	"graphsig/internal/runctl"
 	"graphsig/internal/sigmodel"
 )
 
@@ -15,6 +16,13 @@ import (
 // k are cut. MinSupport still applies. Results come back most
 // significant first.
 func MineTopK(vectors []feature.Vector, k int, minSupport int, model *sigmodel.Model) []Significant {
+	return MineTopKCtl(vectors, k, minSupport, model, nil)
+}
+
+// MineTopKCtl is MineTopK observing a shared run controller: the search
+// checkpoints per recursion state and unwinds with the best k found so
+// far when the controller trips — a valid (if shallower) top-k set.
+func MineTopKCtl(vectors []feature.Vector, k int, minSupport int, model *sigmodel.Model, ctl *runctl.Controller) []Significant {
 	if k <= 0 || len(vectors) == 0 {
 		return nil
 	}
@@ -32,6 +40,7 @@ func MineTopK(vectors []feature.Vector, k int, minSupport int, model *sigmodel.M
 		model:   model,
 		minSup:  minSupport,
 		k:       k,
+		cp:      ctl.Checkpoint(runctl.StageFVMine),
 	}
 	all := make([]int, len(vectors))
 	for i := range all {
@@ -51,6 +60,8 @@ type topKMiner struct {
 	model   *sigmodel.Model
 	minSup  int
 	k       int
+	cp      *runctl.Checkpoint
+	stopped bool
 	// best is a max-heap on log p-value: the root is the *worst* of the
 	// current top k, ready for eviction.
 	best significantHeap
@@ -66,6 +77,13 @@ func (m *topKMiner) bound() float64 {
 }
 
 func (m *topKMiner) search(x feature.Vector, set []int, b int) {
+	if m.stopped {
+		return
+	}
+	if err := m.cp.Step(); err != nil {
+		m.stopped = true
+		return
+	}
 	logP := m.model.LogPValue(x, len(set))
 	if !x.IsZero() && logP < m.bound() {
 		heap.Push(&m.best, Significant{
@@ -106,6 +124,9 @@ func (m *topKMiner) search(x feature.Vector, set []int, b int) {
 			continue
 		}
 		m.search(xp, sub, i)
+		if m.stopped {
+			return
+		}
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 
 	"graphsig/internal/dfscode"
 	"graphsig/internal/graph"
+	"graphsig/internal/runctl"
 )
 
 // Options configures a mining run. MinSupport is an absolute graph count
@@ -32,8 +33,13 @@ type Options struct {
 	MaxPatterns int
 	// Deadline aborts the mine when exceeded (zero = none). The result is
 	// flagged Truncated. This mirrors the paper's ">10 hours, did not
-	// finish" handling for low-frequency baseline runs.
+	// finish" handling for low-frequency baseline runs. Ignored when Ctl
+	// is set.
 	Deadline time.Time
+	// Ctl is the shared run controller: cancellation, deadline, and the
+	// miner-step budget (one step per search state). The mine checkpoints
+	// once per grow() call.
+	Ctl *runctl.Controller
 	// IncludeSingleNodes also reports frequent single-node patterns.
 	IncludeSingleNodes bool
 }
@@ -63,8 +69,12 @@ type Pattern struct {
 // Result is the outcome of a mining run.
 type Result struct {
 	Patterns []Pattern
-	// Truncated reports that MaxPatterns or Deadline cut the run short.
+	// Truncated reports that MaxPatterns, the deadline, a budget, or
+	// cancellation cut the run short.
 	Truncated bool
+	// StopReason classifies a controller-driven stop ("" when the run
+	// completed or only MaxPatterns tripped).
+	StopReason runctl.Reason
 	// Stats exposes the search effort behind the run.
 	Stats Stats
 }
@@ -147,9 +157,11 @@ type miner struct {
 	db       []*graph.Graph
 	edgeIDs  []map[[2]int]int
 	opt      Options
+	cp       *runctl.Checkpoint
 	patterns []Pattern
 	stats    Stats
 	stop     bool
+	stopWhy  runctl.Reason
 }
 
 // Mine runs gSpan over db and returns all frequent connected subgraph
@@ -158,7 +170,16 @@ func Mine(db []*graph.Graph, opt Options) Result {
 	if opt.MinSupport < 1 {
 		opt.MinSupport = 1
 	}
-	m := &miner{db: db, opt: opt}
+	ctl := opt.Ctl
+	if ctl == nil {
+		ctl = runctl.FromDeadline(opt.Deadline)
+	}
+	m := &miner{db: db, opt: opt, cp: ctl.Checkpoint(runctl.StageGSpan)}
+	// Un-amortized check up front so an already-expired deadline or
+	// canceled context truncates before any work.
+	if err := m.cp.Force(); err != nil {
+		return Result{Truncated: true, StopReason: runctl.ReasonOf(err)}
+	}
 	m.edgeIDs = make([]map[[2]int]int, len(db))
 	for i, g := range db {
 		ids := make(map[[2]int]int, g.NumEdges())
@@ -227,7 +248,7 @@ func Mine(db []*graph.Graph, opt Options) Result {
 		m.grow(dfscode.Code{s.code}, projs)
 	}
 
-	return Result{Patterns: m.patterns, Truncated: m.stop, Stats: m.stats}
+	return Result{Patterns: m.patterns, Truncated: m.stop, StopReason: m.stopWhy, Stats: m.stats}
 }
 
 func normPair(u, v int) [2]int {
@@ -277,8 +298,17 @@ func (m *miner) record(p Pattern) {
 	}
 }
 
-func (m *miner) deadlineHit() bool {
-	return !m.opt.Deadline.IsZero() && time.Now().After(m.opt.Deadline)
+// checkpoint consults the shared controller; it flips the stop flag and
+// records the reason when the run is cut short.
+func (m *miner) checkpoint() bool {
+	if err := m.cp.Step(); err != nil {
+		m.stop = true
+		if se, ok := runctl.AsStop(err); ok {
+			m.stopWhy = se.Reason
+		}
+		return false
+	}
+	return true
 }
 
 // grow records the pattern for code (already minimal) and recursively
@@ -288,8 +318,7 @@ func (m *miner) grow(code dfscode.Code, projs []*projection) {
 		return
 	}
 	m.stats.StatesExplored++
-	if m.deadlineHit() {
-		m.stop = true
+	if !m.checkpoint() {
 		return
 	}
 	gids := make(map[int]bool)
@@ -382,6 +411,18 @@ func onPath(path []int, v int) bool {
 // contained (as a subgraph) in any other pattern of the list. This is the
 // MaximalFSM primitive of Algorithm 2, line 13.
 func Maximal(patterns []Pattern) []Pattern {
+	out, _ := MaximalCtl(patterns, nil)
+	return out
+}
+
+// MaximalCtl is Maximal under a run-controller checkpoint: each
+// containment test draws VF2 search nodes from cp, so the O(n²)
+// pairwise filter cannot overshoot a deadline on a large (e.g.
+// truncated mid-mine) pattern list. Once the run is stopped it returns
+// the patterns already decided maximal plus the stop cause; the
+// undecided tail is dropped, keeping every returned pattern genuinely
+// maximal within the input list.
+func MaximalCtl(patterns []Pattern, cp *runctl.Checkpoint) ([]Pattern, error) {
 	var out []Pattern
 	for i, p := range patterns {
 		maximal := true
@@ -393,7 +434,11 @@ func Maximal(patterns []Pattern) []Pattern {
 				(q.Graph.NumEdges() == p.Graph.NumEdges() && q.Graph.NumNodes() <= p.Graph.NumNodes()) {
 				continue
 			}
-			if contains(q.Graph, p.Graph) {
+			hit, err := isoSubgraphCtl(p.Graph, q.Graph, cp)
+			if err != nil {
+				return out, err
+			}
+			if hit {
 				maximal = false
 				break
 			}
@@ -402,7 +447,7 @@ func Maximal(patterns []Pattern) []Pattern {
 			out = append(out, p)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // contains reports whether pattern small occurs inside big.

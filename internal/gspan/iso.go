@@ -3,10 +3,16 @@ package gspan
 import (
 	"graphsig/internal/graph"
 	"graphsig/internal/isomorph"
+	"graphsig/internal/runctl"
 )
 
 // isoSubgraph wraps the isomorph package so that the maximality filter
 // stays testable in isolation.
 func isoSubgraph(pattern, target *graph.Graph) bool {
 	return isomorph.SubgraphIsomorphic(pattern, target)
+}
+
+// isoSubgraphCtl is isoSubgraph drawing VF2 search nodes from cp.
+func isoSubgraphCtl(pattern, target *graph.Graph, cp *runctl.Checkpoint) (bool, error) {
+	return isomorph.SubgraphIsomorphicCtl(pattern, target, cp)
 }

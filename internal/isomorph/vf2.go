@@ -14,6 +14,7 @@ package isomorph
 
 import (
 	"graphsig/internal/graph"
+	"graphsig/internal/runctl"
 )
 
 // state carries the mutable search state of one VF2 run.
@@ -31,6 +32,12 @@ type state struct {
 	// limit, if > 0, bounds the number of embeddings enumerated.
 	limit int
 	count int
+	// cp, when non-nil, checkpoints every search-tree node: the run is
+	// abandoned (err set) when the shared controller trips. VF2 has no
+	// polynomial bound on pathological pattern/target pairs, so every
+	// long-running caller should pass one.
+	cp  *runctl.Checkpoint
+	err error
 	// emit receives each complete mapping; return false to stop.
 	emit func(mapping []int) bool
 }
@@ -38,12 +45,22 @@ type state struct {
 // SubgraphIsomorphic reports whether pattern occurs in target (labeled
 // subgraph monomorphism with injective node mapping).
 func SubgraphIsomorphic(pattern, target *graph.Graph) bool {
+	found, _ := SubgraphIsomorphicCtl(pattern, target, nil)
+	return found
+}
+
+// SubgraphIsomorphicCtl is SubgraphIsomorphic under a run-controller
+// checkpoint: the search counts one checkpoint step per search-tree
+// node and abandons with the stop cause when the controller trips. On a
+// non-nil error the boolean is meaningless (the search was cut short,
+// not exhausted).
+func SubgraphIsomorphicCtl(pattern, target *graph.Graph, cp *runctl.Checkpoint) (bool, error) {
 	found := false
-	enumerate(pattern, target, 1, func([]int) bool {
+	err := enumerateCtl(pattern, target, 1, cp, func([]int) bool {
 		found = true
 		return false
 	})
-	return found
+	return found, err
 }
 
 // FindEmbedding returns one mapping from pattern nodes to target nodes,
@@ -74,6 +91,13 @@ func CountEmbeddings(pattern, target *graph.Graph, max int) int {
 // it if retained.
 func ForEachEmbedding(pattern, target *graph.Graph, fn func(mapping []int) bool) {
 	enumerate(pattern, target, 0, fn)
+}
+
+// ForEachEmbeddingCtl is ForEachEmbedding under a run-controller
+// checkpoint; enumeration stops with the controller's cause when it
+// trips (embeddings already emitted remain valid).
+func ForEachEmbeddingCtl(pattern, target *graph.Graph, cp *runctl.Checkpoint, fn func(mapping []int) bool) error {
+	return enumerateCtl(pattern, target, 0, cp, fn)
 }
 
 // Isomorphic reports whether a and b are isomorphic as labeled graphs.
@@ -122,13 +146,17 @@ func edgeKey(g *graph.Graph, e graph.Edge) [3]int {
 }
 
 func enumerate(pattern, target *graph.Graph, limit int, emit func([]int) bool) {
+	enumerateCtl(pattern, target, limit, nil, emit)
+}
+
+func enumerateCtl(pattern, target *graph.Graph, limit int, cp *runctl.Checkpoint, emit func([]int) bool) error {
 	np := pattern.NumNodes()
 	if np == 0 {
 		emit(nil)
-		return
+		return nil
 	}
 	if np > target.NumNodes() || pattern.NumEdges() > target.NumEdges() {
-		return
+		return nil
 	}
 	s := &state{
 		pattern:  pattern,
@@ -138,12 +166,14 @@ func enumerate(pattern, target *graph.Graph, limit int, emit func([]int) bool) {
 		order:    connectedOrder(pattern),
 		candBufs: make([][]int, np),
 		limit:    limit,
+		cp:       cp,
 		emit:     emit,
 	}
 	for i := range s.core {
 		s.core[i] = -1
 	}
 	s.match(0)
+	return s.err
 }
 
 // connectedOrder returns pattern nodes in an order where each node after
@@ -177,6 +207,10 @@ func connectedOrder(g *graph.Graph) []int {
 // match extends the mapping with the depth-th pattern node in order.
 // It returns false when enumeration should stop entirely.
 func (s *state) match(depth int) bool {
+	if err := s.cp.Step(); err != nil {
+		s.err = err
+		return false
+	}
 	if depth == len(s.order) {
 		s.count++
 		if !s.emit(s.core) {
@@ -255,13 +289,25 @@ func (s *state) feasible(pv, tv int) bool {
 // Support counts the number of graphs in db that contain pattern. This is
 // transaction support: each database graph contributes at most 1.
 func Support(pattern *graph.Graph, db []*graph.Graph) int {
+	n, _ := SupportCtl(pattern, db, nil)
+	return n
+}
+
+// SupportCtl is Support under a run-controller checkpoint. On a non-nil
+// error the returned count covers only the database prefix examined
+// before the controller tripped — a lower bound, not the true support.
+func SupportCtl(pattern *graph.Graph, db []*graph.Graph, cp *runctl.Checkpoint) (int, error) {
 	n := 0
 	for _, g := range db {
-		if SubgraphIsomorphic(pattern, g) {
+		found, err := SubgraphIsomorphicCtl(pattern, g, cp)
+		if err != nil {
+			return n, err
+		}
+		if found {
 			n++
 		}
 	}
-	return n
+	return n, nil
 }
 
 // SupportingIDs returns, in database order, the indices of graphs in db

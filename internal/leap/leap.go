@@ -19,6 +19,7 @@ import (
 	"graphsig/internal/graph"
 	"graphsig/internal/gspan"
 	"graphsig/internal/isomorph"
+	"graphsig/internal/runctl"
 )
 
 // Options configures discriminative mining.
@@ -31,8 +32,14 @@ type Options struct {
 	TopK int
 	// MaxEdges bounds candidate size (default 10).
 	MaxEdges int
-	// Deadline aborts enumeration when exceeded (zero = none).
+	// Deadline aborts enumeration when exceeded (zero = none). Ignored
+	// when Ctl is set.
 	Deadline time.Time
+	// Ctl is the shared run controller, threaded into the gSpan
+	// enumeration and the per-candidate scoring loop (each scored
+	// candidate costs one isomorphism sweep over the negative set, so
+	// scoring checkpoints un-amortized).
+	Ctl *runctl.Controller
 }
 
 func (o *Options) fill() {
@@ -85,6 +92,12 @@ func Mine(pos, neg []*graph.Graph, opt Options) []Pattern {
 	if len(pos) == 0 {
 		return nil
 	}
+	ctl := opt.Ctl
+	if ctl == nil {
+		ctl = runctl.FromDeadline(opt.Deadline)
+	}
+	cp := ctl.Checkpoint(runctl.StageLEAP)
+	cpVF2 := ctl.Checkpoint(runctl.StageVF2)
 
 	scoredByKey := map[string]Pattern{}
 	minedAbove := len(pos) + 1 // support threshold of the previous round
@@ -100,16 +113,16 @@ func Mine(pos, neg []*graph.Graph, opt Options) []Pattern {
 			res := gspan.Mine(pos, gspan.Options{
 				MinSupport: minSup,
 				MaxEdges:   opt.MaxEdges,
-				Deadline:   opt.Deadline,
+				Ctl:        ctl,
 			})
 			kth := kthBestScore(scoredByKey, opt.TopK)
-			scoreCandidates(res.Patterns, pos, neg, opt, minedAbove, scoredByKey, kth)
+			scoreCandidates(res.Patterns, pos, neg, opt, minedAbove, scoredByKey, kth, cp, cpVF2)
 			minedAbove = minSup
 		}
 		if freq <= opt.MinPosFreq {
 			break
 		}
-		if !opt.Deadline.IsZero() && time.Now().After(opt.Deadline) {
+		if err := cp.Force(); err != nil {
 			break
 		}
 		// Leap: a pattern first appearing below the next threshold has
@@ -157,13 +170,15 @@ func kthBestScore(scoredByKey map[string]Pattern, k int) float64 {
 // pruning patterns whose frequency envelope cannot clear the k-th best
 // score captured at round start.
 func scoreCandidates(cands []gspan.Pattern, pos, neg []*graph.Graph, opt Options,
-	minedAbove int, scoredByKey map[string]Pattern, kth float64) {
+	minedAbove int, scoredByKey map[string]Pattern, kth float64, cp, cpVF2 *runctl.Checkpoint) {
 	sort.Slice(cands, func(i, j int) bool { return cands[i].Support > cands[j].Support })
 	for _, cand := range cands {
 		if cand.Support >= minedAbove {
 			continue // scored in an earlier, higher-threshold round
 		}
-		if !opt.Deadline.IsZero() && time.Now().After(opt.Deadline) {
+		// Un-amortized: one scored candidate can cost a full isomorphism
+		// sweep over the negative set.
+		if err := cp.Force(); err != nil {
 			return
 		}
 		p := float64(cand.Support) / float64(len(pos))
@@ -172,7 +187,11 @@ func scoreCandidates(cands []gspan.Pattern, pos, neg []*graph.Graph, opt Options
 		}
 		negSup := 0
 		if len(neg) > 0 {
-			negSup = isomorph.Support(cand.Graph, neg)
+			var err error
+			negSup, err = isomorph.SupportCtl(cand.Graph, neg, cpVF2)
+			if err != nil {
+				return // partial negative count would misscore the pattern
+			}
 		}
 		q := 0.0
 		if len(neg) > 0 {

@@ -1,0 +1,477 @@
+// Package runctl is the shared run controller of the mining pipeline:
+// one object carrying cancellation (a context), a wall-clock deadline,
+// per-stage work budgets, and a degradation report that records which
+// stage was cut short, why, and how much work it completed.
+//
+// Subgraph mining is exponential in the worst case — the paper's own
+// baselines "did not finish in >10 hours" — so every stage must be
+// interruptible and must degrade to a valid partial result. Before this
+// package, four packages polled a bare Deadline time.Time with divergent
+// granularity; now they all observe one checkpoint primitive:
+//
+//	ctl := runctl.New(runctl.Options{Context: ctx, Deadline: d})
+//	cp := ctl.Checkpoint(runctl.StageFVMine)
+//	for ... {
+//	    if err := cp.Step(); err != nil { return partial(err) }
+//	}
+//
+// Step is amortized: it bumps a goroutine-local counter and consults the
+// shared state (context, deadline, budget, test hook) only every
+// CheckInterval steps, so the hot loops pay one increment per step. A
+// Checkpoint is goroutine-local; the Controller behind it is shared and
+// safe for concurrent use. All Controller and Checkpoint methods are
+// nil-receiver safe, so unconstrained runs pass nil and pay nothing.
+package runctl
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Reason classifies why a run was cut short.
+type Reason string
+
+const (
+	// ReasonDeadline: the wall-clock deadline passed.
+	ReasonDeadline Reason = "deadline"
+	// ReasonBudget: a stage exhausted its work budget.
+	ReasonBudget Reason = "budget"
+	// ReasonCancel: the context was canceled (client disconnect, signal,
+	// or the fault-injection hook).
+	ReasonCancel Reason = "cancel"
+	// ReasonPanic: a worker goroutine panicked; the panic was isolated
+	// into a stage report instead of crashing the process.
+	ReasonPanic Reason = "panic"
+)
+
+// Stage names the pipeline stages that observe the controller.
+type Stage string
+
+const (
+	// StageRWR is the region-to-vector transform (Alg 2 lines 3-4).
+	StageRWR Stage = "rwr"
+	// StageFVMine is closed sub-feature-vector mining (Alg 1).
+	StageFVMine Stage = "fvmine"
+	// StageGSpan is pattern-growth frequent-subgraph mining.
+	StageGSpan Stage = "gspan"
+	// StageFSG is apriori-style frequent-subgraph mining.
+	StageFSG Stage = "fsg"
+	// StageLEAP is discriminative pattern mining.
+	StageLEAP Stage = "leap"
+	// StageGroupMine is GraphSig's per-group maximal FSM phase.
+	StageGroupMine Stage = "group-mine"
+	// StageVF2 is (sub)graph isomorphism search.
+	StageVF2 Stage = "vf2"
+	// StageVerify is GraphSig's final graph-space support verification.
+	StageVerify Stage = "verify"
+)
+
+// DefaultCheckInterval is how many local steps a Checkpoint takes
+// between consultations of the shared state. 64 keeps the per-step cost
+// to one integer increment while bounding deadline overshoot to 64
+// units of the stage's cheapest operation.
+const DefaultCheckInterval = 64
+
+// Budgets bounds the work each stage family may perform across the
+// whole run (zero = unbounded). Budgets are shared: two goroutines
+// mining FVMine label groups draw from the same FVMineStates pool.
+type Budgets struct {
+	// FVMineStates caps FVMine recursion states.
+	FVMineStates int64
+	// MinerSteps caps frequent-subgraph mining work: gSpan search states
+	// plus FSG candidates (and LEAP scoring steps).
+	MinerSteps int64
+	// VF2Nodes caps isomorphism search-tree nodes, bounding pathological
+	// pattern/target pairs during support verification.
+	VF2Nodes int64
+}
+
+// Options configures a Controller. The zero value is a controller with
+// no constraints (useful as a pure degradation collector).
+type Options struct {
+	// Context cancels the run when done (nil = context.Background()).
+	Context context.Context
+	// Deadline aborts the run when passed (zero = none).
+	Deadline time.Time
+	// Budgets bounds per-stage work (zero fields = unbounded).
+	Budgets Budgets
+	// CheckInterval overrides DefaultCheckInterval (<=0 = default).
+	CheckInterval int
+	// Hook, when non-nil, is the fault-injection test hook: it is called
+	// at every amortized checkpoint with the 1-based checkpoint ordinal
+	// and trips cancellation by returning true.
+	Hook func(check int64) bool
+}
+
+// StopError is the structured cause a checkpoint returns once the run
+// is cut short. Every later checkpoint returns the same first cause.
+type StopError struct {
+	Stage  Stage
+	Reason Reason
+	Detail string
+}
+
+func (e *StopError) Error() string {
+	if e.Detail == "" {
+		return fmt.Sprintf("runctl: %s stopped: %s", e.Stage, e.Reason)
+	}
+	return fmt.Sprintf("runctl: %s stopped: %s (%s)", e.Stage, e.Reason, e.Detail)
+}
+
+// AsStop unwraps err into a *StopError when it is one.
+func AsStop(err error) (*StopError, bool) {
+	se, ok := err.(*StopError)
+	return se, ok
+}
+
+// ReasonOf extracts the stop reason from err ("" for nil or foreign
+// errors).
+func ReasonOf(err error) Reason {
+	if se, ok := err.(*StopError); ok {
+		return se.Reason
+	}
+	return ""
+}
+
+// StageReport records one stage's partial completion or failure.
+type StageReport struct {
+	Stage  Stage  `json:"stage"`
+	Reason Reason `json:"reason,omitempty"`
+	Detail string `json:"detail,omitempty"`
+	// Completed is the work the stage finished before stopping, in the
+	// stage's own units (states, candidates, groups, graphs).
+	Completed int64 `json:"completed,omitempty"`
+	// Planned is the total work the stage intended (0 = unknown).
+	Planned int64 `json:"planned,omitempty"`
+	// Err carries the panic message and truncated stack for panic
+	// reports.
+	Err string `json:"err,omitempty"`
+}
+
+// Degradation is the trust contract of a partial result: which stage
+// stopped first and why, plus per-stage reports of what completed.
+// Truncated false means the result is complete.
+type Degradation struct {
+	Truncated bool   `json:"truncated"`
+	Reason    Reason `json:"reason,omitempty"`
+	Stage     Stage  `json:"stage,omitempty"`
+	Detail    string `json:"detail,omitempty"`
+	Stages    []StageReport `json:"stages,omitempty"`
+}
+
+// String renders the report as one human-readable line.
+func (d Degradation) String() string {
+	if !d.Truncated {
+		return "complete"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "truncated")
+	if d.Stage != "" {
+		fmt.Fprintf(&b, " at %s", d.Stage)
+	}
+	if d.Reason != "" {
+		fmt.Fprintf(&b, " (%s)", d.Reason)
+	}
+	if d.Detail != "" {
+		fmt.Fprintf(&b, ": %s", d.Detail)
+	}
+	for _, s := range d.Stages {
+		fmt.Fprintf(&b, "; %s", s.Stage)
+		if s.Reason != "" {
+			fmt.Fprintf(&b, " %s", s.Reason)
+		}
+		if s.Planned > 0 {
+			fmt.Fprintf(&b, " %d/%d done", s.Completed, s.Planned)
+		} else if s.Completed > 0 {
+			fmt.Fprintf(&b, " %d done", s.Completed)
+		}
+		if s.Detail != "" {
+			fmt.Fprintf(&b, " [%s]", s.Detail)
+		}
+	}
+	return b.String()
+}
+
+// Controller is the shared run state. Create one per mining run with
+// New and derive one Checkpoint per goroutine per stage. A nil
+// *Controller is valid and never stops anything.
+type Controller struct {
+	ctx      context.Context
+	deadline time.Time
+	budgets  Budgets
+	interval int64
+	hook     func(int64) bool
+
+	checks atomic.Int64
+	cause  atomic.Pointer[StopError]
+
+	spentFV    atomic.Int64
+	spentMiner atomic.Int64
+	spentVF2   atomic.Int64
+
+	mu     sync.Mutex
+	stages []StageReport
+}
+
+// New returns a Controller for opt.
+func New(opt Options) *Controller {
+	ctx := opt.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	interval := int64(opt.CheckInterval)
+	if interval <= 0 {
+		interval = DefaultCheckInterval
+	}
+	return &Controller{
+		ctx:      ctx,
+		deadline: opt.Deadline,
+		budgets:  opt.Budgets,
+		interval: interval,
+		hook:     opt.Hook,
+	}
+}
+
+// FromDeadline adapts the legacy Deadline time.Time option: it returns
+// a deadline-only controller, or nil (no control, no overhead) when the
+// deadline is zero.
+func FromDeadline(d time.Time) *Controller {
+	if d.IsZero() {
+		return nil
+	}
+	return New(Options{Deadline: d})
+}
+
+// Err returns the stop cause once the run is cut short, else nil.
+func (c *Controller) Err() error {
+	if c == nil {
+		return nil
+	}
+	if e := c.cause.Load(); e != nil {
+		return e
+	}
+	return nil
+}
+
+// Stopped reports whether the run has been cut short.
+func (c *Controller) Stopped() bool { return c.Err() != nil }
+
+// Context returns the controller's context (context.Background for a
+// nil controller).
+func (c *Controller) Context() context.Context {
+	if c == nil {
+		return context.Background()
+	}
+	return c.ctx
+}
+
+// fail records the first stop cause; later causes are dropped and the
+// winner returned, so every checkpoint reports one consistent error.
+func (c *Controller) fail(stage Stage, reason Reason, detail string) *StopError {
+	e := &StopError{Stage: stage, Reason: reason, Detail: detail}
+	if c.cause.CompareAndSwap(nil, e) {
+		return e
+	}
+	return c.cause.Load()
+}
+
+// RecordStage appends a stage report to the degradation record.
+func (c *Controller) RecordStage(r StageReport) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.stages = append(c.stages, r)
+	c.mu.Unlock()
+}
+
+// RecordStop is RecordStage specialized to "this stage stopped at the
+// shared cause after completing this much of its planned work".
+func (c *Controller) RecordStop(stage Stage, completed, planned int64, detail string) {
+	if c == nil {
+		return
+	}
+	r := StageReport{Stage: stage, Completed: completed, Planned: planned, Detail: detail}
+	if e := c.cause.Load(); e != nil {
+		r.Reason = e.Reason
+	}
+	c.RecordStage(r)
+}
+
+// maxPanicStack bounds the stack captured into a panic stage report.
+const maxPanicStack = 4096
+
+// Recovered converts a recovered panic value into a structured stage
+// report. Use it in worker goroutines:
+//
+//	defer func() {
+//	    if r := recover(); r != nil { ctl.Recovered(stage, what, r) }
+//	}()
+//
+// The panic does not stop the rest of the run; it degrades the one
+// worker's unit of work and is surfaced in the report.
+func (c *Controller) Recovered(stage Stage, what string, r any) {
+	if c == nil {
+		return
+	}
+	stack := debug.Stack()
+	if len(stack) > maxPanicStack {
+		stack = stack[:maxPanicStack]
+	}
+	c.RecordStage(StageReport{
+		Stage:  stage,
+		Reason: ReasonPanic,
+		Detail: what,
+		Err:    fmt.Sprintf("panic: %v\n%s", r, stack),
+	})
+}
+
+// Report assembles the degradation record. Safe to call while workers
+// are still running (it snapshots), but normally called once at the
+// end of a run.
+func (c *Controller) Report() Degradation {
+	var d Degradation
+	if c == nil {
+		return d
+	}
+	if e := c.cause.Load(); e != nil {
+		d.Truncated = true
+		d.Stage, d.Reason, d.Detail = e.Stage, e.Reason, e.Detail
+	}
+	c.mu.Lock()
+	d.Stages = append([]StageReport(nil), c.stages...)
+	c.mu.Unlock()
+	for _, s := range d.Stages {
+		if s.Reason == ReasonPanic {
+			d.Truncated = true
+			if d.Reason == "" {
+				d.Reason, d.Stage = ReasonPanic, s.Stage
+			}
+		}
+	}
+	return d
+}
+
+// Checks returns the number of amortized checkpoint consultations so
+// far (test observability).
+func (c *Controller) Checks() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.checks.Load()
+}
+
+// budgetFor maps a stage onto its shared spend counter and limit.
+func (c *Controller) budgetFor(stage Stage) (*atomic.Int64, int64) {
+	switch stage {
+	case StageFVMine:
+		return &c.spentFV, c.budgets.FVMineStates
+	case StageGSpan, StageFSG, StageLEAP, StageGroupMine:
+		return &c.spentMiner, c.budgets.MinerSteps
+	case StageVF2, StageVerify:
+		return &c.spentVF2, c.budgets.VF2Nodes
+	}
+	return nil, 0
+}
+
+// Checkpoint derives a stepper for one goroutine working one stage.
+// Checkpoints from the same controller share the deadline, context,
+// and stage budgets, but each keeps its own local step counter — do
+// not share one Checkpoint across goroutines.
+func (c *Controller) Checkpoint(stage Stage) *Checkpoint {
+	if c == nil {
+		return nil
+	}
+	cp := &Checkpoint{ctl: c, stage: stage, interval: c.interval}
+	cp.spent, cp.limit = c.budgetFor(stage)
+	return cp
+}
+
+// Checkpoint is the amortized per-goroutine stepper. A nil *Checkpoint
+// is valid: Step and Force return nil forever.
+type Checkpoint struct {
+	ctl      *Controller
+	stage    Stage
+	spent    *atomic.Int64
+	limit    int64
+	interval int64
+	// pending counts local steps not yet flushed to the shared counter.
+	pending int64
+	flushed int64
+}
+
+// Step counts one unit of work and, every interval steps, consults the
+// shared state. It returns the run's stop cause once tripped; the
+// caller must unwind and return its partial result.
+func (cp *Checkpoint) Step() error {
+	if cp == nil {
+		return nil
+	}
+	cp.pending++
+	if cp.pending < cp.interval {
+		return nil
+	}
+	return cp.sync()
+}
+
+// Force counts one unit of work and consults the shared state
+// immediately. Use it for loops whose single iteration is expensive
+// enough that amortization would let the deadline overshoot (e.g. one
+// isomorphism test over a whole database per step).
+func (cp *Checkpoint) Force() error {
+	if cp == nil {
+		return nil
+	}
+	cp.pending++
+	return cp.sync()
+}
+
+// Steps returns the checkpoint's local step count (work attributable
+// to this goroutine's stage loop).
+func (cp *Checkpoint) Steps() int64 {
+	if cp == nil {
+		return 0
+	}
+	return cp.flushed + cp.pending
+}
+
+// sync flushes pending steps into the shared stage counter and checks
+// hook, context, deadline, and budget, in that order.
+func (cp *Checkpoint) sync() error {
+	c := cp.ctl
+	if e := c.cause.Load(); e != nil {
+		return e
+	}
+	n := c.checks.Add(1)
+	if c.hook != nil && c.hook(n) {
+		return c.fail(cp.stage, ReasonCancel, fmt.Sprintf("fault hook tripped at checkpoint %d", n))
+	}
+	select {
+	case <-c.ctx.Done():
+		reason := ReasonCancel
+		if c.ctx.Err() == context.DeadlineExceeded {
+			reason = ReasonDeadline
+		}
+		return c.fail(cp.stage, reason, c.ctx.Err().Error())
+	default:
+	}
+	if !c.deadline.IsZero() && time.Now().After(c.deadline) {
+		return c.fail(cp.stage, ReasonDeadline, "")
+	}
+	add := cp.pending
+	cp.flushed += add
+	cp.pending = 0
+	if cp.spent != nil {
+		total := cp.spent.Add(add)
+		if cp.limit > 0 && total > cp.limit {
+			return c.fail(cp.stage, ReasonBudget,
+				fmt.Sprintf("%d steps spent of %d budgeted", total, cp.limit))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package server
+
+import (
+	"log"
+	"net/http"
+	"runtime/debug"
+)
+
+// recoverPanics converts a handler panic into a 500 instead of killing
+// the serving goroutine's connection without a response (and, for
+// panics reaching the top of the goroutine stack, the whole process).
+// http.ErrAbortHandler is re-raised: it is net/http's sanctioned way to
+// abort a response.
+func recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler {
+				panic(rec)
+			}
+			stack := debug.Stack()
+			if len(stack) > 4096 {
+				stack = stack[:4096]
+			}
+			log.Printf("server: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, stack)
+			// The header may already be out; WriteHeader then just logs a
+			// superfluous-call warning instead of corrupting the stream.
+			httpError(w, http.StatusInternalServerError, "internal error")
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// limitConcurrency admits at most n requests at a time and answers 503
+// immediately when saturated — bounded queueing beats unbounded memory
+// growth under a mining workload where one request can pin a core for
+// seconds.
+func limitConcurrency(n int, next http.Handler) http.Handler {
+	if n <= 0 {
+		return next
+	}
+	sem := make(chan struct{}, n)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case sem <- struct{}{}:
+			defer func() { <-sem }()
+			next.ServeHTTP(w, r)
+		default:
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusServiceUnavailable, "server busy: %d requests in flight", n)
+		}
+	})
+}
+
+// capRequestBody bounds request bodies to max bytes; oversized bodies
+// make json decoding fail with a 400/413 instead of buffering
+// arbitrarily.
+func capRequestBody(max int64, next http.Handler) http.Handler {
+	if max <= 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, max)
+		}
+		next.ServeHTTP(w, r)
+	})
+}

@@ -13,7 +13,9 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"sync"
 	"time"
@@ -22,13 +24,43 @@ import (
 	"graphsig/internal/core"
 	"graphsig/internal/gindex"
 	"graphsig/internal/graph"
+	"graphsig/internal/runctl"
 	"graphsig/internal/rwr"
+)
+
+// Operational defaults; override the Server fields before Handler().
+const (
+	// DefaultMaxConcurrent bounds simultaneously served requests.
+	DefaultMaxConcurrent = 64
+	// DefaultMaxBodyBytes caps request bodies.
+	DefaultMaxBodyBytes = 1 << 20
+	// DefaultMineTimeout applies when a /mine request names none.
+	DefaultMineTimeout = 30 * time.Second
+	// DefaultMineTimeoutCap clamps client-requested mine timeouts so a
+	// request cannot pin a worker past the server's write timeout.
+	DefaultMineTimeoutCap = 2 * time.Minute
 )
 
 // Server answers mining and search requests over one immutable database.
 type Server struct {
 	db    []*graph.Graph
 	alpha *graph.Alphabet
+
+	// MaxConcurrent bounds simultaneously served requests; excess
+	// requests get an immediate 503 (0 = unbounded).
+	MaxConcurrent int
+	// MaxBodyBytes caps request body size (0 = unbounded).
+	MaxBodyBytes int64
+	// MineTimeout is the default /mine deadline when the request names
+	// none; MineTimeoutCap clamps what a request may ask for.
+	MineTimeout    time.Duration
+	MineTimeoutCap time.Duration
+	// MineBudgets bounds per-stage mining work for every /mine request
+	// (zero fields = unbounded).
+	MineBudgets runctl.Budgets
+	// Logf receives operational log lines (degraded mines, panics);
+	// log.Printf when nil.
+	Logf func(format string, args ...any)
 
 	mu    sync.Mutex
 	index *gindex.Index // built lazily on the first /query
@@ -41,10 +73,28 @@ type Server struct {
 // New creates a server over db. Node labels must follow the standard
 // chemistry alphabet (datagen output or SMILES input qualify).
 func New(db []*graph.Graph) *Server {
-	return &Server{db: db, alpha: chem.Alphabet(), vecCfg: core.Defaults()}
+	return &Server{
+		db:             db,
+		alpha:          chem.Alphabet(),
+		vecCfg:         core.Defaults(),
+		MaxConcurrent:  DefaultMaxConcurrent,
+		MaxBodyBytes:   DefaultMaxBodyBytes,
+		MineTimeout:    DefaultMineTimeout,
+		MineTimeoutCap: DefaultMineTimeoutCap,
+	}
 }
 
-// Handler returns the HTTP handler.
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
+}
+
+// Handler returns the HTTP handler: the endpoint mux behind the
+// hardening middleware (panic recovery outermost, then the concurrency
+// limit, then the request-body cap).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -55,7 +105,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /mine", s.handleMine)
 	mux.HandleFunc("POST /query", s.handleQuery)
 	mux.HandleFunc("POST /significance", s.handleSignificance)
-	return mux
+	return recoverPanics(limitConcurrency(s.MaxConcurrent, capRequestBody(s.MaxBodyBytes, mux)))
 }
 
 type statsResponse struct {
@@ -97,15 +147,31 @@ type minedPattern struct {
 }
 
 type mineResponse struct {
-	Patterns  []minedPattern `json:"patterns"`
-	Truncated bool           `json:"truncated"`
-	ElapsedMs int64          `json:"elapsedMs"`
+	Patterns  []minedPattern      `json:"patterns"`
+	Truncated bool                `json:"truncated"`
+	ElapsedMs int64               `json:"elapsedMs"`
+	Degraded  *runctl.Degradation `json:"degradation,omitempty"`
+}
+
+// mineDeadline clamps the client-requested timeout into (0, cap].
+func (s *Server) mineDeadline(timeoutMs int) time.Time {
+	d := s.MineTimeout
+	if timeoutMs > 0 {
+		d = time.Duration(timeoutMs) * time.Millisecond
+	}
+	if s.MineTimeoutCap > 0 && (d <= 0 || d > s.MineTimeoutCap) {
+		d = s.MineTimeoutCap
+	}
+	if d <= 0 {
+		return time.Time{}
+	}
+	return time.Now().Add(d)
 }
 
 func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 	var req mineRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		decodeError(w, err)
 		return
 	}
 	cfg := core.Defaults()
@@ -119,12 +185,22 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 		cfg.CutoffRadius = req.Radius
 	}
 	cfg.TopKPerLabel = req.TopK
-	if req.TimeoutMs > 0 {
-		cfg.Deadline = time.Now().Add(time.Duration(req.TimeoutMs) * time.Millisecond)
-	}
+	// The run controller ties the mine to the request: a client
+	// disconnect cancels it, and the deadline/budgets bound how long a
+	// single request can hold workers.
+	cfg.Ctl = runctl.New(runctl.Options{
+		Context:  r.Context(),
+		Deadline: s.mineDeadline(req.TimeoutMs),
+		Budgets:  s.MineBudgets,
+	})
 	t0 := time.Now()
 	res := core.Mine(s.db, cfg)
 	resp := mineResponse{Truncated: res.Truncated, ElapsedMs: time.Since(t0).Milliseconds()}
+	if res.Degradation.Truncated {
+		d := res.Degradation
+		resp.Degraded = &d
+		s.logf("server: mine degraded after %s: %s", time.Since(t0).Round(time.Millisecond), d.String())
+	}
 	limit := req.Limit
 	if limit <= 0 || limit > len(res.Subgraphs) {
 		limit = len(res.Subgraphs)
@@ -195,7 +271,7 @@ func (s *Server) handleSignificance(w http.ResponseWriter, r *http.Request) {
 func (s *Server) decodeSMILES(w http.ResponseWriter, r *http.Request) (*graph.Graph, bool) {
 	var req smilesRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		decodeError(w, err)
 		return nil, false
 	}
 	if req.SMILES == "" {
@@ -236,4 +312,15 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func httpError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// decodeError maps a JSON decode failure to 413 when the body cap
+// tripped, 400 otherwise.
+func decodeError(w http.ResponseWriter, err error) {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		httpError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
+		return
+	}
+	httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
 }
