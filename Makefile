@@ -11,10 +11,10 @@ vet:
 	go vet ./...
 
 test:
-	go test ./...
+	go test -shuffle=on ./...
 
 race:
-	go test -race ./...
+	go test -race -shuffle=on ./...
 
 bench:
 	go test -bench=. -benchmem ./...

@@ -1,15 +1,20 @@
 // Command serve runs the GraphSig HTTP service over a chemical screen:
 //
 //	serve -in data/AIDS.db -addr :8080
-//	serve -dataset MOLT-4 -n 1000 -addr :8080
+//	serve -dataset MOLT-4 -n 1000 -addr :8080 -warm
 //
 // Endpoints: GET /healthz, GET /stats, POST /mine, POST /query,
-// POST /significance (see internal/server).
+// POST /significance, POST /jobs/mine, GET /jobs, GET /jobs/{id},
+// DELETE /jobs/{id} (see internal/server).
 //
-// The server carries connection timeouts, a request concurrency limit,
-// request body caps, and per-request mine deadlines; SIGINT/SIGTERM
-// triggers a graceful shutdown that drains in-flight requests up to
-// -drain before forcing connections closed.
+// Mining runs through an asynchronous job subsystem: a bounded queue
+// (-queue-depth) feeds a worker pool (-workers), finished jobs stay
+// retrievable for -job-ttl, and identical requests coalesce through a
+// result cache of -cache-size entries. The server carries connection
+// timeouts, a request concurrency limit, request body caps, and
+// per-job mine deadlines; SIGINT/SIGTERM triggers a graceful shutdown
+// that drains in-flight requests and running mining jobs up to -drain
+// before canceling them into partial results.
 package main
 
 import (
@@ -26,6 +31,7 @@ import (
 
 	"graphsig/internal/chem"
 	"graphsig/internal/graph"
+	"graphsig/internal/jobs"
 	"graphsig/internal/server"
 )
 
@@ -41,6 +47,11 @@ func main() {
 	maxBody := flag.Int64("max-body", server.DefaultMaxBodyBytes, "request body cap in bytes (0 = unbounded)")
 	mineCap := flag.Duration("mine-cap", server.DefaultMineTimeoutCap, "hard cap on a single /mine run")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
+	workers := flag.Int("workers", jobs.DefaultWorkers, "mining worker pool size")
+	queueDepth := flag.Int("queue-depth", jobs.DefaultQueueDepth, "max queued mining jobs before 503 backpressure")
+	jobTTL := flag.Duration("job-ttl", jobs.DefaultTTL, "how long finished jobs stay retrievable")
+	cacheSize := flag.Int("cache-size", jobs.DefaultCacheSize, "dedup result-cache entries (-1 disables)")
+	warm := flag.Bool("warm", false, "eagerly build the query index and RWR vectors before serving")
 	flag.Parse()
 
 	var db []*graph.Graph
@@ -82,6 +93,16 @@ func main() {
 	if *mineCap <= 0 {
 		svc.MineTimeoutCap = server.DefaultMineTimeoutCap
 	}
+	svc.JobWorkers = *workers
+	svc.JobQueueDepth = *queueDepth
+	svc.JobTTL = *jobTTL
+	svc.JobCacheSize = *cacheSize
+
+	if *warm {
+		t0 := time.Now()
+		svc.Warm()
+		log.Printf("warmed query index and RWR vectors in %s", time.Since(t0).Round(time.Millisecond))
+	}
 
 	srv := &http.Server{
 		Addr:    *addr,
@@ -116,6 +137,12 @@ func main() {
 		if err := srv.Shutdown(shCtx); err != nil {
 			log.Printf("drain deadline exceeded, closing connections: %v", err)
 			srv.Close()
+		}
+		// Drain the mining job pool within the same deadline: queued
+		// jobs are canceled, running jobs get the remaining budget to
+		// finish before being cut into partial results.
+		if err := svc.Close(shCtx); err != nil {
+			log.Printf("job drain deadline exceeded, running mines canceled: %v", err)
 		}
 		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Fatal(err)

@@ -1,0 +1,50 @@
+package graph
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+)
+
+// Fingerprint returns a stable content hash of a graph database: two
+// slices holding structurally identical graphs in the same order hash
+// equal, any change to a label, edge, or ordering changes the hash.
+// Job result caches use it to scope cached mines to the exact database
+// they were mined from.
+//
+// The hash folds in, per graph, the node count, every node label in
+// node order, the edge count, and every edge as (u, v, label) in the
+// graph's own edge order. Node identity matters: Fingerprint detects
+// byte-level database changes, it does not canonicalize isomorphic
+// relabelings (two isomorphic but differently-numbered databases hash
+// differently, which is the safe direction for a cache key).
+func Fingerprint(db []*Graph) string {
+	h := sha256.New()
+	var buf [8]byte
+	writeInt := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	writeInt(int64(len(db)))
+	for _, g := range db {
+		fingerprintGraph(writeInt, g)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func fingerprintGraph(writeInt func(int64), g *Graph) {
+	if g == nil {
+		writeInt(-1)
+		return
+	}
+	writeInt(int64(g.NumNodes()))
+	for _, l := range g.Labels() {
+		writeInt(int64(l))
+	}
+	writeInt(int64(g.NumEdges()))
+	for _, e := range g.Edges() {
+		writeInt(int64(e.From))
+		writeInt(int64(e.To))
+		writeInt(int64(e.Label))
+	}
+}

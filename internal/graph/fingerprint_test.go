@@ -1,0 +1,63 @@
+package graph
+
+import "testing"
+
+func fpChain(labels []Label, edgeLabel Label) *Graph {
+	g := New(len(labels), len(labels)-1)
+	for _, l := range labels {
+		g.AddNode(l)
+	}
+	for i := 0; i+1 < len(labels); i++ {
+		g.MustAddEdge(i, i+1, edgeLabel)
+	}
+	return g
+}
+
+func TestFingerprintStable(t *testing.T) {
+	a := []*Graph{fpChain([]Label{0, 1, 2}, 0), fpChain([]Label{3, 3}, 1)}
+	b := []*Graph{fpChain([]Label{0, 1, 2}, 0), fpChain([]Label{3, 3}, 1)}
+	if Fingerprint(a) != Fingerprint(b) {
+		t.Fatal("structurally identical databases hash differently")
+	}
+	if Fingerprint(a) != Fingerprint(a) {
+		t.Fatal("fingerprint not deterministic")
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := Fingerprint([]*Graph{fpChain([]Label{0, 1, 2}, 0)})
+	cases := map[string][]*Graph{
+		"node label changed": {fpChain([]Label{0, 1, 3}, 0)},
+		"edge label changed": {fpChain([]Label{0, 1, 2}, 1)},
+		"node added":         {fpChain([]Label{0, 1, 2, 2}, 0)},
+		"graph added":        {fpChain([]Label{0, 1, 2}, 0), fpChain([]Label{0}, 0)},
+		"empty database":     {},
+	}
+	seen := map[string]string{base: "base"}
+	for name, db := range cases {
+		fp := Fingerprint(db)
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("%s collides with %s", name, prev)
+		}
+		seen[fp] = name
+	}
+}
+
+// TestFingerprintOrderMatters: the fingerprint is positional — graph
+// ids are part of a database's identity (query results name them).
+func TestFingerprintOrderMatters(t *testing.T) {
+	g1 := fpChain([]Label{0, 1}, 0)
+	g2 := fpChain([]Label{2, 3}, 0)
+	if Fingerprint([]*Graph{g1, g2}) == Fingerprint([]*Graph{g2, g1}) {
+		t.Error("reordered database hashes equal")
+	}
+}
+
+func TestFingerprintNilGraph(t *testing.T) {
+	// Must not panic, and must differ from an empty graph.
+	withNil := Fingerprint([]*Graph{nil})
+	withEmpty := Fingerprint([]*Graph{New(0, 0)})
+	if withNil == withEmpty {
+		t.Error("nil graph indistinguishable from empty graph")
+	}
+}

@@ -1,0 +1,76 @@
+package jobs
+
+import (
+	"container/list"
+	"sync"
+
+	"graphsig/internal/core"
+)
+
+// resultCache is a small LRU over completed mine results, keyed by the
+// canonical (database fingerprint, config) hash. Entries hold the
+// core.Result by value; the pattern graphs inside are shared and
+// treated as immutable by every reader. A capacity of 0 disables the
+// cache (get always misses, put drops).
+type resultCache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recently used
+	entries map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	res core.Result
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		cap:     capacity,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// get returns the cached result for key and refreshes its recency.
+func (c *resultCache) get(key string) (core.Result, bool) {
+	if c.cap <= 0 {
+		return core.Result{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return core.Result{}, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// put inserts or refreshes key, evicting the least recently used entry
+// past capacity.
+func (c *resultCache) put(key string, res core.Result) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
+	for len(c.entries) > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// stats returns current entry count and capacity.
+func (c *resultCache) stats() (entries, capacity int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries), c.cap
+}

@@ -1,0 +1,705 @@
+// Package jobs is the asynchronous job-orchestration layer between the
+// HTTP surface and the mining pipeline. It decouples mining execution
+// from request handling with four cooperating pieces:
+//
+//   - a bounded FIFO queue with backpressure: when the queue is full,
+//     Submit fails fast with an ErrQueueFull carrying depth info
+//     instead of buffering unboundedly;
+//   - a fixed worker pool executing mines under per-job runctl
+//     controllers, so every job is cancelable, deadline-bounded, and
+//     budget-bounded, and a canceled or timed-out job still lands with
+//     a valid partial result plus a degradation report;
+//   - an in-memory job store with states queued → running → done /
+//     failed / canceled, TTL-based eviction of finished jobs, and
+//     per-job progress snapshots sourced from the controller's stage
+//     counters;
+//   - a dedup layer: jobs are keyed by a canonical hash of (database
+//     fingerprint, normalized mining config). Identical requests that
+//     are concurrent coalesce onto one execution (singleflight), and
+//     identical requests that are sequential hit an LRU result cache
+//     and complete instantly. Truncated results are never cached — a
+//     rerun under different runtime limits may do strictly better.
+//
+// Lock ordering: Manager.mu before Job.mu, never the reverse.
+package jobs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"log"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"graphsig/internal/core"
+	"graphsig/internal/graph"
+	"graphsig/internal/runctl"
+)
+
+// Defaults for Options fields left zero.
+const (
+	DefaultWorkers    = 2
+	DefaultQueueDepth = 32
+	DefaultTTL        = 15 * time.Minute
+	DefaultCacheSize  = 128
+)
+
+// State is a job's lifecycle position.
+type State string
+
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Finished reports whether the state is terminal.
+func (s State) Finished() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// ExecFunc runs one mine under a controller. The default executes
+// core.Mine over the manager's database; tests inject counters or
+// blocking fakes here.
+type ExecFunc func(ctl *runctl.Controller, cfg core.Config) core.Result
+
+// Options configures a Manager.
+type Options struct {
+	// DB is the immutable database every job mines. Its fingerprint
+	// scopes the dedup key, so a manager over a different database can
+	// never collide in a shared-nothing deployment.
+	DB []*graph.Graph
+	// Workers is the pool size (0 = DefaultWorkers). Each worker runs
+	// one mine at a time; mines are internally parallel, so a handful
+	// of workers saturates the machine.
+	Workers int
+	// QueueDepth bounds jobs waiting for a worker (0 = DefaultQueueDepth).
+	QueueDepth int
+	// TTL is how long finished jobs stay retrievable (0 = DefaultTTL).
+	TTL time.Duration
+	// CacheSize bounds the dedup result cache, in entries
+	// (0 = DefaultCacheSize; negative = cache disabled).
+	CacheSize int
+	// Budgets applies uniformly to every job's controller. Per-request
+	// budget variation is deliberately unsupported: budgets are excluded
+	// from the dedup key, which is only sound when they are constant.
+	Budgets runctl.Budgets
+	// Exec overrides the mine executor (nil = core.Mine over DB).
+	Exec ExecFunc
+	// Logf receives operational log lines (log.Printf when nil).
+	Logf func(format string, args ...any)
+}
+
+// SubmitOptions parameterizes one Submit.
+type SubmitOptions struct {
+	// Label is a human-readable tag carried on snapshots.
+	Label string
+	// Timeout bounds the mine's execution time, measured from when a
+	// worker picks the job up — queue wait does not eat the budget
+	// (0 = unbounded).
+	Timeout time.Duration
+	// Detached marks the job as owned by the store rather than by its
+	// waiters: it survives with zero waiters until TTL eviction. Async
+	// API submissions are detached; synchronous callers are not, so a
+	// sync mine whose every client disconnected is canceled instead of
+	// burning a worker for nobody.
+	Detached bool
+	// Meta is an opaque embedder payload echoed on snapshots (the HTTP
+	// layer stores presentation parameters like the result limit).
+	Meta any
+}
+
+// SubmitInfo reports how a Submit was satisfied.
+type SubmitInfo struct {
+	// Coalesced: an identical job was already queued or running; the
+	// returned job is that one, no new execution was scheduled.
+	Coalesced bool
+	// Cached: an identical mine already completed; the returned job was
+	// born finished with the cached result.
+	Cached bool
+}
+
+// ErrQueueFull is returned by Submit when the queue has no room. It
+// carries the depth info a client needs for a useful 503.
+type ErrQueueFull struct {
+	Depth, Cap int
+}
+
+func (e *ErrQueueFull) Error() string {
+	return fmt.Sprintf("jobs: queue full (%d of %d queued)", e.Depth, e.Cap)
+}
+
+// ErrClosed is returned by Submit after Shutdown began.
+var ErrClosed = errors.New("jobs: manager shut down")
+
+// Snapshot is a point-in-time public view of a job.
+type Snapshot struct {
+	ID    string
+	Key   string
+	Label string
+	State State
+	// Cached: the job never executed; its result came from the cache.
+	Cached bool
+	// CancelRequested: Cancel was called; on a running job the state
+	// flips to canceled once the pipeline unwinds.
+	CancelRequested bool
+	Created         time.Time
+	Started         time.Time // zero until running
+	Finished        time.Time // zero until terminal
+	// Progress is the live controller spend for running jobs and the
+	// final spend for finished ones.
+	Progress runctl.Spent
+	// Result is non-nil once the job finished executing (including the
+	// partial result of a canceled run). Nil for queued/running/failed.
+	Result *core.Result
+	// Degradation is non-nil when the run was cut short.
+	Degradation *runctl.Degradation
+	// Err is the failure message for StateFailed.
+	Err     string
+	Waiters int
+	Meta    any
+}
+
+// Job is one unit of mining work. All mutable state is guarded; read
+// it through Snapshot.
+type Job struct {
+	id   string
+	key  string
+	meta any
+
+	cfg     core.Config
+	label   string
+	timeout time.Duration
+
+	done chan struct{} // closed exactly once, on reaching a terminal state
+
+	mu              sync.Mutex
+	state           State
+	detached        bool
+	waiters         int
+	cached          bool
+	cancelRequested bool
+	created         time.Time
+	started         time.Time
+	finished        time.Time
+	ctl             *runctl.Controller
+	result          *core.Result
+	degradation     *runctl.Degradation
+	err             error
+}
+
+// ID returns the job's stable identifier.
+func (j *Job) ID() string { return j.id }
+
+// Key returns the job's canonical dedup key.
+func (j *Job) Key() string { return j.key }
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Snapshot captures the job's current public state.
+func (j *Job) Snapshot() Snapshot {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := Snapshot{
+		ID:              j.id,
+		Key:             j.key,
+		Label:           j.label,
+		State:           j.state,
+		Cached:          j.cached,
+		CancelRequested: j.cancelRequested,
+		Created:         j.created,
+		Started:         j.started,
+		Finished:        j.finished,
+		Progress:        j.ctl.Spent(), // nil-safe: zeros before running
+		Result:          j.result,
+		Degradation:     j.degradation,
+		Waiters:         j.waiters,
+		Meta:            j.meta,
+	}
+	if j.err != nil {
+		s.Err = j.err.Error()
+	}
+	return s
+}
+
+// finish moves the job to a terminal state. Caller holds j.mu.
+func (j *Job) finishLocked(state State, now time.Time) {
+	j.state = state
+	j.finished = now
+	close(j.done)
+}
+
+// Stats is a point-in-time view of the manager's counters.
+type Stats struct {
+	Workers     int            `json:"workers"`
+	Busy        int            `json:"busy"`
+	QueueDepth  int            `json:"queueDepth"`
+	QueueCap    int            `json:"queueCap"`
+	Jobs        int            `json:"jobs"`
+	ByState     map[State]int  `json:"byState,omitempty"`
+	Executions  int64          `json:"executions"`
+	Coalesced   int64          `json:"coalesced"`
+	CacheHits   int64          `json:"cacheHits"`
+	CacheMisses int64          `json:"cacheMisses"`
+	Rejected    int64          `json:"rejected"`
+	CacheSize   int            `json:"cacheSize"`
+	CacheCap    int            `json:"cacheCap"`
+}
+
+// Manager owns the queue, the worker pool, the job store, and the
+// result cache. Create one per served database with NewManager; it is
+// safe for concurrent use.
+type Manager struct {
+	opts  Options
+	exec  ExecFunc
+	dbFP  string
+	cache *resultCache
+
+	queue chan *Job
+
+	mu     sync.Mutex
+	closed bool
+	jobs   map[string]*Job // every live (unevicted) job by id
+	byKey  map[string]*Job // the queued-or-running job per dedup key
+
+	workers     sync.WaitGroup
+	janitorStop chan struct{}
+	// draining flips when Shutdown's drain deadline passes: every
+	// running job is being canceled, and run() self-cancels jobs that
+	// slipped through the dequeue/running-snapshot window.
+	draining atomic.Bool
+
+	busy        atomic.Int64
+	executions  atomic.Int64
+	coalesced   atomic.Int64
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+	rejected    atomic.Int64
+	seq         atomic.Int64
+}
+
+// NewManager starts the worker pool and TTL janitor for opt.
+func NewManager(opt Options) *Manager {
+	if opt.Workers <= 0 {
+		opt.Workers = DefaultWorkers
+	}
+	if opt.QueueDepth <= 0 {
+		opt.QueueDepth = DefaultQueueDepth
+	}
+	if opt.TTL <= 0 {
+		opt.TTL = DefaultTTL
+	}
+	cacheSize := opt.CacheSize
+	switch {
+	case cacheSize == 0:
+		cacheSize = DefaultCacheSize
+	case cacheSize < 0:
+		cacheSize = 0
+	}
+	m := &Manager{
+		opts:        opt,
+		dbFP:        graph.Fingerprint(opt.DB),
+		cache:       newResultCache(cacheSize),
+		queue:       make(chan *Job, opt.QueueDepth),
+		jobs:        make(map[string]*Job),
+		byKey:       make(map[string]*Job),
+		janitorStop: make(chan struct{}),
+	}
+	m.exec = opt.Exec
+	if m.exec == nil {
+		m.exec = func(ctl *runctl.Controller, cfg core.Config) core.Result {
+			cfg.Ctl = ctl
+			return core.Mine(opt.DB, cfg)
+		}
+	}
+	for i := 0; i < opt.Workers; i++ {
+		m.workers.Add(1)
+		go m.worker()
+	}
+	go m.janitor()
+	return m
+}
+
+func (m *Manager) logf(format string, args ...any) {
+	if m.opts.Logf != nil {
+		m.opts.Logf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
+}
+
+// KeyFor returns the canonical dedup key a config submits under —
+// the database fingerprint joined with the normalized config hash.
+func (m *Manager) KeyFor(cfg core.Config) string {
+	return core.MineKey(m.dbFP, cfg)
+}
+
+// Submit schedules cfg for execution, or attaches to an identical job
+// already in flight, or completes instantly from the result cache.
+// The returned job must be balanced with Release by non-detached
+// callers once they stop waiting on it.
+func (m *Manager) Submit(cfg core.Config, opt SubmitOptions) (*Job, SubmitInfo, error) {
+	key := m.KeyFor(cfg)
+	now := time.Now()
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, SubmitInfo{}, ErrClosed
+	}
+	if j := m.byKey[key]; j != nil {
+		m.coalesced.Add(1)
+		j.mu.Lock()
+		j.detached = j.detached || opt.Detached
+		if !opt.Detached {
+			j.waiters++
+		}
+		j.mu.Unlock()
+		return j, SubmitInfo{Coalesced: true}, nil
+	}
+	if res, ok := m.cache.get(key); ok {
+		m.cacheHits.Add(1)
+		j := m.newJobLocked(key, cfg, opt, now)
+		j.state = StateDone
+		j.cached = true
+		j.result = &res
+		j.finished = now
+		close(j.done)
+		m.jobs[j.id] = j
+		return j, SubmitInfo{Cached: true}, nil
+	}
+	m.cacheMisses.Add(1)
+	j := m.newJobLocked(key, cfg, opt, now)
+	select {
+	case m.queue <- j:
+	default:
+		m.rejected.Add(1)
+		return nil, SubmitInfo{}, &ErrQueueFull{Depth: len(m.queue), Cap: cap(m.queue)}
+	}
+	m.jobs[j.id] = j
+	m.byKey[key] = j
+	return j, SubmitInfo{}, nil
+}
+
+func (m *Manager) newJobLocked(key string, cfg core.Config, opt SubmitOptions, now time.Time) *Job {
+	var rnd [6]byte
+	rand.Read(rnd[:])
+	j := &Job{
+		id:       fmt.Sprintf("j%d-%s", m.seq.Add(1), hex.EncodeToString(rnd[:])),
+		key:      key,
+		meta:     opt.Meta,
+		cfg:      cfg,
+		label:    opt.Label,
+		timeout:  opt.Timeout,
+		done:     make(chan struct{}),
+		state:    StateQueued,
+		detached: opt.Detached,
+		created:  now,
+	}
+	if !opt.Detached {
+		j.waiters = 1
+	}
+	return j
+}
+
+// Get returns the job with the given id.
+func (m *Manager) Get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// List snapshots every live job, newest first.
+func (m *Manager) List() []Snapshot {
+	m.mu.Lock()
+	jobs := make([]*Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		jobs = append(jobs, j)
+	}
+	m.mu.Unlock()
+	out := make([]Snapshot, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Snapshot()
+	}
+	sort.Slice(out, func(i, k int) bool {
+		if !out[i].Created.Equal(out[k].Created) {
+			return out[i].Created.After(out[k].Created)
+		}
+		return out[i].ID > out[k].ID
+	})
+	return out
+}
+
+// Cancel requests cancellation of the job with the given id. A queued
+// job is finished immediately as canceled; a running job has its
+// controller tripped and lands in canceled with a degradation report
+// once the pipeline unwinds. Returns false when the id is unknown; a
+// job already finished returns true with no effect.
+func (m *Manager) Cancel(id string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return false
+	}
+	m.cancelLocked(j, "cancel requested")
+	return true
+}
+
+// cancelLocked cancels j. Caller holds m.mu.
+func (m *Manager) cancelLocked(j *Job, detail string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case StateQueued:
+		j.cancelRequested = true
+		j.degradation = &runctl.Degradation{
+			Truncated: true,
+			Reason:    runctl.ReasonCancel,
+			Detail:    detail + " before start",
+		}
+		delete(m.byKey, j.key)
+		j.finishLocked(StateCanceled, time.Now())
+	case StateRunning:
+		j.cancelRequested = true
+		j.ctl.Cancel(detail) // the run unwinds; the worker finalizes the state
+	default:
+		// Already terminal: idempotent no-op.
+	}
+}
+
+// Release signals that one waiter stopped caring about the job. When
+// the last waiter of a non-detached job leaves before it finished, the
+// job is canceled (nobody can ever read the result) and Release
+// reports true so the caller knows a partial result is imminent on
+// Done.
+func (m *Manager) Release(j *Job) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j.mu.Lock()
+	j.waiters--
+	abandon := j.waiters <= 0 && !j.detached && !j.state.Finished()
+	j.mu.Unlock()
+	if abandon {
+		m.cancelLocked(j, "abandoned by all waiters")
+	}
+	return abandon
+}
+
+// worker executes jobs until the queue closes.
+func (m *Manager) worker() {
+	defer m.workers.Done()
+	for j := range m.queue {
+		m.run(j)
+	}
+}
+
+// run executes one job end to end.
+func (m *Manager) run(j *Job) {
+	j.mu.Lock()
+	if j.state != StateQueued { // canceled while waiting in the queue
+		j.mu.Unlock()
+		return
+	}
+	var deadline time.Time
+	if j.timeout > 0 {
+		deadline = time.Now().Add(j.timeout)
+	}
+	ctl := runctl.New(runctl.Options{Deadline: deadline, Budgets: m.opts.Budgets})
+	j.ctl = ctl
+	j.state = StateRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+
+	// Handshake with Shutdown's drain deadline: the flag is set before
+	// the running-job sweep, so a job that reached running after the
+	// sweep observes the flag here and self-cancels; a job that reached
+	// running before is caught by the sweep.
+	if m.draining.Load() {
+		m.mu.Lock()
+		m.cancelLocked(j, "server shutting down")
+		m.mu.Unlock()
+	}
+
+	m.busy.Add(1)
+	m.executions.Add(1)
+	res, err := m.execIsolated(ctl, j.cfg)
+	m.busy.Add(-1)
+
+	deg := ctl.Report()
+	now := time.Now()
+	j.mu.Lock()
+	j.err = err
+	if err == nil {
+		j.result = &res
+	}
+	if deg.Truncated {
+		j.degradation = &deg
+	}
+	canceled := j.cancelRequested || (deg.Truncated && deg.Reason == runctl.ReasonCancel)
+	switch {
+	case err != nil:
+		j.finishLocked(StateFailed, now)
+	case canceled:
+		j.finishLocked(StateCanceled, now)
+	default:
+		j.finishLocked(StateDone, now)
+	}
+	state := j.state
+	j.mu.Unlock()
+
+	m.mu.Lock()
+	if m.byKey[j.key] == j {
+		delete(m.byKey, j.key)
+	}
+	if state == StateDone && !res.Truncated {
+		m.cache.put(j.key, res)
+	}
+	m.mu.Unlock()
+
+	switch {
+	case err != nil:
+		m.logf("jobs: %s failed after %s: %v", j.id, now.Sub(j.started).Round(time.Millisecond), err)
+	case deg.Truncated:
+		m.logf("jobs: %s %s after %s: %s", j.id, state, now.Sub(j.started).Round(time.Millisecond), deg.String())
+	}
+}
+
+// execIsolated runs the executor behind a panic barrier so one
+// pathological mine cannot take down the worker pool.
+func (m *Manager) execIsolated(ctl *runctl.Controller, cfg core.Config) (res core.Result, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("mine panicked: %v", rec)
+		}
+	}()
+	return m.exec(ctl, cfg), nil
+}
+
+// janitor evicts finished jobs past their TTL.
+func (m *Manager) janitor() {
+	interval := m.opts.TTL / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	if interval > 30*time.Second {
+		interval = 30 * time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.janitorStop:
+			return
+		case now := <-t.C:
+			m.evictExpired(now)
+		}
+	}
+}
+
+// evictExpired drops finished jobs whose TTL passed.
+func (m *Manager) evictExpired(now time.Time) {
+	cutoff := now.Add(-m.opts.TTL)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for id, j := range m.jobs {
+		j.mu.Lock()
+		expired := j.state.Finished() && j.finished.Before(cutoff)
+		j.mu.Unlock()
+		if expired {
+			delete(m.jobs, id)
+		}
+	}
+}
+
+// Stats snapshots the manager's operational counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	byState := make(map[State]int)
+	jobs := len(m.jobs)
+	for _, j := range m.jobs {
+		j.mu.Lock()
+		byState[j.state]++
+		j.mu.Unlock()
+	}
+	depth := len(m.queue)
+	qcap := cap(m.queue)
+	m.mu.Unlock()
+	entries, capacity := m.cache.stats()
+	return Stats{
+		Workers:     m.opts.Workers,
+		Busy:        int(m.busy.Load()),
+		QueueDepth:  depth,
+		QueueCap:    qcap,
+		Jobs:        jobs,
+		ByState:     byState,
+		Executions:  m.executions.Load(),
+		Coalesced:   m.coalesced.Load(),
+		CacheHits:   m.cacheHits.Load(),
+		CacheMisses: m.cacheMisses.Load(),
+		Rejected:    m.rejected.Load(),
+		CacheSize:   entries,
+		CacheCap:    capacity,
+	}
+}
+
+// Shutdown drains the manager: new submissions are rejected, queued
+// jobs are canceled (their results could never be retrieved after the
+// process exits), and running jobs get until ctx is done to finish
+// before their controllers are tripped. Shutdown returns once every
+// worker has exited; the returned error is ctx's if the drain deadline
+// forced cancellation. Idempotent.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		m.workers.Wait()
+		return nil
+	}
+	m.closed = true
+	close(m.janitorStop)
+	// Cancel everything still queued, then close the queue so workers
+	// exit once the backlog of already-dequeued jobs completes.
+	for {
+		select {
+		case j := <-m.queue:
+			m.cancelLocked(j, "server shutting down")
+			continue
+		default:
+		}
+		break
+	}
+	close(m.queue)
+	m.mu.Unlock()
+
+	workersDone := make(chan struct{})
+	go func() {
+		m.workers.Wait()
+		close(workersDone)
+	}()
+	select {
+	case <-workersDone:
+		return nil
+	case <-ctx.Done():
+	}
+	// Drain deadline passed: trip every running controller and wait for
+	// the pipeline to unwind into partial results. The flag is set
+	// before the sweep so run() self-cancels any job that reaches
+	// running after the sweep collected its victims.
+	m.draining.Store(true)
+	m.mu.Lock()
+	for _, j := range m.jobs {
+		m.cancelLocked(j, "shutdown drain deadline")
+	}
+	m.mu.Unlock()
+	<-workersDone
+	return ctx.Err()
+}

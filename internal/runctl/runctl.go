@@ -280,6 +280,19 @@ func (c *Controller) fail(stage Stage, reason Reason, detail string) *StopError 
 	return c.cause.Load()
 }
 
+// Cancel administratively stops the run: the next consultation of
+// every live checkpoint returns a cancel StopError, and the pipeline
+// unwinds into its partial result. Unlike context cancellation this
+// needs no context plumbed at construction time, so owners that decide
+// to cancel after the fact (job orchestration, admin endpoints) can.
+// The first stop cause wins; Cancel after another stop is a no-op.
+func (c *Controller) Cancel(detail string) {
+	if c == nil {
+		return
+	}
+	c.fail("", ReasonCancel, detail)
+}
+
 // RecordStage appends a stage report to the degradation record.
 func (c *Controller) RecordStage(r StageReport) {
 	if c == nil {
@@ -364,6 +377,36 @@ func (c *Controller) Checks() int64 {
 		return 0
 	}
 	return c.checks.Load()
+}
+
+// Spent is a live snapshot of the controller's shared work counters —
+// the per-stage-family spend the budgets draw against plus the number
+// of amortized checkpoint consultations. Job orchestration reads it to
+// report progress of a running mine without touching the pipeline.
+type Spent struct {
+	Checks       int64 `json:"checks"`
+	FVMineStates int64 `json:"fvmineStates,omitempty"`
+	MinerSteps   int64 `json:"minerSteps,omitempty"`
+	VF2Nodes     int64 `json:"vf2Nodes,omitempty"`
+}
+
+// Total returns the summed stage-family spend.
+func (s Spent) Total() int64 { return s.FVMineStates + s.MinerSteps + s.VF2Nodes }
+
+// Spent snapshots the shared work counters. Safe to call concurrently
+// with running checkpoints; a nil controller reports zeros. Counters
+// are flushed every CheckInterval steps, so the snapshot trails the
+// true spend by at most one interval per live goroutine.
+func (c *Controller) Spent() Spent {
+	if c == nil {
+		return Spent{}
+	}
+	return Spent{
+		Checks:       c.checks.Load(),
+		FVMineStates: c.spentFV.Load(),
+		MinerSteps:   c.spentMiner.Load(),
+		VF2Nodes:     c.spentVF2.Load(),
+	}
 }
 
 // budgetFor maps a stage onto its shared spend counter and limit.

@@ -3,11 +3,14 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
 	"graphsig/internal/chem"
 	"graphsig/internal/graph"
+	"graphsig/internal/jobs"
 )
 
 // Client is a typed client for the GraphSig HTTP service.
@@ -109,6 +112,160 @@ func (c *Client) Significance(smiles string) (support int, frequency, pValue flo
 	return out.Support, out.Frequency, out.PValue, nil
 }
 
+// Job mirrors the service's job status for client consumers.
+type Job struct {
+	ID              string
+	State           jobs.State
+	Cached          bool
+	CancelRequested bool
+	Error           string
+	// Patterns carries the finished job's mined patterns (parsed back
+	// from SMILES), nil while the job is still queued or running.
+	Patterns []MinedPattern
+	// Truncated reports a cut-short run (deadline, cancel, budget).
+	Truncated bool
+}
+
+// Finished reports whether the job reached a terminal state.
+func (j Job) Finished() bool { return j.State.Finished() }
+
+// SubmitMine submits an asynchronous mine and returns the job id plus
+// whether the request coalesced with an in-flight identical mine or
+// hit the result cache.
+func (c *Client) SubmitMine(opt MineOptions) (id string, coalesced, cached bool, err error) {
+	req := mineRequest{
+		MaxPvalue:  opt.MaxPvalue,
+		MinFreqPct: opt.MinFreqPct,
+		Radius:     opt.Radius,
+		TopK:       opt.TopK,
+		TimeoutMs:  opt.TimeoutMs,
+		Limit:      opt.Limit,
+	}
+	var out jobSubmitResponse
+	if err := c.post("/jobs/mine", req, &out); err != nil {
+		return "", false, false, err
+	}
+	return out.ID, out.Coalesced, out.Cached, nil
+}
+
+// Job polls one job's status.
+func (c *Client) Job(id string) (Job, error) {
+	var out jobStatus
+	if err := c.get("/jobs/"+id, &out); err != nil {
+		return Job{}, err
+	}
+	return clientJob(out)
+}
+
+// Jobs lists the service's live jobs, newest first.
+func (c *Client) Jobs() ([]Job, error) {
+	var out struct {
+		Jobs []jobStatus `json:"jobs"`
+	}
+	if err := c.get("/jobs", &out); err != nil {
+		return nil, err
+	}
+	list := make([]Job, 0, len(out.Jobs))
+	for _, js := range out.Jobs {
+		j, err := clientJob(js)
+		if err != nil {
+			return nil, err
+		}
+		list = append(list, j)
+	}
+	return list, nil
+}
+
+// CancelJob cancels a queued or running job.
+func (c *Client) CancelJob(id string) (Job, error) {
+	req, err := http.NewRequest(http.MethodDelete, c.BaseURL+"/jobs/"+id, nil)
+	if err != nil {
+		return Job{}, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return Job{}, err
+	}
+	defer resp.Body.Close()
+	var out jobStatus
+	if err := decodeResponse(resp, &out); err != nil {
+		return Job{}, err
+	}
+	return clientJob(out)
+}
+
+// WaitJob polls a job until it finishes or timeout passes (0 = wait
+// forever), sleeping poll between probes (0 = 100ms).
+func (c *Client) WaitJob(id string, poll, timeout time.Duration) (Job, error) {
+	if poll <= 0 {
+		poll = 100 * time.Millisecond
+	}
+	deadline := time.Time{}
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	for {
+		j, err := c.Job(id)
+		if err != nil {
+			return Job{}, err
+		}
+		if j.Finished() {
+			return j, nil
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return j, fmt.Errorf("client: job %s still %s after %s", id, j.State, timeout)
+		}
+		time.Sleep(poll)
+	}
+}
+
+// MineAsync is the submit-and-wait convenience: it submits a mine,
+// waits for the job to finish, and returns the patterns like Mine.
+func (c *Client) MineAsync(opt MineOptions, poll, timeout time.Duration) ([]MinedPattern, bool, error) {
+	id, _, _, err := c.SubmitMine(opt)
+	if err != nil {
+		return nil, false, err
+	}
+	j, err := c.WaitJob(id, poll, timeout)
+	if err != nil {
+		return nil, false, err
+	}
+	if j.State == jobs.StateFailed {
+		return nil, false, errors.New("server: mine failed: " + j.Error)
+	}
+	return j.Patterns, j.Truncated, nil
+}
+
+// clientJob converts a wire status to the client view, parsing result
+// patterns back into graphs.
+func clientJob(js jobStatus) (Job, error) {
+	j := Job{
+		ID:              js.ID,
+		State:           js.State,
+		Cached:          js.Cached,
+		CancelRequested: js.CancelRequested,
+		Error:           js.Error,
+	}
+	if js.Result != nil {
+		j.Truncated = js.Result.Truncated
+		j.Patterns = make([]MinedPattern, 0, len(js.Result.Patterns))
+		for _, p := range js.Result.Patterns {
+			g, err := chem.ParseSMILES(p.SMILES)
+			if err != nil {
+				return Job{}, fmt.Errorf("server returned unparseable pattern %q: %w", p.SMILES, err)
+			}
+			j.Patterns = append(j.Patterns, MinedPattern{
+				Graph:     g,
+				SMILES:    p.SMILES,
+				PValue:    p.PValue,
+				Support:   p.Support,
+				Frequency: p.Frequency,
+			})
+		}
+	}
+	return j, nil
+}
+
 func (c *Client) get(path string, out any) error {
 	resp, err := c.httpClient().Get(c.BaseURL + path)
 	if err != nil {
@@ -132,7 +289,7 @@ func (c *Client) post(path string, in, out any) error {
 }
 
 func decodeResponse(resp *http.Response, out any) error {
-	if resp.StatusCode != http.StatusOK {
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		var e struct {
 			Error string `json:"error"`
 		}

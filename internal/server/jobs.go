@@ -1,0 +1,156 @@
+package server
+
+// HTTP surface of the asynchronous mining API, backed by
+// internal/jobs:
+//
+//	POST   /jobs/mine  submit (or coalesce/cache-hit) a mine; 202 + id
+//	GET    /jobs       list live jobs, newest first
+//	GET    /jobs/{id}  status, progress, and result once finished
+//	DELETE /jobs/{id}  cancel via the job's runctl controller
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+
+	"graphsig/internal/jobs"
+	"graphsig/internal/runctl"
+)
+
+// jobStatus is the wire form of one job.
+type jobStatus struct {
+	ID    string     `json:"id"`
+	State jobs.State `json:"state"`
+	Label string     `json:"label,omitempty"`
+	// Cached: the job never executed; its result came from the dedup
+	// result cache.
+	Cached          bool  `json:"cached,omitempty"`
+	CancelRequested bool  `json:"cancelRequested,omitempty"`
+	CreatedMs       int64 `json:"createdMs"`
+	StartedMs       int64 `json:"startedMs,omitempty"`
+	FinishedMs      int64 `json:"finishedMs,omitempty"`
+	// Progress is the live runctl stage-counter snapshot for running
+	// jobs and the final spend for finished ones.
+	Progress runctl.Spent `json:"progress"`
+	// Result is present once the job finished executing — including
+	// the partial result of a canceled or deadline-cut run.
+	Result      *mineResponse       `json:"result,omitempty"`
+	Degradation *runctl.Degradation `json:"degradation,omitempty"`
+	Error       string              `json:"error,omitempty"`
+}
+
+// jobSubmitResponse answers POST /jobs/mine.
+type jobSubmitResponse struct {
+	ID    string     `json:"id"`
+	State jobs.State `json:"state"`
+	// Coalesced: an identical job was already in flight; this id names
+	// it and no new execution was scheduled.
+	Coalesced bool `json:"coalesced,omitempty"`
+	// Cached: an identical mine had already completed; the job is born
+	// done with the cached result.
+	Cached   bool   `json:"cached,omitempty"`
+	Location string `json:"location"`
+}
+
+// epochMs renders a timestamp for the wire (0 = unset).
+func epochMs(t time.Time) int64 {
+	if t.IsZero() {
+		return 0
+	}
+	return t.UnixMilli()
+}
+
+// renderJob shapes a snapshot for the wire. The result limit the
+// submitter asked for rides along in the job's Meta.
+func renderJob(snap jobs.Snapshot) jobStatus {
+	st := jobStatus{
+		ID:              snap.ID,
+		State:           snap.State,
+		Label:           snap.Label,
+		Cached:          snap.Cached,
+		CancelRequested: snap.CancelRequested,
+		CreatedMs:       epochMs(snap.Created),
+		StartedMs:       epochMs(snap.Started),
+		FinishedMs:      epochMs(snap.Finished),
+		Progress:        snap.Progress,
+		Degradation:     snap.Degradation,
+		Error:           snap.Err,
+	}
+	if snap.Result != nil {
+		limit, _ := snap.Meta.(int)
+		resp := renderMine(snap, limit)
+		resp.Cached = snap.Cached
+		st.Result = &resp
+	}
+	return st
+}
+
+// handleJobSubmit accepts the same body as /mine and answers 202 with
+// the job's id. Identical in-flight submissions coalesce onto one
+// execution; identical finished ones come back instantly from the
+// cache (still 202 — poll the id for the result, which is already
+// there).
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	var req mineRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		decodeError(w, err)
+		return
+	}
+	job, info, err := s.Jobs().Submit(mineConfig(req), jobs.SubmitOptions{
+		Label:    "mine (async)",
+		Timeout:  s.mineTimeout(req.TimeoutMs),
+		Detached: true,
+		Meta:     req.Limit,
+	})
+	if err != nil {
+		submitError(w, err)
+		return
+	}
+	loc := "/jobs/" + job.ID()
+	w.Header().Set("Location", loc)
+	writeJSON(w, http.StatusAccepted, jobSubmitResponse{
+		ID:        job.ID(),
+		State:     job.Snapshot().State,
+		Coalesced: info.Coalesced,
+		Cached:    info.Cached,
+		Location:  loc,
+	})
+}
+
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	snaps := s.Jobs().List()
+	out := make([]jobStatus, len(snaps))
+	for i, snap := range snaps {
+		out[i] = renderJob(snap)
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Jobs []jobStatus `json:"jobs"`
+	}{Jobs: out})
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Jobs().Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, renderJob(job.Snapshot()))
+}
+
+// handleJobCancel cancels a queued or running job through its runctl
+// controller; the job lands in state canceled with a degradation
+// report and whatever partial result the pipeline unwound into.
+// Canceling an already-finished job is an idempotent no-op.
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.Jobs().Cancel(id) {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	job, ok := s.Jobs().Get(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, renderJob(job.Snapshot()))
+}

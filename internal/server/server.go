@@ -7,11 +7,21 @@
 //	POST /mine          {"maxPvalue":0.1,"minFreqPct":0.1,"radius":4,"topK":0,"timeoutMs":30000}
 //	POST /query         {"smiles":"c1ccccc1"}
 //	POST /significance  {"smiles":"[Sb](O)(O)O"}
+//	POST /jobs/mine     same body as /mine; answers 202 + a job id
+//	GET  /jobs          list live jobs
+//	GET  /jobs/{id}     job status, progress, and (when finished) result
+//	DELETE /jobs/{id}   cancel a queued or running job
 //	GET  /stats
 //	GET  /healthz
+//
+// Mining — synchronous and asynchronous alike — runs through the jobs
+// subsystem (internal/jobs): identical concurrent requests coalesce
+// into one execution, identical repeat requests hit a result cache,
+// and every run is bounded by a per-job runctl controller.
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -24,6 +34,7 @@ import (
 	"graphsig/internal/core"
 	"graphsig/internal/gindex"
 	"graphsig/internal/graph"
+	"graphsig/internal/jobs"
 	"graphsig/internal/runctl"
 	"graphsig/internal/rwr"
 )
@@ -58,6 +69,13 @@ type Server struct {
 	// MineBudgets bounds per-stage mining work for every /mine request
 	// (zero fields = unbounded).
 	MineBudgets runctl.Budgets
+	// JobWorkers, JobQueueDepth, JobTTL, and JobCacheSize configure the
+	// jobs subsystem (zero = the internal/jobs defaults). Set them
+	// before the first request or Jobs() call.
+	JobWorkers    int
+	JobQueueDepth int
+	JobTTL        time.Duration
+	JobCacheSize  int
 	// Logf receives operational log lines (degraded mines, panics);
 	// log.Printf when nil.
 	Logf func(format string, args ...any)
@@ -68,6 +86,12 @@ type Server struct {
 	vecOnce sync.Once
 	vectors []rwr.NodeVector // built lazily on the first /significance
 	vecCfg  core.Config
+
+	jobsOnce sync.Once
+	jobsMgr  *jobs.Manager
+	// mineFn overrides the job executor (tests count executions or
+	// inject blocking fakes); nil = core.Mine over the database.
+	mineFn jobs.ExecFunc
 }
 
 // New creates a server over db. Node labels must follow the standard
@@ -105,6 +129,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /mine", s.handleMine)
 	mux.HandleFunc("POST /query", s.handleQuery)
 	mux.HandleFunc("POST /significance", s.handleSignificance)
+	mux.HandleFunc("POST /jobs/mine", s.handleJobSubmit)
+	mux.HandleFunc("GET /jobs", s.handleJobList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleJobCancel)
 	return recoverPanics(limitConcurrency(s.MaxConcurrent, capRequestBody(s.MaxBodyBytes, mux)))
 }
 
@@ -112,6 +140,9 @@ type statsResponse struct {
 	Graphs   int     `json:"graphs"`
 	AvgAtoms float64 `json:"avgAtoms"`
 	AvgBonds float64 `json:"avgBonds"`
+	// Jobs carries the jobs-subsystem counters: queue depth, worker
+	// utilization, cache hit rate, and job-state census.
+	Jobs jobs.Stats `json:"jobs"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -120,7 +151,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		atoms += g.NumNodes()
 		bonds += g.NumEdges()
 	}
-	resp := statsResponse{Graphs: len(s.db)}
+	resp := statsResponse{Graphs: len(s.db), Jobs: s.Jobs().Stats()}
 	if len(s.db) > 0 {
 		resp.AvgAtoms = float64(atoms) / float64(len(s.db))
 		resp.AvgBonds = float64(bonds) / float64(len(s.db))
@@ -150,11 +181,14 @@ type mineResponse struct {
 	Patterns  []minedPattern      `json:"patterns"`
 	Truncated bool                `json:"truncated"`
 	ElapsedMs int64               `json:"elapsedMs"`
+	Cached    bool                `json:"cached,omitempty"`
 	Degraded  *runctl.Degradation `json:"degradation,omitempty"`
 }
 
-// mineDeadline clamps the client-requested timeout into (0, cap].
-func (s *Server) mineDeadline(timeoutMs int) time.Time {
+// mineTimeout clamps the client-requested timeout into (0, cap]. The
+// countdown starts when a worker picks the job up, so queue wait does
+// not eat the mining budget.
+func (s *Server) mineTimeout(timeoutMs int) time.Duration {
 	d := s.MineTimeout
 	if timeoutMs > 0 {
 		d = time.Duration(timeoutMs) * time.Millisecond
@@ -162,18 +196,16 @@ func (s *Server) mineDeadline(timeoutMs int) time.Time {
 	if s.MineTimeoutCap > 0 && (d <= 0 || d > s.MineTimeoutCap) {
 		d = s.MineTimeoutCap
 	}
-	if d <= 0 {
-		return time.Time{}
+	if d < 0 {
+		d = 0
 	}
-	return time.Now().Add(d)
+	return d
 }
 
-func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
-	var req mineRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		decodeError(w, err)
-		return
-	}
+// mineConfig maps a request onto the mining parameters. Everything
+// here is part of the job's dedup identity; presentation (Limit) and
+// runtime limits (TimeoutMs) are deliberately not.
+func mineConfig(req mineRequest) core.Config {
 	cfg := core.Defaults()
 	if req.MaxPvalue > 0 {
 		cfg.MaxPvalue = req.MaxPvalue
@@ -185,23 +217,108 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 		cfg.CutoffRadius = req.Radius
 	}
 	cfg.TopKPerLabel = req.TopK
-	// The run controller ties the mine to the request: a client
-	// disconnect cancels it, and the deadline/budgets bound how long a
-	// single request can hold workers.
-	cfg.Ctl = runctl.New(runctl.Options{
-		Context:  r.Context(),
-		Deadline: s.mineDeadline(req.TimeoutMs),
-		Budgets:  s.MineBudgets,
+	return cfg
+}
+
+// Jobs returns the server's job manager, creating it on first use.
+// Configure the Job* fields before the first call.
+func (s *Server) Jobs() *jobs.Manager {
+	s.jobsOnce.Do(func() {
+		s.jobsMgr = jobs.NewManager(jobs.Options{
+			DB:         s.db,
+			Workers:    s.JobWorkers,
+			QueueDepth: s.JobQueueDepth,
+			TTL:        s.JobTTL,
+			CacheSize:  s.JobCacheSize,
+			Budgets:    s.MineBudgets,
+			Exec:       s.mineFn,
+			Logf:       s.Logf,
+		})
 	})
-	t0 := time.Now()
-	res := core.Mine(s.db, cfg)
-	resp := mineResponse{Truncated: res.Truncated, ElapsedMs: time.Since(t0).Milliseconds()}
-	if res.Degradation.Truncated {
-		d := res.Degradation
-		resp.Degraded = &d
-		s.logf("server: mine degraded after %s: %s", time.Since(t0).Round(time.Millisecond), d.String())
+	return s.jobsMgr
+}
+
+// Close drains the jobs subsystem: running mines get until ctx is done
+// to finish before being canceled into partial results. A server whose
+// manager was never started closes immediately (the no-op Do claims
+// the once, so a later Jobs() call cannot resurrect the pool).
+func (s *Server) Close(ctx context.Context) error {
+	s.jobsOnce.Do(func() {})
+	if s.jobsMgr == nil {
+		return nil
 	}
-	limit := req.Limit
+	return s.jobsMgr.Shutdown(ctx)
+}
+
+// handleMine is the synchronous mining path. It routes through the
+// same job queue, coalescing, and result cache as /jobs/mine: the
+// handler submits (or attaches to) a job and waits. A client that
+// disconnects releases its claim; when it was the last waiter the job
+// is canceled through runctl and the partial result is still rendered
+// for the benefit of connection-level buffering and tests.
+func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
+	var req mineRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		decodeError(w, err)
+		return
+	}
+	t0 := time.Now()
+	job, info, err := s.Jobs().Submit(mineConfig(req), jobs.SubmitOptions{
+		Label:   "mine (sync)",
+		Timeout: s.mineTimeout(req.TimeoutMs),
+	})
+	if err != nil {
+		submitError(w, err)
+		return
+	}
+	released := false
+	select {
+	case <-job.Done():
+	case <-r.Context().Done():
+		released = true
+		if s.Jobs().Release(job) {
+			// We were the last waiter: the job is being canceled; wait
+			// for the pipeline to unwind into its partial result.
+			<-job.Done()
+		} else {
+			select {
+			case <-job.Done():
+			default:
+				// Other waiters keep the job alive; this client is gone.
+				return
+			}
+		}
+	}
+	if !released {
+		s.Jobs().Release(job)
+	}
+	snap := job.Snapshot()
+	if snap.State == jobs.StateFailed {
+		httpError(w, http.StatusInternalServerError, "mine failed: %s", snap.Err)
+		return
+	}
+	resp := renderMine(snap, req.Limit)
+	resp.Cached = info.Cached
+	resp.ElapsedMs = time.Since(t0).Milliseconds()
+	if resp.Degraded != nil {
+		s.logf("server: mine degraded after %s: %s", time.Since(t0).Round(time.Millisecond), resp.Degraded.String())
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// renderMine shapes a finished job's result for the wire. Patterns is
+// always an array, never null — an empty mine renders as [].
+func renderMine(snap jobs.Snapshot, limit int) mineResponse {
+	resp := mineResponse{Patterns: []minedPattern{}}
+	if snap.Degradation != nil {
+		resp.Truncated = true
+		resp.Degraded = snap.Degradation
+	}
+	if snap.Result == nil {
+		return resp
+	}
+	res := snap.Result
+	resp.Truncated = res.Truncated || resp.Truncated
 	if limit <= 0 || limit > len(res.Subgraphs) {
 		limit = len(res.Subgraphs)
 	}
@@ -219,7 +336,23 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 			Edges:     sg.Graph.NumEdges(),
 		})
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return resp
+}
+
+// submitError maps a Submit failure onto a status: 503 with queue
+// depth info for backpressure, 503 for shutdown.
+func submitError(w http.ResponseWriter, err error) {
+	var full *jobs.ErrQueueFull
+	if errors.As(err, &full) {
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, "mining queue full: %d of %d jobs queued", full.Depth, full.Cap)
+		return
+	}
+	if errors.Is(err, jobs.ErrClosed) {
+		httpError(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	}
+	httpError(w, http.StatusInternalServerError, "%v", err)
 }
 
 type smilesRequest struct {
@@ -255,11 +388,7 @@ func (s *Server) handleSignificance(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	s.vecOnce.Do(func() {
-		fs := core.BuildFeatureSet(s.db, s.vecCfg)
-		s.vectors = rwr.DatabaseVectors(s.db, fs, rwr.Config{Alpha: s.vecCfg.Alpha, Bins: s.vecCfg.Bins})
-	})
-	stats := core.EvaluateSubgraph(s.db, s.vectors, pattern, s.vecCfg)
+	stats := core.EvaluateSubgraph(s.db, s.lazyVectors(), pattern, s.vecCfg)
 	writeJSON(w, http.StatusOK, significanceResponse{
 		Support:   stats.Support,
 		Frequency: stats.Frequency,
@@ -302,6 +431,25 @@ func (s *Server) lazyIndex() *gindex.Index {
 		})
 	}
 	return s.index
+}
+
+// lazyVectors builds the database RWR vectors on first use.
+func (s *Server) lazyVectors() []rwr.NodeVector {
+	s.vecOnce.Do(func() {
+		fs := core.BuildFeatureSet(s.db, s.vecCfg)
+		s.vectors = rwr.DatabaseVectors(s.db, fs, rwr.Config{Alpha: s.vecCfg.Alpha, Bins: s.vecCfg.Bins})
+	})
+	return s.vectors
+}
+
+// Warm eagerly builds the lazily-constructed read models — the
+// substructure index behind /query and the RWR vectors behind
+// /significance — so the first requests after startup don't pay a
+// multi-second cold-start stall. Safe (and cheap) to call more than
+// once; safe concurrently with serving.
+func (s *Server) Warm() {
+	s.lazyIndex()
+	s.lazyVectors()
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
