@@ -1,0 +1,214 @@
+// Package analysis is graphsig's project-invariant static-analysis
+// engine: a small, stdlib-only analogue of golang.org/x/tools/go/analysis
+// plus the ~6 analyzers that encode invariants the compiler cannot see.
+//
+// GraphSig's correctness depends on properties that live outside the
+// type system: canonical DFS codes, database fingerprints, and config
+// cache keys must be byte-for-byte deterministic (result caching and
+// request coalescing key on them), hot mining loops must observe runctl
+// checkpoints so budgets and deadlines actually bind, and background
+// goroutines must be panic-isolated so one pathological mine cannot
+// take down a worker pool. Each analyzer turns one such convention into
+// a machine-checked rule; `cmd/graphsiglint` and a meta-test run the
+// suite over the whole repository so a new violation fails `make lint`
+// and `make test`.
+//
+// The engine loads packages without golang.org/x/tools: `go list
+// -export -deps -json` supplies file lists and compiled export data,
+// the sources are parsed with go/parser and type-checked with go/types
+// against the export data (see load.go).
+//
+// A diagnostic can be suppressed, with a mandatory justification, by a
+// comment on the flagged line or the line above it:
+//
+//	//graphsiglint:ignore ctxfirst config structs carry the run context by design
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant check.
+type Analyzer struct {
+	// Name is the analyzer's identifier, used in diagnostics, -run
+	// filters, and //graphsiglint:ignore comments.
+	Name string
+	// Doc is a one-paragraph description of the invariant and why the
+	// project needs it.
+	Doc string
+	// Run inspects one package and reports violations via pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one analyzer's view of one loaded package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// ImportPath is the package's import path as reported by the
+	// loader ("graphsig/internal/dfscode"). Scope-restricted analyzers
+	// match on its path segments.
+	ImportPath string
+
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one reported violation.
+type Diagnostic struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"-"`
+	File     string         `json:"file"`
+	Line     int            `json:"line"`
+	Col      int            `json:"col"`
+	Message  string         `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		MapOrder,
+		WallClock,
+		CtxFirst,
+		SafeGo,
+		CheckpointAnalyzer,
+		ErrWrap,
+	}
+}
+
+// ByName resolves a comma-separated analyzer filter ("maporder,errwrap")
+// against the full suite.
+func ByName(filter string) ([]*Analyzer, error) {
+	if strings.TrimSpace(filter) == "" {
+		return All(), nil
+	}
+	byName := map[string]*Analyzer{}
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, name := range strings.Split(filter, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Run applies analyzers to pkgs and returns the surviving diagnostics
+// sorted by position. Diagnostics matched by a //graphsiglint:ignore
+// comment (same line or the line above, naming the analyzer, with a
+// non-empty justification) are dropped.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		ignores := collectIgnores(pkg)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:   a,
+				Fset:       pkg.Fset,
+				Files:      pkg.Syntax,
+				Pkg:        pkg.Types,
+				TypesInfo:  pkg.TypesInfo,
+				ImportPath: pkg.ImportPath,
+				report: func(d Diagnostic) {
+					d.File, d.Line, d.Col = d.Pos.Filename, d.Pos.Line, d.Pos.Column
+					if !ignores.matches(d) {
+						diags = append(diags, d)
+					}
+				},
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// ignoreSet indexes //graphsiglint:ignore comments: file -> line -> the
+// analyzer names suppressed on that line.
+type ignoreSet map[string]map[int]map[string]bool
+
+const ignorePrefix = "graphsiglint:ignore"
+
+func collectIgnores(pkg *Package) ignoreSet {
+	set := ignoreSet{}
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+				fields := strings.Fields(rest)
+				// A justification after the analyzer list is mandatory:
+				// an unexplained suppression is itself a violation.
+				if len(fields) < 2 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				lines := set[pos.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					set[pos.Filename] = lines
+				}
+				for _, name := range strings.Split(fields[0], ",") {
+					// The comment shields its own line and the next, so
+					// it works both inline and as a standalone line above.
+					for _, ln := range []int{pos.Line, pos.Line + 1} {
+						if lines[ln] == nil {
+							lines[ln] = map[string]bool{}
+						}
+						lines[ln][name] = true
+					}
+				}
+			}
+		}
+	}
+	return set
+}
+
+func (s ignoreSet) matches(d Diagnostic) bool {
+	return s[d.Pos.Filename][d.Pos.Line][d.Analyzer]
+}

@@ -1,0 +1,145 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path"
+)
+
+// CheckpointAnalyzer enforces the runctl contract from PR 1: a function
+// that accepts a *runctl.Controller (or *runctl.Checkpoint) and contains
+// a loop must actually observe the controller — otherwise budgets and
+// deadlines silently stop binding in exactly the hot paths they exist
+// for. A function complies when some loop in its body touches the
+// controller or a checkpoint derived from it (cp.Step(), cp.Force(),
+// ctl.Stopped(), ...), or when it delegates the controller onward by
+// passing it (or a derived checkpoint) to another call, composite
+// literal, or struct — the callee then carries the obligation.
+var CheckpointAnalyzer = &Analyzer{
+	Name: "checkpoint",
+	Doc: "functions taking *runctl.Controller that contain loops must observe " +
+		"a checkpoint inside a loop or delegate the controller onward",
+	Run: runCheckpoint,
+}
+
+func runCheckpoint(pass *Pass) error {
+	// runctl itself implements the primitive; its internal loops are
+	// the mechanism, not users of it.
+	if path.Base(pass.ImportPath) == "runctl" {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkCtlFunc(pass, fn.Name.Pos(), "function "+fn.Name.Name, fn.Type, fn.Body)
+				}
+			case *ast.FuncLit:
+				checkCtlFunc(pass, fn.Pos(), "function literal", fn.Type, fn.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isRunctlParam(t types.Type) bool {
+	return isNamedType(t, true, "runctl", "Controller") || isNamedType(t, true, "runctl", "Checkpoint")
+}
+
+func checkCtlFunc(pass *Pass, pos token.Pos, what string, ft *ast.FuncType, body *ast.BlockStmt) {
+	// tracked holds the controller/checkpoint parameters plus every
+	// local derived from them (cp := ctl.Checkpoint(stage)).
+	tracked := map[types.Object]bool{}
+	if ft.Params != nil {
+		for _, field := range ft.Params.List {
+			for _, name := range field.Names {
+				if obj := pass.TypesInfo.Defs[name]; obj != nil && isRunctlParam(obj.Type()) {
+					tracked[obj] = true
+				}
+			}
+		}
+	}
+	if len(tracked) == 0 {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[id]
+			if obj == nil || !isRunctlParam(obj.Type()) {
+				continue
+			}
+			rhs := as.Rhs[0]
+			if len(as.Rhs) == len(as.Lhs) {
+				rhs = as.Rhs[i]
+			}
+			if usesTracked(pass, tracked, rhs) {
+				tracked[obj] = true
+			}
+		}
+		return true
+	})
+
+	hasLoop := false
+	observed := false
+	delegated := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.ForStmt:
+			hasLoop = true
+			if usesTracked(pass, tracked, v.Body) {
+				observed = true
+			}
+		case *ast.RangeStmt:
+			hasLoop = true
+			if usesTracked(pass, tracked, v.Body) {
+				observed = true
+			}
+		case *ast.CallExpr:
+			for _, arg := range v.Args {
+				if usesTracked(pass, tracked, arg) {
+					delegated = true
+				}
+			}
+		case *ast.CompositeLit:
+			for _, elt := range v.Elts {
+				if usesTracked(pass, tracked, elt) {
+					delegated = true
+				}
+			}
+		}
+		return true
+	})
+	if hasLoop && !observed && !delegated {
+		pass.Reportf(pos,
+			"%s takes a runctl controller but no loop observes it; call a checkpoint (cp.Step/Force) inside the loop or pass the controller to the code doing the work",
+			what)
+	}
+}
+
+// usesTracked reports whether the subtree mentions a tracked object.
+func usesTracked(pass *Pass, tracked map[types.Object]bool, n ast.Node) bool {
+	if n == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if id, ok := c.(*ast.Ident); ok {
+			if obj := pass.objOf(id); obj != nil && tracked[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// CtxFirst enforces the standard context discipline: context.Context is
+// the first parameter of any function that takes one, and is never
+// stored in a struct field. A buried context parameter hides the fact
+// that a call is cancelable; a stored context outlives the request it
+// belongs to and silently decouples cancellation from the work it is
+// supposed to stop. The two deliberate exceptions in this repo — the
+// run-configuration structs that carry a context from API boundary to
+// runctl.New — are annotated with //graphsiglint:ignore and a
+// justification.
+var CtxFirst = &Analyzer{
+	Name: "ctxfirst",
+	Doc: "context.Context must be the first parameter and must not be stored " +
+		"in a struct field",
+	Run: runCtxFirst,
+}
+
+func runCtxFirst(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.FuncType:
+				checkCtxParams(pass, v)
+			case *ast.StructType:
+				checkCtxFields(pass, v)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkCtxParams(pass *Pass, ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	paramIndex := 0
+	for _, field := range ft.Params.List {
+		tv, ok := pass.TypesInfo.Types[field.Type]
+		if ok && isContextType(tv.Type) && paramIndex > 0 {
+			pass.Reportf(field.Pos(), "context.Context should be the first parameter")
+			return
+		}
+		// An unnamed parameter group still occupies one slot.
+		if len(field.Names) == 0 {
+			paramIndex++
+		} else {
+			paramIndex += len(field.Names)
+		}
+	}
+}
+
+func checkCtxFields(pass *Pass, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		tv, ok := pass.TypesInfo.Types[field.Type]
+		if ok && isContextType(tv.Type) {
+			pass.Reportf(field.Pos(),
+				"context.Context stored in a struct field; pass it as a parameter so cancellation stays tied to the call")
+		}
+	}
+}

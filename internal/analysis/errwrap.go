@@ -1,0 +1,63 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// ErrWrap requires fmt.Errorf to wrap error arguments with %w. A %v or
+// %s flattens the error into text: errors.Is/As stop matching, runctl's
+// AsStop stops classifying degradations, and HTTP handlers lose the
+// ability to map sentinel errors to status codes. Wrapping costs nothing
+// and preserves the chain.
+var ErrWrap = &Analyzer{
+	Name: "errwrap",
+	Doc:  "fmt.Errorf with an error argument must use %w so the error chain survives",
+	Run:  runErrWrap,
+}
+
+func runErrWrap(pass *Pass) error {
+	errorType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) < 2 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Errorf" {
+				return true
+			}
+			fn, ok := pass.objOf(sel.Sel).(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+				return true
+			}
+			format, ok := constantString(pass, call.Args[0])
+			if !ok || strings.Contains(format, "%w") {
+				return true
+			}
+			for _, arg := range call.Args[1:] {
+				tv, ok := pass.TypesInfo.Types[arg]
+				if !ok || tv.Type == nil {
+					continue
+				}
+				if types.Implements(tv.Type, errorType) {
+					pass.Reportf(arg.Pos(),
+						"error argument formatted without %%w; use %%w so errors.Is/As keep working through the wrap")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func constantString(pass *Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

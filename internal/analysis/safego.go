@@ -1,0 +1,36 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// SafeGo forbids naked `go` statements in the job-orchestration and
+// HTTP-serving packages. Goroutines there are long-lived infrastructure
+// — worker pools, janitors, shutdown waiters — and an unrecovered panic
+// in one takes down the whole process (or silently shrinks a pool).
+// Every spawn must route through runctl.Spawn, which wraps the function
+// in a panic barrier and reports the recovery instead of crashing.
+// Mining-pipeline packages are exempt: their workers install bespoke
+// recover handlers that degrade a single stage via Controller.Recovered.
+var SafeGo = &Analyzer{
+	Name: "safego",
+	Doc: "goroutines in internal/jobs and internal/server must be spawned via " +
+		"runctl.Spawn's panic barrier, never a naked go statement",
+	Run: runSafeGo,
+}
+
+func runSafeGo(pass *Pass) error {
+	if !pass.inSpawnScope() {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				pass.Reportf(g.Pos(),
+					"naked goroutine; spawn through runctl.Spawn so a panic is isolated instead of killing the process")
+			}
+			return true
+		})
+	}
+	return nil
+}

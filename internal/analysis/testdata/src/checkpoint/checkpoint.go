@@ -1,0 +1,80 @@
+// Package checkpoint is the checkpoint corpus.
+package checkpoint
+
+import "runctl"
+
+// Positive: checks once before the loop, then loops unchecked — the
+// exact failure mode the rule exists for.
+func bad(ctl *runctl.Controller, xs []int) int { // want "no loop observes it"
+	if ctl.Err() != nil {
+		return 0
+	}
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// Positive: derives a checkpoint but only consults it outside the loop.
+func badDerived(ctl *runctl.Controller, xs []int) int { // want "no loop observes it"
+	cp := ctl.Checkpoint("stage")
+	if cp.Force() != nil {
+		return 0
+	}
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// Negative: steps the checkpoint inside the loop.
+func good(ctl *runctl.Controller, xs []int) int {
+	cp := ctl.Checkpoint("stage")
+	total := 0
+	for _, x := range xs {
+		if cp.Step() != nil {
+			break
+		}
+		total += x
+	}
+	return total
+}
+
+// Negative: a *runctl.Checkpoint parameter carries the same obligation
+// and satisfies it the same way.
+func goodCheckpointParam(cp *runctl.Checkpoint, xs []int) int {
+	total := 0
+	for _, x := range xs {
+		if cp.Step() != nil {
+			break
+		}
+		total += x
+	}
+	return total
+}
+
+// Negative: delegates the controller to the code doing the work.
+func delegates(ctl *runctl.Controller, xs [][]int) int {
+	total := 0
+	for _, x := range xs {
+		total += good(ctl, x)
+	}
+	return total
+}
+
+// Negative: stores a derived checkpoint for a callee to poll.
+type miner struct{ cp *runctl.Checkpoint }
+
+func build(ctl *runctl.Controller, xs []int) *miner {
+	m := &miner{cp: ctl.Checkpoint("stage")}
+	for range xs {
+	}
+	return m
+}
+
+// Negative: no loops, no obligation.
+func noLoop(ctl *runctl.Controller) error {
+	return ctl.Err()
+}

@@ -1,0 +1,10 @@
+// Package core is the file-scoped wallclock corpus: only confighash.go
+// is a deterministic path; the rest of the package may read the clock
+// for phase timings.
+package core
+
+import "time"
+
+func hashStamp() int64 {
+	return time.Now().UnixNano() // want "time.Now in deterministic path"
+}

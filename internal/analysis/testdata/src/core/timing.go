@@ -1,0 +1,9 @@
+package core
+
+import "time"
+
+// Negative: phase timing outside confighash.go is allowed.
+func phase() time.Duration {
+	t0 := time.Now()
+	return time.Since(t0)
+}

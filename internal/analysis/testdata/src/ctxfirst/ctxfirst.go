@@ -1,0 +1,37 @@
+// Package ctxfirst is the ctxfirst corpus.
+package ctxfirst
+
+import "context"
+
+// Negative: context leads.
+func good(ctx context.Context, n int) {}
+
+// Positive: context buried behind another parameter.
+func bad(n int, ctx context.Context) {} // want "context.Context should be the first parameter"
+
+// Positive: interface methods obey the same rule.
+type iface interface {
+	Do(n int, ctx context.Context) error // want "context.Context should be the first parameter"
+}
+
+// Positive: a stored context outlives its request.
+type holder struct {
+	ctx context.Context // want "stored in a struct field"
+}
+
+// Negative: a justified suppression keeps the diagnostic out.
+type options struct {
+	//graphsiglint:ignore ctxfirst options structs hand the context straight to New
+	Ctx context.Context
+}
+
+// Positive: a suppression without a justification does not count.
+type badIgnore struct {
+	//graphsiglint:ignore ctxfirst
+	C context.Context // want "stored in a struct field"
+}
+
+// Negative: methods with a receiver still count the receiver separately.
+type svc struct{}
+
+func (s *svc) run(ctx context.Context, n int) {}

@@ -1,0 +1,101 @@
+// Package dfscode is the maporder corpus: its base name places it in
+// the deterministic scope, like the real canonical-code package.
+package dfscode
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Positive: hashing directly from map iteration order.
+func hashCounts(counts map[string]int) []byte {
+	h := sha256.New()
+	for k, v := range counts {
+		h.Write([]byte(k)) // want "map iteration feeds h.Write"
+		_ = v
+	}
+	return h.Sum(nil)
+}
+
+// Positive: string building from map iteration order.
+func describe(m map[string]int) string {
+	var sb strings.Builder
+	for k := range m {
+		sb.WriteString(k) // want "map iteration feeds sb.WriteString"
+	}
+	return sb.String()
+}
+
+// Positive: string concatenation.
+func concat(m map[string]int) string {
+	out := ""
+	for k := range m {
+		out += k // want "concatenates onto string out"
+	}
+	return out
+}
+
+// Positive: formatted printing into an outer builder.
+func fprint(m map[string]int) string {
+	var sb strings.Builder
+	for k, v := range m {
+		fmt.Fprintf(&sb, "%s=%d;", k, v) // want "map iteration feeds fmt.Fprintf"
+	}
+	return sb.String()
+}
+
+// Positive: slice assembly that is never sorted.
+func keysUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "appends to keys which is never sorted"
+	}
+	return keys
+}
+
+// Negative: the canonical collect-sort-iterate idiom.
+func keysSorted(m map[string]int) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for _, k := range keys {
+		sb.WriteString(k)
+	}
+	return sb.String()
+}
+
+// Negative: sort.Slice with the slice buried in a closure-taking call.
+func structsSorted(m map[string]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+// Negative: per-iteration local builder; each element is independent of
+// iteration order.
+func perElement(m map[string]int) map[string]string {
+	out := map[string]string{}
+	for k, v := range m {
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "%d", v)
+		out[k] = sb.String()
+	}
+	return out
+}
+
+// Negative: a bare `for range` cannot observe iteration order.
+func count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}

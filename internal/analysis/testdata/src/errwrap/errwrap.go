@@ -1,0 +1,48 @@
+// Package errwrap is the errwrap corpus.
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errSentinel = errors.New("sentinel")
+
+// Positive: %v flattens the chain.
+func bad(err error) error {
+	return fmt.Errorf("mine failed: %v", err) // want "use %w"
+}
+
+// Positive: %s does too, even mixed with other verbs.
+func badMixed(n int, err error) error {
+	return fmt.Errorf("graph %d: %s", n, err) // want "use %w"
+}
+
+// Positive: concrete error types are still errors.
+type codeErr struct{ code int }
+
+func (e *codeErr) Error() string { return "code" }
+
+func badConcrete(e *codeErr) error {
+	return fmt.Errorf("request: %v", e) // want "use %w"
+}
+
+// Negative: wrapped properly.
+func good(err error) error {
+	return fmt.Errorf("mine failed: %w", err)
+}
+
+// Negative: no error argument at all.
+func goodNoErr(n int) error {
+	return fmt.Errorf("bad count %d", n)
+}
+
+// Negative: a recovered value is `any`, not a typed error.
+func goodRecover(rec any) error {
+	return fmt.Errorf("panicked: %v", rec)
+}
+
+// Negative: err.Error() is a plain string.
+func goodString(err error) error {
+	return fmt.Errorf("mine failed: %s", err.Error())
+}

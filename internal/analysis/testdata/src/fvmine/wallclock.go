@@ -1,0 +1,34 @@
+// Package fvmine is the wallclock corpus: its base name places it in
+// the deterministic scope, like the real closed-vector miner.
+package fvmine
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Positive: reads the wall clock in a deterministic path.
+func stamp() time.Time {
+	return time.Now() // want "time.Now in deterministic path"
+}
+
+// Positive: measures elapsed wall time.
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "time.Since in deterministic path"
+}
+
+// Positive: draws from the process-global, randomly seeded source.
+func draw() int {
+	return rand.Intn(10) // want "unseeded rand.Intn"
+}
+
+// Negative: an explicitly seeded generator is reproducible.
+func seeded() int {
+	r := rand.New(rand.NewSource(42))
+	return r.Intn(10)
+}
+
+// Negative: time arithmetic never reads the clock.
+func add(t time.Time) time.Time {
+	return t.Add(time.Second)
+}

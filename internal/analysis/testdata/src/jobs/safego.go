@@ -1,0 +1,22 @@
+// Package jobs is the safego corpus: its base name places it in the
+// spawn scope, like the real job-orchestration package.
+package jobs
+
+import "runctl"
+
+// Positive: a naked goroutine loses panics.
+func bad(fn func()) {
+	go fn() // want "naked goroutine"
+}
+
+// Positive: function literals too.
+func badLit(done chan struct{}) {
+	go func() { // want "naked goroutine"
+		close(done)
+	}()
+}
+
+// Negative: the sanctioned spawn path.
+func good(fn func()) {
+	runctl.Spawn("worker", nil, fn)
+}

@@ -1,0 +1,23 @@
+// Package runctl is a minimal stand-in for graphsig/internal/runctl so
+// the analyzer corpus can exercise the checkpoint and safego rules:
+// both rules match the controller types by package *name*, so this
+// single-segment import works exactly like the real one.
+package runctl
+
+// Controller mirrors the real run controller's checkpoint surface.
+type Controller struct{}
+
+func (c *Controller) Checkpoint(stage string) *Checkpoint { return &Checkpoint{} }
+func (c *Controller) Stopped() bool                       { return false }
+func (c *Controller) Err() error                          { return nil }
+
+// Checkpoint mirrors the real goroutine-local checkpoint.
+type Checkpoint struct{}
+
+func (cp *Checkpoint) Step() error  { return nil }
+func (cp *Checkpoint) Force() error { return nil }
+
+// Spawn mirrors the real panic-isolating spawn helper.
+func Spawn(name string, onPanic func(name string, r any, stack []byte), fn func()) {
+	go fn()
+}
