@@ -321,9 +321,9 @@ func NewManager(opt Options) *Manager {
 	}
 	for i := 0; i < opt.Workers; i++ {
 		m.workers.Add(1)
-		go m.worker()
+		runctl.Spawn("jobs worker", m.spawnPanic, m.worker)
 	}
-	go m.janitor()
+	runctl.Spawn("jobs janitor", m.spawnPanic, m.janitor)
 	return m
 }
 
@@ -333,6 +333,13 @@ func (m *Manager) logf(format string, args ...any) {
 		return
 	}
 	log.Printf(format, args...)
+}
+
+// spawnPanic is the Manager's runctl.Spawn recovery sink. By the time
+// it runs the goroutine's own deferred cleanups (workers.Done) have
+// already executed, so the report is purely informational.
+func (m *Manager) spawnPanic(name string, r any, stack []byte) {
+	m.logf("jobs: %s panicked: %v\n%s", name, r, stack)
 }
 
 // KeyFor returns the canonical dedup key a config submits under —
@@ -681,10 +688,10 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 	m.mu.Unlock()
 
 	workersDone := make(chan struct{})
-	go func() {
+	runctl.Spawn("jobs shutdown waiter", m.spawnPanic, func() {
 		m.workers.Wait()
 		close(workersDone)
-	}()
+	})
 	select {
 	case <-workersDone:
 		return nil

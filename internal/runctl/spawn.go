@@ -1,0 +1,38 @@
+package runctl
+
+import (
+	"log"
+	"runtime/debug"
+)
+
+// Spawn starts fn on its own goroutine behind a panic barrier. It is
+// the only sanctioned way to launch a goroutine in the long-lived
+// orchestration layers (internal/jobs, internal/server — enforced by
+// graphsiglint's safego analyzer): an unrecovered panic there would
+// kill the whole process or silently shrink a worker pool, whereas a
+// recovered one becomes a report the owner can log and count.
+//
+// name labels the goroutine in recovery reports. onPanic, when non-nil,
+// receives the recovered value and the panicking goroutine's stack; a
+// nil onPanic falls back to log.Printf. onPanic runs on the dying
+// goroutine after fn's own deferred functions, so WaitGroup.Done and
+// similar cleanups deferred inside fn have already executed.
+//
+// Mining-pipeline workers keep their bespoke recover handlers
+// (Controller.Recovered) — those degrade a single stage; Spawn is for
+// infrastructure goroutines that have no stage to degrade.
+func Spawn(name string, onPanic func(name string, r any, stack []byte), fn func()) {
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				stack := debug.Stack()
+				if onPanic != nil {
+					onPanic(name, r, stack)
+					return
+				}
+				log.Printf("runctl: %s panicked: %v\n%s", name, r, stack)
+			}
+		}()
+		fn()
+	}()
+}

@@ -1,0 +1,54 @@
+package runctl
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSpawnRunsFunction(t *testing.T) {
+	done := make(chan struct{})
+	Spawn("test worker", nil, func() { close(done) })
+	<-done
+}
+
+func TestSpawnIsolatesPanic(t *testing.T) {
+	type report struct {
+		name  string
+		r     any
+		stack string
+	}
+	got := make(chan report, 1)
+	Spawn("exploding worker", func(name string, r any, stack []byte) {
+		got <- report{name: name, r: r, stack: string(stack)}
+	}, func() {
+		panic("boom")
+	})
+	rep := <-got
+	if rep.name != "exploding worker" {
+		t.Errorf("name = %q, want %q", rep.name, "exploding worker")
+	}
+	if rep.r != "boom" {
+		t.Errorf("recovered = %v, want boom", rep.r)
+	}
+	if !strings.Contains(rep.stack, "goroutine") {
+		t.Errorf("stack trace missing: %q", rep.stack)
+	}
+}
+
+// TestSpawnRunsDefersBeforeOnPanic pins the ordering contract: fn's own
+// deferred cleanups (WaitGroup.Done in a worker pool) execute before
+// the panic report fires.
+func TestSpawnRunsDefersBeforeOnPanic(t *testing.T) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	done := make(chan struct{})
+	Spawn("worker", func(name string, r any, stack []byte) {
+		wg.Wait() // deadlocks (and fails the test by timeout) if Done has not run
+		close(done)
+	}, func() {
+		defer wg.Done()
+		panic("boom")
+	})
+	<-done
+}
