@@ -141,7 +141,7 @@ func readMolfileParts(br *bufio.Reader) (*graph.Graph, string, map[string]string
 			return nil, "", nil, fmt.Errorf("bond %d: endpoints (%d,%d) out of range", i+1, from, to)
 		}
 		if err := g.AddEdge(from-1, to-1, bond); err != nil {
-			return nil, "", nil, fmt.Errorf("bond %d: %v", i+1, err)
+			return nil, "", nil, fmt.Errorf("bond %d: %w", i+1, err)
 		}
 	}
 	// Consume the properties block and data fields up to the separator.

@@ -223,7 +223,7 @@ func (p *smilesParser) addAtom(symbol string, aromatic bool) error {
 	if p.prev >= 0 {
 		bond := p.takeBond(aromatic && p.prevAromatic)
 		if err := p.g.AddEdge(p.prev, v, bond); err != nil {
-			return fmt.Errorf("pos %d: %v", p.pos, err)
+			return fmt.Errorf("pos %d: %w", p.pos, err)
 		}
 	} else if p.hasPending {
 		return fmt.Errorf("pos %d: bond with no preceding atom", p.pos)
@@ -318,7 +318,7 @@ func (p *smilesParser) ringClosure(key string) error {
 			bond = BondSingle
 		}
 		if err := p.g.AddEdge(open.node, p.prev, bond); err != nil {
-			return fmt.Errorf("pos %d: %v", p.pos, err)
+			return fmt.Errorf("pos %d: %w", p.pos, err)
 		}
 		return nil
 	}

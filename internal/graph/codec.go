@@ -119,7 +119,7 @@ func parseRecord(cur *Graph, fields []string, alpha *Alphabet, lineNo int) error
 		}
 		l, err := parseLabel(fields[2], alpha)
 		if err != nil {
-			return fmt.Errorf("graph codec: line %d: %v", lineNo, err)
+			return fmt.Errorf("graph codec: line %d: %w", lineNo, err)
 		}
 		if got := cur.AddNode(l); got != id {
 			return fmt.Errorf("graph codec: line %d: vertex ids must be dense and ordered (got %d, want %d)", lineNo, id, got)
@@ -135,13 +135,13 @@ func parseRecord(cur *Graph, fields []string, alpha *Alphabet, lineNo int) error
 		}
 		l, err := parseLabel(fields[3], alpha)
 		if err != nil {
-			return fmt.Errorf("graph codec: line %d: %v", lineNo, err)
+			return fmt.Errorf("graph codec: line %d: %w", lineNo, err)
 		}
 		if from < 0 || from >= cur.NumNodes() || to < 0 || to >= cur.NumNodes() || from == to {
 			return fmt.Errorf("graph codec: line %d: edge (%d,%d) out of range", lineNo, from, to)
 		}
 		if err := cur.AddEdge(from, to, l); err != nil {
-			return fmt.Errorf("graph codec: line %d: %v", lineNo, err)
+			return fmt.Errorf("graph codec: line %d: %w", lineNo, err)
 		}
 	}
 	return nil
@@ -187,7 +187,7 @@ func ReadDB(r io.Reader, alpha *Alphabet) ([]*Graph, error) {
 			}
 			l, err := parseLabel(fields[2], alpha)
 			if err != nil {
-				return nil, fmt.Errorf("graph codec: line %d: %v", lineNo, err)
+				return nil, fmt.Errorf("graph codec: line %d: %w", lineNo, err)
 			}
 			if got := cur.AddNode(l); got != id {
 				return nil, fmt.Errorf("graph codec: line %d: vertex ids must be dense and ordered (got %d, want %d)", lineNo, id, got)
@@ -206,13 +206,13 @@ func ReadDB(r io.Reader, alpha *Alphabet) ([]*Graph, error) {
 			}
 			l, err := parseLabel(fields[3], alpha)
 			if err != nil {
-				return nil, fmt.Errorf("graph codec: line %d: %v", lineNo, err)
+				return nil, fmt.Errorf("graph codec: line %d: %w", lineNo, err)
 			}
 			if from < 0 || from >= cur.NumNodes() || to < 0 || to >= cur.NumNodes() || from == to {
 				return nil, fmt.Errorf("graph codec: line %d: edge (%d,%d) out of range", lineNo, from, to)
 			}
 			if err := cur.AddEdge(from, to, l); err != nil {
-				return nil, fmt.Errorf("graph codec: line %d: %v", lineNo, err)
+				return nil, fmt.Errorf("graph codec: line %d: %w", lineNo, err)
 			}
 		default:
 			return nil, fmt.Errorf("graph codec: line %d: unknown record %q", lineNo, fields[0])
