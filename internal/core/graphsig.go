@@ -89,6 +89,7 @@ type Config struct {
 	Deadline time.Time
 	// Ctx cancels the mine when done (nil = background). Ignored when
 	// Ctl is set.
+	//graphsiglint:ignore ctxfirst Config is the API boundary; Mine hands Ctx straight to runctl.New
 	Ctx context.Context
 	// Budgets bounds per-stage work (FVMine states, miner steps, VF2
 	// nodes); zero fields are unbounded. Ignored when Ctl is set.
@@ -489,6 +490,12 @@ func Mine(db []*graph.Graph, cfg Config) Result {
 	for _, sg := range best {
 		ordered = append(ordered, sg)
 	}
+	// Map iteration order is random; sort by canonical code so the
+	// verification feed order is reproducible. Under a VF2 budget the
+	// feed order decides *which* patterns get verified before the budget
+	// trips — unsorted, two identical runs could verify different
+	// subsets.
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Canonical < ordered[j].Canonical })
 	if !cfg.SkipVerify {
 		var wg sync.WaitGroup
 		var verified atomic.Int64

@@ -95,6 +95,7 @@ type Budgets struct {
 // no constraints (useful as a pure degradation collector).
 type Options struct {
 	// Context cancels the run when done (nil = context.Background()).
+	//graphsiglint:ignore ctxfirst Options is the construction boundary; New consumes the field immediately
 	Context context.Context
 	// Deadline aborts the run when passed (zero = none).
 	Deadline time.Time
@@ -201,6 +202,7 @@ func (d Degradation) String() string {
 // New and derive one Checkpoint per goroutine per stage. A nil
 // *Controller is valid and never stops anything.
 type Controller struct {
+	//graphsiglint:ignore ctxfirst the Controller IS the run's cancellation carrier; checkpoints poll this ctx
 	ctx      context.Context
 	deadline time.Time
 	budgets  Budgets
