@@ -1,14 +1,30 @@
 # Standard entry points. Everything is plain `go` underneath.
 
-.PHONY: all build test vet bench race experiments datasets clean
+.PHONY: all build test vet lint fuzz bench race experiments datasets examples clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	go build ./...
 
 vet:
 	go vet ./...
+
+# Project-invariant analyzer suite (internal/analysis): determinism of
+# canonical codes/fingerprints/cache keys, runctl checkpoint coverage,
+# panic-isolated goroutine spawns, context discipline, %w wrapping.
+lint:
+	go run ./cmd/graphsiglint ./...
+
+# Native fuzz harnesses on a short fixed budget: graph text codec
+# round-trip, DFS-code minimality under node relabeling and edge-order
+# mutation, and the SMILES parser. `go test -fuzz` accepts one target
+# per invocation, hence one line each.
+fuzz:
+	go test ./internal/graph   -run='^$$' -fuzz=FuzzReadDB               -fuzztime=2000x
+	go test ./internal/dfscode -run='^$$' -fuzz=FuzzCanonicalInvariance  -fuzztime=500x
+	go test ./internal/dfscode -run='^$$' -fuzz=FuzzMinCodeEdgeOrder     -fuzztime=500x
+	go test ./internal/chem    -run='^$$' -fuzz=FuzzParseSMILES          -fuzztime=2000x
 
 test:
 	go test -shuffle=on ./...
