@@ -1,6 +1,6 @@
 # Standard entry points. Everything is plain `go` underneath.
 
-.PHONY: all build test vet lint fuzz bench race experiments datasets examples clean
+.PHONY: all build test vet lint fuzz bench bench-json race experiments datasets examples clean
 
 all: build vet lint test
 
@@ -35,6 +35,11 @@ race:
 bench:
 	go test -bench=. -benchmem ./...
 
+# Machine-readable per-stage mining profile (the Fig-10 workload read
+# through the obs registry) for CI trend tracking.
+bench-json:
+	go run ./cmd/benchjson -out BENCH_graphsig.json
+
 # Regenerate every paper table/figure (writes CSVs into ./csv).
 experiments:
 	go run ./cmd/experiments -all -chart -csv csv
@@ -53,4 +58,4 @@ examples:
 	go run ./examples/generalgraphs
 
 clean:
-	rm -rf data csv
+	rm -rf data csv BENCH_graphsig.json

@@ -1,0 +1,120 @@
+// Command benchjson runs the Fig-10 profiling workload — a full
+// GraphSig mine over a synthetic MOLT-4 slice — with the obs registry
+// attached, and writes the per-stage split as machine-readable JSON
+// (default BENCH_graphsig.json; `make bench-json`). It exists so CI
+// and tooling can track where mining time goes per stage without
+// scraping `go test -bench` text:
+//
+//	benchjson -n 120 -runs 3 -out BENCH_graphsig.json
+//
+// The emitted stages are the same series /metrics serves, read through
+// the same snapshot API, so benchmark numbers and production telemetry
+// can never disagree about what was measured.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"log"
+	"os"
+	"time"
+
+	"graphsig/internal/chem"
+	"graphsig/internal/core"
+	"graphsig/internal/obs"
+)
+
+// stageJSON is one pipeline stage's accounting across all runs.
+type stageJSON struct {
+	Started   int64   `json:"started"`
+	Completed int64   `json:"completed"`
+	Degraded  int64   `json:"degraded"`
+	Units     int64   `json:"units"`
+	Seconds   float64 `json:"seconds"`
+	P50       float64 `json:"p50Seconds"`
+	P95       float64 `json:"p95Seconds"`
+}
+
+type benchJSON struct {
+	Dataset       string               `json:"dataset"`
+	Graphs        int                  `json:"graphs"`
+	Runs          int                  `json:"runs"`
+	Radius        int                  `json:"radius"`
+	ElapsedSec    float64              `json:"elapsedSeconds"`
+	Patterns      int                  `json:"patterns"`
+	Stages        map[string]stageJSON `json:"stages"`
+	StageOrder    []string             `json:"stageOrder"`
+	GeneratedUnix int64                `json:"generatedUnix"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+
+	n := flag.Int("n", 120, "molecules in the generated MOLT-4 slice")
+	runs := flag.Int("runs", 1, "full mining runs to accumulate")
+	radius := flag.Int("radius", 3, "cutoff radius")
+	verify := flag.Bool("verify", false, "include graph-space support verification")
+	out := flag.String("out", "BENCH_graphsig.json", "output file (- for stdout)")
+	flag.Parse()
+
+	spec := chem.CancerSpecs()[1] // MOLT-4, the Fig-10 screen
+	db := chem.GenerateN(spec, *n).Graphs
+
+	cfg := core.Defaults()
+	cfg.CutoffRadius = *radius
+	cfg.SkipVerify = !*verify
+	reg := obs.NewRegistry()
+	cfg.Metrics = reg
+
+	t0 := time.Now()
+	patterns := 0
+	for i := 0; i < *runs; i++ {
+		res := core.Mine(db, cfg)
+		if res.Truncated {
+			log.Fatalf("benchmark run truncated: %s", res.Degradation.String())
+		}
+		patterns = len(res.Subgraphs)
+	}
+	elapsed := time.Since(t0)
+
+	snap := reg.Snapshot()
+	result := benchJSON{
+		Dataset:       spec.Name,
+		Graphs:        len(db),
+		Runs:          *runs,
+		Radius:        *radius,
+		ElapsedSec:    elapsed.Seconds(),
+		Patterns:      patterns,
+		Stages:        map[string]stageJSON{},
+		StageOrder:    snap.LabelValues(obs.MStageStarted, "stage"),
+		GeneratedUnix: t0.Unix(),
+	}
+	for _, stage := range result.StageOrder {
+		h, _ := snap.HistogramValue(obs.MStageDuration, "stage", stage)
+		result.Stages[stage] = stageJSON{
+			Started:   snap.CounterValue(obs.MStageStarted, "stage", stage),
+			Completed: snap.CounterValue(obs.MStageCompleted, "stage", stage),
+			Degraded:  snap.CounterValue(obs.MStageDegraded, "stage", stage),
+			Units:     snap.CounterValue(obs.MStageUnits, "stage", stage),
+			Seconds:   h.Sum,
+			P50:       h.Quantile(0.5),
+			P95:       h.Quantile(0.95),
+		}
+	}
+
+	data, err := json.MarshalIndent(result, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("mined %d patterns over %d graphs ×%d in %s; wrote %s",
+		patterns, len(db), *runs, elapsed.Round(time.Millisecond), *out)
+}

@@ -25,6 +25,7 @@ import (
 	"graphsig/internal/chem"
 	"graphsig/internal/core"
 	"graphsig/internal/graph"
+	"graphsig/internal/obs"
 	"graphsig/internal/runctl"
 )
 
@@ -50,6 +51,7 @@ func main() {
 	maxSteps := flag.Int64("max-steps", 0, "budget on FSM candidate/extension steps (0 = unbounded)")
 	maxVF2 := flag.Int64("max-vf2", 0, "budget on VF2 isomorphism search nodes (0 = unbounded)")
 	useGSpan := flag.Bool("gspan", false, "use gSpan instead of FSG for the group mining step")
+	stats := flag.Bool("stats", false, "print the per-stage metrics table to stderr at exit")
 	flag.Parse()
 
 	if *in == "" {
@@ -97,6 +99,12 @@ func main() {
 		MinerSteps:   *maxSteps,
 		VF2Nodes:     *maxVF2,
 	}
+	// A nil registry makes every metric a no-op; only meter when asked.
+	var reg *obs.Registry
+	if *stats {
+		reg = obs.NewRegistry()
+		cfg.Metrics = reg
+	}
 
 	t0 := time.Now()
 	res := core.Mine(db, cfg)
@@ -142,6 +150,11 @@ func main() {
 				log.Fatal(err)
 			}
 		}
+	}
+	if *stats {
+		// Stderr, like the rest of the diagnostics: stdout stays a clean
+		// pattern listing.
+		obs.WriteStageTable(os.Stderr, reg.Snapshot())
 	}
 	if res.Truncated || res.GroupErrors > 0 {
 		os.Exit(exitTruncated)

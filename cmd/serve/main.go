@@ -32,6 +32,7 @@ import (
 	"graphsig/internal/chem"
 	"graphsig/internal/graph"
 	"graphsig/internal/jobs"
+	"graphsig/internal/obs"
 	"graphsig/internal/server"
 )
 
@@ -52,6 +53,8 @@ func main() {
 	jobTTL := flag.Duration("job-ttl", jobs.DefaultTTL, "how long finished jobs stay retrievable")
 	cacheSize := flag.Int("cache-size", jobs.DefaultCacheSize, "dedup result-cache entries (-1 disables)")
 	warm := flag.Bool("warm", false, "eagerly build the query index and RWR vectors before serving")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (off by default: it reveals stacks and timings)")
+	stats := flag.Bool("stats", false, "print the per-stage metrics table to stderr after shutdown")
 	flag.Parse()
 
 	var db []*graph.Graph
@@ -97,6 +100,7 @@ func main() {
 	svc.JobQueueDepth = *queueDepth
 	svc.JobTTL = *jobTTL
 	svc.JobCacheSize = *cacheSize
+	svc.EnablePprof = *pprofOn
 
 	if *warm {
 		t0 := time.Now()
@@ -148,5 +152,8 @@ func main() {
 			log.Fatal(err)
 		}
 		log.Printf("shutdown complete")
+		if *stats {
+			obs.WriteStageTable(os.Stderr, svc.Metrics.Snapshot())
+		}
 	}
 }

@@ -9,6 +9,7 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -21,6 +22,7 @@ import (
 	"graphsig/internal/gspan"
 	"graphsig/internal/isomorph"
 	"graphsig/internal/leap"
+	"graphsig/internal/obs"
 	"graphsig/internal/runctl"
 	"graphsig/internal/rwr"
 )
@@ -296,6 +298,153 @@ func TestMineContextCancelPartialResult(t *testing.T) {
 	}
 	if !res.Truncated || res.Degradation.Reason != runctl.ReasonCancel {
 		t.Errorf("degradation = %+v; want cancel", res.Degradation)
+	}
+}
+
+// assertStageBalance checks the per-stage span accounting invariant on
+// a finished run: for every stage that reported at all,
+// started == completed + degraded, and the duration histogram saw
+// exactly one observation per span.
+func assertStageBalance(t *testing.T, snap obs.Snapshot) (totalDegraded int64) {
+	t.Helper()
+	stages := snap.LabelValues(obs.MStageStarted, "stage")
+	if len(stages) == 0 {
+		t.Fatal("no stage spans recorded")
+	}
+	for _, st := range stages {
+		started := snap.CounterValue(obs.MStageStarted, "stage", st)
+		completed := snap.CounterValue(obs.MStageCompleted, "stage", st)
+		degraded := snap.CounterValue(obs.MStageDegraded, "stage", st)
+		if started != completed+degraded {
+			t.Errorf("stage %s unbalanced: started %d != completed %d + degraded %d",
+				st, started, completed, degraded)
+		}
+		if h, ok := snap.HistogramValue(obs.MStageDuration, "stage", st); !ok || h.Count != started {
+			t.Errorf("stage %s duration count = %d, want %d", st, h.Count, started)
+		}
+		totalDegraded += degraded
+	}
+	return totalDegraded
+}
+
+// degradationTotal sums the MDegradations counter across all reasons.
+func degradationTotal(snap obs.Snapshot) int64 {
+	var total int64
+	for _, reason := range snap.LabelValues(obs.MDegradations, "reason") {
+		total += snap.CounterValue(obs.MDegradations, "reason", reason)
+	}
+	return total
+}
+
+// TestMineMetricsBalanceOnTrip trips the full pipeline at arbitrary
+// checkpoints and asserts the books still balance: every started stage
+// span ends exactly once (completed or degraded), at least one stage
+// is booked degraded on a truncated run, and the run-level degradation
+// counter moves exactly once — by the checkpoint that won the
+// first-cause CAS, under its reason.
+func TestMineMetricsBalanceOnTrip(t *testing.T) {
+	db := plantedDB(40, 8, chem.SbCore())
+	for _, k := range []int64{1, 3, 25} {
+		t.Run(fmt.Sprintf("cancel-at-%d", k), func(t *testing.T) {
+			reg := obs.NewRegistry()
+			ctl := runctl.New(runctl.Options{
+				CheckInterval: 1,
+				Hook:          func(check int64) bool { return check >= k },
+				Metrics:       reg,
+			})
+			cfg := testConfig()
+			cfg.Ctl = ctl
+			res := Mine(db, cfg)
+			if !res.Truncated {
+				t.Fatal("hooked mine not truncated")
+			}
+			snap := reg.Snapshot()
+			if deg := assertStageBalance(t, snap); deg == 0 {
+				t.Error("truncated run booked no degraded stage span")
+			}
+			if got := degradationTotal(snap); got != 1 {
+				t.Errorf("degradations counted %d times, want exactly once", got)
+			}
+			if got := snap.CounterValue(obs.MDegradations, "reason", string(runctl.ReasonCancel)); got != 1 {
+				t.Errorf("degradations{cancel} = %d, want 1", got)
+			}
+		})
+	}
+}
+
+// TestMineMetricsBalanceOnBudget is the budget-pool variant: however
+// far the run got before the pool drained, the span books balance and
+// the degradation counter moved once, under reason budget.
+func TestMineMetricsBalanceOnBudget(t *testing.T) {
+	db := plantedDB(40, 8, chem.SbCore())
+	reg := obs.NewRegistry()
+	cfg := testConfig()
+	cfg.Metrics = reg
+	cfg.Budgets = runctl.Budgets{MinerSteps: 10}
+	res := Mine(db, cfg)
+	snap := reg.Snapshot()
+	degradedStages := assertStageBalance(t, snap)
+	if !res.Truncated {
+		t.Skip("run fit inside the budget on this configuration")
+	}
+	if degradedStages == 0 {
+		t.Error("truncated run booked no degraded stage span")
+	}
+	if got := degradationTotal(snap); got != 1 {
+		t.Errorf("degradations counted %d times, want exactly once", got)
+	}
+	if got := snap.CounterValue(obs.MDegradations, "reason", string(runctl.ReasonBudget)); got != 1 {
+		t.Errorf("degradations{budget} = %d, want 1", got)
+	}
+}
+
+// TestMineMetricsCleanRun is the control: an untripped mine completes
+// every span, books zero degradations, and reports all six stages.
+func TestMineMetricsCleanRun(t *testing.T) {
+	db := plantedDB(24, 6, chem.SbCore())
+	reg := obs.NewRegistry()
+	cfg := testConfig()
+	cfg.Metrics = reg
+	res := Mine(db, cfg)
+	if res.Truncated {
+		t.Fatalf("clean run truncated: %+v", res.Degradation)
+	}
+	snap := reg.Snapshot()
+	if deg := assertStageBalance(t, snap); deg != 0 {
+		t.Errorf("clean run booked %d degraded spans", deg)
+	}
+	if got := degradationTotal(snap); got != 0 {
+		t.Errorf("clean run counted %d degradations", got)
+	}
+	for _, st := range []string{"features", "rwr", "fvmine", "group", "group-mine", "verify"} {
+		if snap.CounterValue(obs.MStageStarted, "stage", st) < 1 {
+			t.Errorf("stage %s never reported", st)
+		}
+	}
+}
+
+// TestPanicMetricsExactlyOnce reuses the injected-FSM-fault setup and
+// asserts the isolated panic is visible in the registry exactly once —
+// under the panic counter, not the degradation counter, which tracks
+// run-level stops only (an isolated worker panic does not cut the run,
+// so booking it there would double-count against the CAS invariant).
+func TestPanicMetricsExactlyOnce(t *testing.T) {
+	db := plantedDB(24, 6, chem.SbCore())
+	reg := obs.NewRegistry()
+	ctl := runctl.New(runctl.Options{
+		CheckInterval: 1,
+		Hook:          func(check int64) bool { panic("injected FSM fault") },
+		Metrics:       reg,
+	})
+	if _, panicked := mineMaximalIsolated(db, 3, testConfig(), ctl, graph.Label(1)); !panicked {
+		t.Fatal("injected panic not reported")
+	}
+	snap := reg.Snapshot()
+	if got := snap.CounterValue(obs.MPanics, "stage", string(runctl.StageGroupMine)); got != 1 {
+		t.Errorf("panics{group-mine} = %d, want 1", got)
+	}
+	if got := degradationTotal(snap); got != 0 {
+		t.Errorf("isolated panic booked %d run-level degradations, want 0", got)
 	}
 }
 

@@ -27,6 +27,7 @@ import (
 	"graphsig/internal/graph"
 	"graphsig/internal/gspan"
 	"graphsig/internal/isomorph"
+	"graphsig/internal/obs"
 	"graphsig/internal/runctl"
 	"graphsig/internal/rwr"
 	"graphsig/internal/sigmodel"
@@ -96,9 +97,14 @@ type Config struct {
 	Budgets runctl.Budgets
 	// Ctl, when non-nil, is the run controller the mine observes —
 	// supply one to share cancellation and budgets with a caller (e.g.
-	// an HTTP handler). When nil, Mine builds one from Ctx, Deadline and
-	// Budgets.
+	// an HTTP handler). When nil, Mine builds one from Ctx, Deadline,
+	// Budgets and Metrics.
 	Ctl *runctl.Controller
+	// Metrics, when non-nil, receives per-stage operational metrics
+	// (span counters, work units, duration histograms — see
+	// internal/obs). Ignored when Ctl is set: the controller's registry
+	// wins, so a job-owned mine reports into its owner's registry.
+	Metrics *obs.Registry
 	// Alphabet names atom labels in reports (optional).
 	Alphabet *graph.Alphabet
 	// FeatureSet overrides the feature set (nil = chemistry set built
@@ -250,7 +256,7 @@ func controllerFor(cfg Config) *runctl.Controller {
 	if cfg.Ctl != nil {
 		return cfg.Ctl
 	}
-	return runctl.New(runctl.Options{Context: cfg.Ctx, Deadline: cfg.Deadline, Budgets: cfg.Budgets})
+	return runctl.New(runctl.Options{Context: cfg.Ctx, Deadline: cfg.Deadline, Budgets: cfg.Budgets, Metrics: cfg.Metrics})
 }
 
 // rwrChunk is how many graphs the RWR phase vectorizes between
@@ -408,16 +414,22 @@ func Mine(db []*graph.Graph, cfg Config) Result {
 
 	// Phase 1: RWR over every node of every graph (Alg 2 lines 3-4).
 	t0 := time.Now()
+	featSpan := ctl.StartStage(runctl.StageFeatures)
 	fs := cfg.FeatureSet
 	if fs == nil {
 		fs = feature.ChemistrySet(db, cfg.Alphabet, cfg.TopAtoms)
 	}
+	featSpan.End(int64(fs.Len()))
+	rwrSpan := ctl.StartStage(runctl.StageRWR)
 	vectors := computeVectors(db, fs, cfg, ctl)
+	rwrSpan.End(int64(len(vectors)))
 	res.Profile.RWR = time.Since(t0)
 
 	// Phase 2: group by source label, FVMine per group (lines 5-7).
 	t1 := time.Now()
+	fvSpan := ctl.StartStage(runctl.StageFVMine)
 	groups := significantVectorGroups(vectors, cfg, ctl)
+	fvSpan.End(int64(len(groups)))
 	res.VectorsMined = len(groups)
 	res.Profile.FeatureAnalysis = time.Since(t1)
 
@@ -433,6 +445,7 @@ func Mine(db []*graph.Graph, cfg Config) Result {
 			break
 		}
 		groupsDone++
+		groupSpan := ctl.StartStage(runctl.StageGroup)
 		nodes := grp.Nodes
 		if cfg.MaxGroupSize > 0 && len(nodes) > cfg.MaxGroupSize {
 			nodes = subsample(nodes, cfg.MaxGroupSize)
@@ -441,6 +454,7 @@ func Mine(db []*graph.Graph, cfg Config) Result {
 		for i, nv := range nodes {
 			windows[i] = db[nv.GraphID].CutGraph(nv.NodeID, cfg.CutoffRadius)
 		}
+		groupSpan.End(int64(len(windows)))
 		minSup := int(math.Ceil(cfg.FSMFreqPct / 100 * float64(len(windows))))
 		if minSup < 2 {
 			minSup = 2
@@ -450,11 +464,14 @@ func Mine(db []*graph.Graph, cfg Config) Result {
 			continue
 		}
 		res.GroupsMined++
+		fsmSpan := ctl.StartStage(runctl.StageGroupMine)
 		maximal, panicked := mineMaximalIsolated(windows, minSup, cfg, ctl, grp.Label)
 		if panicked {
+			fsmSpan.Fail(runctl.ReasonPanic, 0)
 			res.GroupErrors++
 			continue
 		}
+		fsmSpan.End(int64(len(maximal)))
 		if len(maximal) == 0 {
 			res.GroupsPruned++
 			continue
@@ -497,6 +514,7 @@ func Mine(db []*graph.Graph, cfg Config) Result {
 	// subsets.
 	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Canonical < ordered[j].Canonical })
 	if !cfg.SkipVerify {
+		verifySpan := ctl.StartStage(runctl.StageVerify)
 		var wg sync.WaitGroup
 		var verified atomic.Int64
 		work := make(chan *Subgraph)
@@ -537,6 +555,7 @@ func Mine(db []*graph.Graph, cfg Config) Result {
 		}
 		close(work)
 		wg.Wait()
+		verifySpan.End(verified.Load())
 		if n := int(verified.Load()); n < len(ordered) {
 			ctl.RecordStop(runctl.StageVerify, int64(n), int64(len(ordered)), "patterns support-verified")
 		}

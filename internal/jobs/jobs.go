@@ -37,6 +37,7 @@ import (
 
 	"graphsig/internal/core"
 	"graphsig/internal/graph"
+	"graphsig/internal/obs"
 	"graphsig/internal/runctl"
 )
 
@@ -94,6 +95,11 @@ type Options struct {
 	Exec ExecFunc
 	// Logf receives operational log lines (log.Printf when nil).
 	Logf func(format string, args ...any)
+	// Metrics, when non-nil, receives the manager's operational metrics
+	// (queue depth, worker utilization, cache hit/miss/coalesce counts)
+	// and is handed to every job's controller, so mining-stage metrics
+	// land in the same registry. Nil disables metering.
+	Metrics *obs.Registry
 }
 
 // SubmitOptions parameterizes one Submit.
@@ -238,19 +244,19 @@ func (j *Job) finishLocked(state State, now time.Time) {
 
 // Stats is a point-in-time view of the manager's counters.
 type Stats struct {
-	Workers     int            `json:"workers"`
-	Busy        int            `json:"busy"`
-	QueueDepth  int            `json:"queueDepth"`
-	QueueCap    int            `json:"queueCap"`
-	Jobs        int            `json:"jobs"`
-	ByState     map[State]int  `json:"byState,omitempty"`
-	Executions  int64          `json:"executions"`
-	Coalesced   int64          `json:"coalesced"`
-	CacheHits   int64          `json:"cacheHits"`
-	CacheMisses int64          `json:"cacheMisses"`
-	Rejected    int64          `json:"rejected"`
-	CacheSize   int            `json:"cacheSize"`
-	CacheCap    int            `json:"cacheCap"`
+	Workers     int           `json:"workers"`
+	Busy        int           `json:"busy"`
+	QueueDepth  int           `json:"queueDepth"`
+	QueueCap    int           `json:"queueCap"`
+	Jobs        int           `json:"jobs"`
+	ByState     map[State]int `json:"byState,omitempty"`
+	Executions  int64         `json:"executions"`
+	Coalesced   int64         `json:"coalesced"`
+	CacheHits   int64         `json:"cacheHits"`
+	CacheMisses int64         `json:"cacheMisses"`
+	Rejected    int64         `json:"rejected"`
+	CacheSize   int           `json:"cacheSize"`
+	CacheCap    int           `json:"cacheCap"`
 }
 
 // Manager owns the queue, the worker pool, the job store, and the
@@ -283,6 +289,44 @@ type Manager struct {
 	cacheMisses atomic.Int64
 	rejected    atomic.Int64
 	seq         atomic.Int64
+
+	met managerMetrics
+}
+
+// managerMetrics caches the manager's obs series so hot paths skip the
+// registry lookup. With a nil Options.Metrics every field is nil and
+// every call a no-op — the obs nil-receiver contract keeps the wiring
+// branch-free.
+type managerMetrics struct {
+	queueDepth   *obs.Gauge
+	busy         *obs.Gauge
+	cacheEntries *obs.Gauge
+	executions   *obs.Counter
+	coalesced    *obs.Counter
+	cacheHits    *obs.Counter
+	cacheMisses  *obs.Counter
+	rejected     *obs.Counter
+	runSeconds   *obs.Histogram
+	finished     func(state State) *obs.Counter
+}
+
+func newManagerMetrics(r *obs.Registry, workers, queueCap int) managerMetrics {
+	r.Gauge(obs.MJobsWorkers).Set(int64(workers))
+	r.Gauge(obs.MJobsQueueCap).Set(int64(queueCap))
+	return managerMetrics{
+		queueDepth:   r.Gauge(obs.MJobsQueueDepth),
+		busy:         r.Gauge(obs.MJobsBusy),
+		cacheEntries: r.Gauge(obs.MJobsCacheSize),
+		executions:   r.Counter(obs.MJobsExecutions),
+		coalesced:    r.Counter(obs.MJobsCoalesced),
+		cacheHits:    r.Counter(obs.MJobsCacheHits),
+		cacheMisses:  r.Counter(obs.MJobsCacheMisses),
+		rejected:     r.Counter(obs.MJobsRejected),
+		runSeconds:   r.Histogram(obs.MJobsRunSeconds, obs.DefBuckets),
+		finished: func(state State) *obs.Counter {
+			return r.Counter(obs.MJobsFinished, "state", string(state))
+		},
+	}
 }
 
 // NewManager starts the worker pool and TTL janitor for opt.
@@ -312,6 +356,7 @@ func NewManager(opt Options) *Manager {
 		byKey:       make(map[string]*Job),
 		janitorStop: make(chan struct{}),
 	}
+	m.met = newManagerMetrics(opt.Metrics, opt.Workers, opt.QueueDepth)
 	m.exec = opt.Exec
 	if m.exec == nil {
 		m.exec = func(ctl *runctl.Controller, cfg core.Config) core.Result {
@@ -363,6 +408,7 @@ func (m *Manager) Submit(cfg core.Config, opt SubmitOptions) (*Job, SubmitInfo, 
 	}
 	if j := m.byKey[key]; j != nil {
 		m.coalesced.Add(1)
+		m.met.coalesced.Inc()
 		j.mu.Lock()
 		j.detached = j.detached || opt.Detached
 		if !opt.Detached {
@@ -373,6 +419,7 @@ func (m *Manager) Submit(cfg core.Config, opt SubmitOptions) (*Job, SubmitInfo, 
 	}
 	if res, ok := m.cache.get(key); ok {
 		m.cacheHits.Add(1)
+		m.met.cacheHits.Inc()
 		j := m.newJobLocked(key, cfg, opt, now)
 		j.state = StateDone
 		j.cached = true
@@ -383,13 +430,16 @@ func (m *Manager) Submit(cfg core.Config, opt SubmitOptions) (*Job, SubmitInfo, 
 		return j, SubmitInfo{Cached: true}, nil
 	}
 	m.cacheMisses.Add(1)
+	m.met.cacheMisses.Inc()
 	j := m.newJobLocked(key, cfg, opt, now)
 	select {
 	case m.queue <- j:
 	default:
 		m.rejected.Add(1)
+		m.met.rejected.Inc()
 		return nil, SubmitInfo{}, &ErrQueueFull{Depth: len(m.queue), Cap: cap(m.queue)}
 	}
+	m.met.queueDepth.Set(int64(len(m.queue)))
 	m.jobs[j.id] = j
 	m.byKey[key] = j
 	return j, SubmitInfo{}, nil
@@ -505,6 +555,7 @@ func (m *Manager) Release(j *Job) bool {
 func (m *Manager) worker() {
 	defer m.workers.Done()
 	for j := range m.queue {
+		m.met.queueDepth.Set(int64(len(m.queue)))
 		m.run(j)
 	}
 }
@@ -520,7 +571,7 @@ func (m *Manager) run(j *Job) {
 	if j.timeout > 0 {
 		deadline = time.Now().Add(j.timeout)
 	}
-	ctl := runctl.New(runctl.Options{Deadline: deadline, Budgets: m.opts.Budgets})
+	ctl := runctl.New(runctl.Options{Deadline: deadline, Budgets: m.opts.Budgets, Metrics: m.opts.Metrics})
 	j.ctl = ctl
 	j.state = StateRunning
 	j.started = time.Now()
@@ -538,8 +589,11 @@ func (m *Manager) run(j *Job) {
 
 	m.busy.Add(1)
 	m.executions.Add(1)
+	m.met.busy.Add(1)
+	m.met.executions.Inc()
 	res, err := m.execIsolated(ctl, j.cfg)
 	m.busy.Add(-1)
+	m.met.busy.Add(-1)
 
 	deg := ctl.Report()
 	now := time.Now()
@@ -562,6 +616,8 @@ func (m *Manager) run(j *Job) {
 	}
 	state := j.state
 	j.mu.Unlock()
+	m.met.runSeconds.Observe(now.Sub(j.started).Seconds())
+	m.met.finished(state).Inc()
 
 	m.mu.Lock()
 	if m.byKey[j.key] == j {
@@ -570,6 +626,8 @@ func (m *Manager) run(j *Job) {
 	if state == StateDone && !res.Truncated {
 		m.cache.put(j.key, res)
 	}
+	entries, _ := m.cache.stats()
+	m.met.cacheEntries.Set(int64(entries))
 	m.mu.Unlock()
 
 	switch {

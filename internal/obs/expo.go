@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PrometheusContentType is the Content-Type for WritePrometheus output.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (hand-rolled; the repo takes no dependencies).
+// Series are sorted by (family, labels), so output is deterministic and
+// each family's series are contiguous under their # TYPE line.
+// Histograms render cumulative le buckets plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	var lastFamily string
+	for _, s := range r.sortedSeries() {
+		if s.base != lastFamily {
+			fmt.Fprintf(w, "# TYPE %s %s\n", s.base, s.kind)
+			lastFamily = s.base
+		}
+		switch s.kind {
+		case KindCounter:
+			fmt.Fprintf(w, "%s %d\n", s.full, s.counter.Value())
+		case KindGauge:
+			fmt.Fprintf(w, "%s %d\n", s.full, s.gauge.Value())
+		case KindHistogram:
+			writePromHistogram(w, s)
+		}
+	}
+}
+
+func writePromHistogram(w io.Writer, s *series) {
+	snap := s.hist.Snapshot()
+	var cum int64
+	for i, bound := range snap.Bounds {
+		cum += snap.Counts[i]
+		fmt.Fprintf(w, "%s_bucket{%s} %d\n", s.base, joinLabels(s.labels, `le="`+formatFloat(bound)+`"`), cum)
+	}
+	cum += snap.Counts[len(snap.Counts)-1]
+	fmt.Fprintf(w, "%s_bucket{%s} %d\n", s.base, joinLabels(s.labels, `le="+Inf"`), cum)
+	fmt.Fprintf(w, "%s_sum%s %s\n", s.base, wrapLabels(s.labels), formatFloat(snap.Sum))
+	fmt.Fprintf(w, "%s_count%s %d\n", s.base, wrapLabels(s.labels), cum)
+}
+
+func joinLabels(block, extra string) string {
+	if block == "" {
+		return extra
+	}
+	return block + "," + extra
+}
+
+func wrapLabels(block string) string {
+	if block == "" {
+		return ""
+	}
+	return "{" + block + "}"
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Snapshot is a consistent-enough point-in-time view of a registry:
+// each value is read atomically (no torn reads) and counters only ever
+// increase, so two successive snapshots are monotone per series. It is
+// the payload of GET /debug/vars.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot captures every registered series. A nil registry snapshots
+// as empty (non-nil, zero-length maps, so JSON renders {} not null).
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	for _, s := range r.sortedSeries() {
+		switch s.kind {
+		case KindCounter:
+			snap.Counters[s.full] = s.counter.Value()
+		case KindGauge:
+			snap.Gauges[s.full] = s.gauge.Value()
+		case KindHistogram:
+			snap.Histograms[s.full] = s.hist.Snapshot()
+		}
+	}
+	return snap
+}
+
+// CounterValue returns the snapshot's value for the counter series
+// named by base + labels (0 when absent).
+func (s Snapshot) CounterValue(base string, labels ...string) int64 {
+	return s.Counters[SeriesName(base, labels...)]
+}
+
+// GaugeValue returns the snapshot's value for the gauge series named by
+// base + labels (0 when absent).
+func (s Snapshot) GaugeValue(base string, labels ...string) int64 {
+	return s.Gauges[SeriesName(base, labels...)]
+}
+
+// HistogramValue returns the snapshot of the histogram series named by
+// base + labels.
+func (s Snapshot) HistogramValue(base string, labels ...string) (HistogramSnapshot, bool) {
+	h, ok := s.Histograms[SeriesName(base, labels...)]
+	return h, ok
+}
+
+// LabelValues returns the sorted distinct values of one label key
+// across every series of the given family, in any metric kind. It is
+// how consumers discover, e.g., which stages have reported without
+// importing the pipeline packages.
+func (s Snapshot) LabelValues(base, key string) []string {
+	seen := map[string]bool{}
+	collect := func(full string) {
+		b, labels := splitSeries(full)
+		if b != base {
+			return
+		}
+		if v, ok := labels[key]; ok {
+			seen[v] = true
+		}
+	}
+	for full := range s.Counters {
+		collect(full)
+	}
+	for full := range s.Gauges {
+		collect(full)
+	}
+	for full := range s.Histograms {
+		collect(full)
+	}
+	out := make([]string, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// splitSeries parses a full series name back into its base name and
+// label map, inverting SeriesName (including its escapes).
+func splitSeries(full string) (string, map[string]string) {
+	open := strings.IndexByte(full, '{')
+	if open < 0 || !strings.HasSuffix(full, "}") {
+		return full, nil
+	}
+	base := full[:open]
+	labels := map[string]string{}
+	rest := full[open+1 : len(full)-1]
+	for len(rest) > 0 {
+		eq := strings.Index(rest, `="`)
+		if eq < 0 {
+			break
+		}
+		key := rest[:eq]
+		rest = rest[eq+2:]
+		var val strings.Builder
+		i := 0
+		for i < len(rest) {
+			c := rest[i]
+			if c == '\\' && i+1 < len(rest) {
+				switch rest[i+1] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(rest[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			val.WriteByte(c)
+			i++
+		}
+		labels[key] = val.String()
+		rest = rest[i:]
+		rest = strings.TrimPrefix(rest, `"`)
+		rest = strings.TrimPrefix(rest, ",")
+	}
+	return base, labels
+}

@@ -1,0 +1,56 @@
+package obs
+
+// Canonical metric names. The scheme is graphsig_<subsystem>_<what>_<unit>:
+// counters end in _total, gauges name a level, histograms name a unit
+// (_seconds). Labels are closed sets — stage names, runctl reasons,
+// normalized HTTP routes, job states — never request data, so series
+// cardinality is bounded by construction.
+const (
+	// Per-stage mining pipeline metrics (label: stage; recorded by
+	// runctl stage spans). Every span ends exactly once, as completed or
+	// degraded, so for each stage
+	//
+	//	started_total == completed_total + degraded_total
+	//
+	// holds at every quiescent point — the balance the fault-injection
+	// suite locks down.
+	MStageStarted   = "graphsig_stage_started_total"
+	MStageCompleted = "graphsig_stage_completed_total"
+	MStageDegraded  = "graphsig_stage_degraded_total"
+	// MStageUnits counts completed work units in the stage's own scale
+	// (vectors, groups, patterns, graphs).
+	MStageUnits = "graphsig_stage_units_total"
+	// MStageDuration is the per-stage wall-time histogram, in seconds.
+	MStageDuration = "graphsig_stage_duration_seconds"
+
+	// MDegradations counts cut-short runs by reason (label: reason).
+	// Incremented exactly once per run, by the checkpoint that wins the
+	// first-cause CAS in runctl.
+	MDegradations = "graphsig_degradations_total"
+	// MPanics counts isolated worker panics by stage (label: stage).
+	MPanics = "graphsig_panics_total"
+
+	// Jobs subsystem (internal/jobs).
+	MJobsWorkers     = "graphsig_jobs_workers"
+	MJobsBusy        = "graphsig_jobs_busy_workers"
+	MJobsQueueDepth  = "graphsig_jobs_queue_depth"
+	MJobsQueueCap    = "graphsig_jobs_queue_capacity"
+	MJobsExecutions  = "graphsig_jobs_executions_total"
+	MJobsCoalesced   = "graphsig_jobs_coalesced_total"
+	MJobsCacheHits   = "graphsig_jobs_cache_hits_total"
+	MJobsCacheMisses = "graphsig_jobs_cache_misses_total"
+	MJobsRejected    = "graphsig_jobs_rejected_total"
+	MJobsCacheSize   = "graphsig_jobs_cache_entries"
+	// MJobsFinished counts terminal jobs by outcome (label: state).
+	MJobsFinished = "graphsig_jobs_finished_total"
+	// MJobsRunSeconds is the executed-job wall-time histogram.
+	MJobsRunSeconds = "graphsig_jobs_run_seconds"
+
+	// HTTP surface (internal/server; labels: route, code).
+	MHTTPRequests = "graphsig_http_requests_total"
+	MHTTPDuration = "graphsig_http_request_duration_seconds"
+	MHTTPInFlight = "graphsig_http_in_flight"
+
+	// Served database shape (internal/server).
+	MDBGraphs = "graphsig_db_graphs"
+)

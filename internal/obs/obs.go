@@ -1,0 +1,281 @@
+// Package obs is the operational observability layer: an atomic
+// counter/gauge registry plus fixed-bucket latency histograms, exposed
+// as Prometheus text (/metrics) and as a JSON snapshot (/debug/vars).
+//
+// The paper's headline claims are performance curves, and subgraph
+// mining cost is wildly input-dependent — so the running system must
+// report where time and work actually go, per stage, without slowing
+// the stages down. The design rules follow from that:
+//
+//   - the hot path is lock-free: a Counter or Gauge is one atomic
+//     int64, a Histogram observation is two atomic adds plus one CAS
+//     loop on the float sum. Registration (the only mutex) happens once
+//     per series; hot callers hold onto the returned pointer;
+//   - histograms use fixed buckets, not quantile sketches: bucket
+//     counts are plain atomics, observations never rebalance shared
+//     state, and quantiles are estimated at read time with an error
+//     bounded by the width of the bucket the quantile falls in;
+//   - everything is nil-receiver safe. A nil *Registry hands out nil
+//     metrics whose methods are no-ops, so unmetered runs (a nil
+//     Metrics option anywhere in the pipeline) pay a single pointer
+//     test per event and need no branches at call sites.
+//
+// Series are identified Prometheus-style: a base name plus sorted
+// key="value" labels, e.g. graphsig_stage_duration_seconds{stage="rwr"}.
+// The naming scheme is graphsig_<subsystem>_<what>_<unit>; the canonical
+// names live in names.go so producers and consumers cannot drift.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind classifies a registered series for exposition (TYPE lines).
+type Kind int
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// Counter is a monotonically increasing atomic int64. A nil *Counter is
+// valid: every method is a no-op.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n (negative deltas are dropped: counters only go up).
+func (c *Counter) Add(n int64) {
+	if c != nil && n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic int64 that can move both ways. A nil *Gauge is
+// valid: every method is a no-op.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores n.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Add adds n (which may be negative).
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// series is one registered (base name, label block) pair.
+type series struct {
+	base   string
+	labels string // rendered inner label block, "" when unlabeled
+	full   string
+	kind   Kind
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// Registry owns the full series set. Create one with NewRegistry and
+// share it by pointer; all methods are safe for concurrent use, and a
+// nil *Registry hands out nil (no-op) metrics.
+type Registry struct {
+	mu     sync.Mutex
+	series map[string]*series
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{series: make(map[string]*series)}
+}
+
+// Counter returns the counter for name plus k,v label pairs, creating
+// it on first use. Re-registering the same series with a different kind
+// panics: series identity is a program invariant, not runtime input.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	s := r.lookup(name, KindCounter, nil, labels)
+	if s == nil {
+		return nil
+	}
+	return s.counter
+}
+
+// Gauge returns the gauge for name plus k,v label pairs, creating it on
+// first use.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	s := r.lookup(name, KindGauge, nil, labels)
+	if s == nil {
+		return nil
+	}
+	return s.gauge
+}
+
+// Histogram returns the histogram for name plus k,v label pairs,
+// creating it on first use with the given bucket upper bounds (nil =
+// DefBuckets). Later lookups of an existing series ignore the bucket
+// argument.
+func (r *Registry) Histogram(name string, buckets []float64, labels ...string) *Histogram {
+	s := r.lookup(name, KindHistogram, buckets, labels)
+	if s == nil {
+		return nil
+	}
+	return s.hist
+}
+
+func (r *Registry) lookup(name string, kind Kind, buckets []float64, labels []string) *series {
+	if r == nil {
+		return nil
+	}
+	block := labelBlock(labels)
+	full := name
+	if block != "" {
+		full = name + "{" + block + "}"
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok := r.series[full]; ok {
+		if s.kind != kind {
+			panic(fmt.Sprintf("obs: series %s registered as %s, requested as %s", full, s.kind, kind))
+		}
+		return s
+	}
+	s := &series{base: name, labels: block, full: full, kind: kind}
+	switch kind {
+	case KindCounter:
+		s.counter = &Counter{}
+	case KindGauge:
+		s.gauge = &Gauge{}
+	case KindHistogram:
+		s.hist = newHistogram(buckets)
+	}
+	r.series[full] = s
+	return s
+}
+
+// SeriesName renders the full series identifier for a base name plus
+// k,v label pairs, exactly as the registry keys it — the lookup key for
+// Snapshot maps.
+func SeriesName(name string, labels ...string) string {
+	block := labelBlock(labels)
+	if block == "" {
+		return name
+	}
+	return name + "{" + block + "}"
+}
+
+// labelBlock renders k,v pairs sorted by key so the same label set
+// always produces the same series, regardless of call-site order.
+func labelBlock(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("obs: odd label list %q: want k,v pairs", labels))
+	}
+	type kv struct{ k, v string }
+	pairs := make([]kv, 0, len(labels)/2)
+	for i := 0; i < len(labels); i += 2 {
+		pairs = append(pairs, kv{labels[i], labels[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(p.v))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// escapeLabelValue applies the Prometheus text-format escapes.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// sortedSeries snapshots the series list ordered by (base, labels) so
+// every exposition is deterministic and families stay contiguous.
+func (r *Registry) sortedSeries() []*series {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make([]*series, 0, len(r.series))
+	for _, s := range r.series {
+		out = append(out, s)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].base != out[j].base {
+			return out[i].base < out[j].base
+		}
+		return out[i].labels < out[j].labels
+	})
+	return out
+}

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"io"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrency hammers one registry from many goroutines —
+// writers bumping counters/gauges/histograms, creators minting new
+// series, readers snapshotting and rendering — and checks the snapshot
+// consistency contract: per-series counters are monotone across
+// successive snapshots (no torn reads), histogram bucket totals never
+// trail the histogram count, and after the join every total is exact.
+// Run under -race (make race) this also proves the hot path is
+// data-race-free.
+func TestRegistryConcurrency(t *testing.T) {
+	const (
+		writers = 8
+		iters   = 2000
+	)
+	r := NewRegistry()
+	ctr := r.Counter("hammer_total")
+	gauge := r.Gauge("hammer_level")
+	hist := r.Histogram("hammer_seconds", []float64{0.25, 0.5, 0.75}, "k", "v")
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(2)
+	// Snapshot reader: monotonicity + histogram internal consistency.
+	go func() {
+		defer readers.Done()
+		var lastCtr, lastHist int64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			snap := r.Snapshot()
+			c := snap.CounterValue("hammer_total")
+			if c < lastCtr {
+				t.Errorf("counter went backwards: %d -> %d", lastCtr, c)
+				return
+			}
+			lastCtr = c
+			if hs, ok := snap.HistogramValue("hammer_seconds", "k", "v"); ok {
+				if hs.Count < lastHist {
+					t.Errorf("histogram count went backwards: %d -> %d", lastHist, hs.Count)
+					return
+				}
+				lastHist = hs.Count
+				var total int64
+				for _, n := range hs.Counts {
+					total += n
+				}
+				if total < hs.Count {
+					t.Errorf("torn histogram snapshot: bucket total %d < count %d", total, hs.Count)
+					return
+				}
+			}
+		}
+	}()
+	// Exposition reader: rendering while series are minted must not race.
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				r.WritePrometheus(io.Discard)
+			}
+		}
+	}()
+
+	var writersWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writersWG.Add(1)
+		go func(w int) {
+			defer writersWG.Done()
+			// Each writer also keeps re-looking-up a labeled series, so
+			// registration races with reads and with other registrations.
+			lbl := []string{"writer", string(rune('a' + w))}
+			for i := 0; i < iters; i++ {
+				ctr.Inc()
+				gauge.Add(1)
+				hist.Observe(float64(i%4+1) / 4.0)
+				r.Counter("hammer_labeled_total", lbl...).Inc()
+				gauge.Add(-1)
+			}
+		}(w)
+	}
+	writersWG.Wait()
+	close(stop)
+	readers.Wait()
+
+	snap := r.Snapshot()
+	if got := snap.CounterValue("hammer_total"); got != writers*iters {
+		t.Errorf("counter = %d, want %d", got, writers*iters)
+	}
+	if got := snap.GaugeValue("hammer_level"); got != 0 {
+		t.Errorf("gauge = %d, want 0", got)
+	}
+	hs, ok := snap.HistogramValue("hammer_seconds", "k", "v")
+	if !ok || hs.Count != writers*iters {
+		t.Fatalf("histogram count = %d ok=%v, want %d", hs.Count, ok, writers*iters)
+	}
+	var total int64
+	for _, n := range hs.Counts {
+		total += n
+	}
+	if total != writers*iters {
+		t.Errorf("bucket total = %d, want %d", total, writers*iters)
+	}
+	// Observations cycle .25, .5, .75, 1 with inclusive bounds
+	// {.25, .5, .75}: exactly a quarter of them overflow.
+	if over := hs.Counts[len(hs.Counts)-1]; over != writers*iters/4 {
+		t.Errorf("overflow bucket = %d, want %d", over, writers*iters/4)
+	}
+	for w := 0; w < writers; w++ {
+		lbl := []string{"writer", string(rune('a' + w))}
+		if got := snap.CounterValue("hammer_labeled_total", lbl...); got != iters {
+			t.Errorf("labeled counter %d = %d, want %d", w, got, iters)
+		}
+	}
+}

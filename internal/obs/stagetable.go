@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"graphsig/internal/textchart"
+)
+
+// pipelineOrder fixes the display order of the known mining stages so
+// the -stats table reads top-to-bottom in execution order. Unknown
+// stages (future additions) sort after these, alphabetically. The list
+// is duplicated from runctl by name only: obs cannot import runctl
+// (runctl records into obs), and a stale entry here degrades to
+// alphabetical placement, never to data loss.
+var pipelineOrder = map[string]int{
+	"features":   0,
+	"rwr":        1,
+	"fvmine":     2,
+	"group":      3,
+	"group-mine": 4,
+	"verify":     5,
+}
+
+// WriteStageTable renders the per-stage mining metrics in snap as an
+// aligned table: spans started/completed/degraded, work units, total
+// wall time, and the p50/p95 latency estimates. Stages are discovered
+// from the snapshot's stage labels, so the table needs no knowledge of
+// the pipeline beyond the metric naming scheme.
+func WriteStageTable(w io.Writer, snap Snapshot) {
+	stages := snap.LabelValues(MStageStarted, "stage")
+	if len(stages) == 0 {
+		fmt.Fprintln(w, "no stage metrics recorded")
+		return
+	}
+	sort.Slice(stages, func(i, j int) bool {
+		oi, iok := pipelineOrder[stages[i]]
+		oj, jok := pipelineOrder[stages[j]]
+		switch {
+		case iok && jok:
+			return oi < oj
+		case iok:
+			return true
+		case jok:
+			return false
+		}
+		return stages[i] < stages[j]
+	})
+	rows := make([][]string, 0, len(stages))
+	for _, st := range stages {
+		row := []string{
+			st,
+			fmt.Sprintf("%d", snap.CounterValue(MStageStarted, "stage", st)),
+			fmt.Sprintf("%d", snap.CounterValue(MStageCompleted, "stage", st)),
+			fmt.Sprintf("%d", snap.CounterValue(MStageDegraded, "stage", st)),
+			fmt.Sprintf("%d", snap.CounterValue(MStageUnits, "stage", st)),
+			"-", "-", "-",
+		}
+		if h, ok := snap.HistogramValue(MStageDuration, "stage", st); ok && h.Count > 0 {
+			row[5] = formatSeconds(h.Sum)
+			row[6] = formatSeconds(h.Quantile(0.5))
+			row[7] = formatSeconds(h.Quantile(0.95))
+		}
+		rows = append(rows, row)
+	}
+	textchart.Table(w, "per-stage mining metrics",
+		[]string{"stage", "started", "completed", "degraded", "units", "time", "p50", "p95"}, rows)
+}
+
+// formatSeconds renders a duration in seconds compactly (1.234s, 56ms).
+func formatSeconds(s float64) string {
+	d := time.Duration(s * float64(time.Second))
+	switch {
+	case d >= time.Second:
+		return d.Round(10 * time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(time.Millisecond).String()
+	}
+	return d.Round(time.Microsecond).String()
+}

@@ -31,6 +31,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"graphsig/internal/obs"
 )
 
 // Reason classifies why a run was cut short.
@@ -53,6 +55,9 @@ const (
 type Stage string
 
 const (
+	// StageFeatures is the feature-set construction over the database
+	// (§II-B: top atoms plus their pairwise edge types).
+	StageFeatures Stage = "features"
 	// StageRWR is the region-to-vector transform (Alg 2 lines 3-4).
 	StageRWR Stage = "rwr"
 	// StageFVMine is closed sub-feature-vector mining (Alg 1).
@@ -63,6 +68,9 @@ const (
 	StageFSG Stage = "fsg"
 	// StageLEAP is discriminative pattern mining.
 	StageLEAP Stage = "leap"
+	// StageGroup is GraphSig's region-grouping phase: cutting the
+	// radius-bounded windows around each vector's supporting nodes.
+	StageGroup Stage = "group"
 	// StageGroupMine is GraphSig's per-group maximal FSM phase.
 	StageGroupMine Stage = "group-mine"
 	// StageVF2 is (sub)graph isomorphism search.
@@ -107,6 +115,11 @@ type Options struct {
 	// at every amortized checkpoint with the 1-based checkpoint ordinal
 	// and trips cancellation by returning true.
 	Hook func(check int64) bool
+	// Metrics, when non-nil, receives the run's operational metrics:
+	// per-stage span counters and duration histograms (StartStage), the
+	// exactly-once degradation counter, and the isolated-panic counter.
+	// Nil disables metering with no per-step cost.
+	Metrics *obs.Registry
 }
 
 // StopError is the structured cause a checkpoint returns once the run
@@ -158,10 +171,10 @@ type StageReport struct {
 // stopped first and why, plus per-stage reports of what completed.
 // Truncated false means the result is complete.
 type Degradation struct {
-	Truncated bool   `json:"truncated"`
-	Reason    Reason `json:"reason,omitempty"`
-	Stage     Stage  `json:"stage,omitempty"`
-	Detail    string `json:"detail,omitempty"`
+	Truncated bool          `json:"truncated"`
+	Reason    Reason        `json:"reason,omitempty"`
+	Stage     Stage         `json:"stage,omitempty"`
+	Detail    string        `json:"detail,omitempty"`
 	Stages    []StageReport `json:"stages,omitempty"`
 }
 
@@ -208,6 +221,7 @@ type Controller struct {
 	budgets  Budgets
 	interval int64
 	hook     func(int64) bool
+	metrics  *obs.Registry
 
 	checks atomic.Int64
 	cause  atomic.Pointer[StopError]
@@ -236,7 +250,17 @@ func New(opt Options) *Controller {
 		budgets:  opt.Budgets,
 		interval: interval,
 		hook:     opt.Hook,
+		metrics:  opt.Metrics,
 	}
+}
+
+// Metrics returns the controller's metrics registry (nil when the run
+// is unmetered, including for a nil controller).
+func (c *Controller) Metrics() *obs.Registry {
+	if c == nil {
+		return nil
+	}
+	return c.metrics
 }
 
 // FromDeadline adapts the legacy Deadline time.Time option: it returns
@@ -274,9 +298,13 @@ func (c *Controller) Context() context.Context {
 
 // fail records the first stop cause; later causes are dropped and the
 // winner returned, so every checkpoint reports one consistent error.
+// The CAS winner — and only the winner — counts the degradation event,
+// so MDegradations increments exactly once per cut-short run no matter
+// how many goroutines observe the trip.
 func (c *Controller) fail(stage Stage, reason Reason, detail string) *StopError {
 	e := &StopError{Stage: stage, Reason: reason, Detail: detail}
 	if c.cause.CompareAndSwap(nil, e) {
+		c.metrics.Counter(obs.MDegradations, "reason", string(reason)).Inc()
 		return e
 	}
 	return c.cause.Load()
@@ -334,6 +362,7 @@ func (c *Controller) Recovered(stage Stage, what string, r any) {
 	if c == nil {
 		return
 	}
+	c.metrics.Counter(obs.MPanics, "stage", string(stage)).Inc()
 	stack := debug.Stack()
 	if len(stack) > maxPanicStack {
 		stack = stack[:maxPanicStack]

@@ -1,0 +1,302 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"graphsig/internal/chem"
+	"graphsig/internal/jobs"
+	"graphsig/internal/obs"
+)
+
+// metricsServer is like testServer but keeps the *Server so tests can
+// reach the registry directly when cross-checking the scraped values.
+func metricsServer(t *testing.T) (*httptest.Server, *Server) {
+	t.Helper()
+	d := chem.GenerateN(chem.AIDSSpec(), 120)
+	s := New(d.Graphs)
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(srv.Close)
+	return srv, s
+}
+
+// scrapeProm GETs /metrics and parses the Prometheus text format into
+// a series→value map, verifying the content type and TYPE lines along
+// the way.
+func scrapeProm(t *testing.T, base string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != obs.PrometheusContentType {
+		t.Errorf("content type = %q, want %q", ct, obs.PrometheusContentType)
+	}
+	out := map[string]float64{}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if !strings.HasPrefix(line, "# TYPE ") {
+				t.Errorf("unexpected comment line %q", line)
+			}
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("unparseable metrics line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			t.Fatalf("bad value in line %q: %v", line, err)
+		}
+		out[line[:sp]] = v
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// scrapeVars GETs /debug/vars and decodes the JSON snapshot.
+func scrapeVars(t *testing.T, base string) obs.Snapshot {
+	t.Helper()
+	resp, err := http.Get(base + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/vars = %d", resp.StatusCode)
+	}
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+// mineStages are the six pipeline stages every full mine must report.
+var mineStages = []string{"features", "rwr", "fvmine", "group", "group-mine", "verify"}
+
+// TestMetricsEndpoints drives a full /jobs/mine round trip and checks
+// that both exposition formats move in lockstep: all six mining stages
+// report balanced span counts, the jobs cache books a miss then a hit,
+// and the HTTP layer records the requests it served.
+func TestMetricsEndpoints(t *testing.T) {
+	srv, s := metricsServer(t)
+
+	before := scrapeVars(t, srv.URL)
+	for _, st := range mineStages {
+		if got := before.CounterValue(obs.MStageStarted, "stage", st); got != 0 {
+			t.Errorf("stage %s started %d spans before any mine", st, got)
+		}
+	}
+	if len(scrapeProm(t, srv.URL)) == 0 {
+		t.Fatal("empty /metrics before mining; want at least the db gauge")
+	}
+
+	// Round trip one async mine: submit, then poll to completion.
+	body := map[string]any{"radius": 3, "timeoutMs": 60000}
+	var sub jobSubmitResponse
+	if code := postJSON(t, srv.URL+"/jobs/mine", body, &sub); code != http.StatusAccepted {
+		t.Fatalf("POST /jobs/mine = %d", code)
+	}
+	if sub.Cached || sub.Coalesced {
+		t.Fatalf("first submit reported cached=%v coalesced=%v", sub.Cached, sub.Coalesced)
+	}
+	waitForJob(t, srv.URL, sub.ID)
+	// The finished job's result enters the cache just after the state
+	// flips; wait for the cache gauge so the cached-path assertions
+	// below cannot race the tail of the run.
+	waitForGauge(t, srv.URL, obs.MJobsCacheSize, 1)
+
+	snap := scrapeVars(t, srv.URL)
+	prom := scrapeProm(t, srv.URL)
+	for _, st := range mineStages {
+		started := snap.CounterValue(obs.MStageStarted, "stage", st)
+		completed := snap.CounterValue(obs.MStageCompleted, "stage", st)
+		degraded := snap.CounterValue(obs.MStageDegraded, "stage", st)
+		if started < 1 {
+			t.Errorf("stage %s never started", st)
+		}
+		if started != completed+degraded {
+			t.Errorf("stage %s unbalanced: started %d != completed %d + degraded %d",
+				st, started, completed, degraded)
+		}
+		hs, ok := snap.HistogramValue(obs.MStageDuration, "stage", st)
+		if !ok || hs.Count != started {
+			t.Errorf("stage %s duration histogram count = %d, want %d", st, hs.Count, started)
+		}
+		// The same series through the other format must agree.
+		promName := obs.SeriesName(obs.MStageStarted, "stage", st)
+		if int64(prom[promName]) != started {
+			t.Errorf("%s: prom %v != vars %d", promName, prom[promName], started)
+		}
+	}
+	if got := snap.CounterValue(obs.MJobsExecutions); got != 1 {
+		t.Errorf("executions = %d, want 1", got)
+	}
+	if got := snap.CounterValue(obs.MJobsCacheMisses); got != 1 {
+		t.Errorf("cache misses = %d, want 1", got)
+	}
+	if got := snap.CounterValue(obs.MJobsCacheHits); got != 0 {
+		t.Errorf("cache hits = %d, want 0", got)
+	}
+	if got := snap.CounterValue(obs.MJobsFinished, "state", string(jobs.StateDone)); got != 1 {
+		t.Errorf("finished{done} = %d, want 1", got)
+	}
+	if got := snap.GaugeValue(obs.MJobsWorkers); got < 1 {
+		t.Errorf("workers gauge = %d", got)
+	}
+	if got := snap.GaugeValue(obs.MDBGraphs); got != 120 {
+		t.Errorf("db graphs gauge = %d, want 120", got)
+	}
+	if hs, ok := snap.HistogramValue(obs.MJobsRunSeconds); !ok || hs.Count != 1 {
+		t.Errorf("run-seconds histogram count != 1 (ok=%v)", ok)
+	}
+
+	// An identical resubmit must come back cached — and book a cache
+	// hit, not a miss, with no new execution.
+	var sub2 jobSubmitResponse
+	if code := postJSON(t, srv.URL+"/jobs/mine", body, &sub2); code != http.StatusAccepted {
+		t.Fatalf("second POST /jobs/mine = %d", code)
+	}
+	if !sub2.Cached {
+		t.Fatal("second identical submit was not cached")
+	}
+	after := scrapeVars(t, srv.URL)
+	if got := after.CounterValue(obs.MJobsCacheHits); got != 1 {
+		t.Errorf("cache hits after cached submit = %d, want 1", got)
+	}
+	if got := after.CounterValue(obs.MJobsCacheMisses); got != 1 {
+		t.Errorf("cache misses after cached submit = %d, want 1 (unchanged)", got)
+	}
+	if got := after.CounterValue(obs.MJobsExecutions); got != 1 {
+		t.Errorf("executions after cached submit = %d, want 1 (unchanged)", got)
+	}
+
+	// The HTTP layer itself: both submits were recorded with their
+	// final status under the normalized route, and scraping /metrics is
+	// itself metered.
+	if got := after.CounterValue(obs.MHTTPRequests, "route", "POST /jobs/mine", "code", "202"); got != 2 {
+		t.Errorf(`http requests {POST /jobs/mine, 202} = %d, want 2`, got)
+	}
+	if got := after.CounterValue(obs.MHTTPRequests, "route", "GET /metrics", "code", "200"); got < 1 {
+		t.Errorf("http requests {GET /metrics, 200} = %d, want >= 1", got)
+	}
+	if hs, ok := after.HistogramValue(obs.MHTTPDuration, "route", "POST /jobs/mine"); !ok || hs.Count != 2 {
+		t.Errorf("http duration {POST /jobs/mine} count = %d, want 2 (ok=%v)", hs.Count, ok)
+	}
+	// This snapshot was taken from inside a live /debug/vars request.
+	if got := after.GaugeValue(obs.MHTTPInFlight); got < 1 {
+		t.Errorf("in-flight gauge from inside a request = %d, want >= 1", got)
+	}
+
+	// The registry the handlers serve is the server's own.
+	if got := s.Metrics.Snapshot().CounterValue(obs.MJobsExecutions); got != 1 {
+		t.Errorf("server registry executions = %d, want 1", got)
+	}
+}
+
+func waitForJob(t *testing.T, base, id string) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st jobStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == jobs.StateDone {
+			return
+		}
+		if st.State == jobs.StateFailed || st.State == jobs.StateCanceled {
+			t.Fatalf("job %s ended %s: %s", id, st.State, st.Error)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish", id)
+}
+
+func waitForGauge(t *testing.T, base, name string, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if scrapeVars(t, base).GaugeValue(name) == want {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("gauge %s never reached %d", name, want)
+}
+
+// TestPprofGating: the profiling tree is absent by default and mounted
+// by EnablePprof.
+func TestPprofGating(t *testing.T) {
+	srv, _ := metricsServer(t)
+	resp, err := http.Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof without flag = %d, want 404", resp.StatusCode)
+	}
+
+	d := chem.GenerateN(chem.AIDSSpec(), 10)
+	s := New(d.Graphs)
+	s.EnablePprof = true
+	srv2 := httptest.NewServer(s.Handler())
+	defer srv2.Close()
+	resp2, err := http.Get(srv2.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Errorf("pprof with flag = %d, want 200", resp2.StatusCode)
+	}
+}
+
+// TestNormalizeRoute pins the closed route-label set.
+func TestNormalizeRoute(t *testing.T) {
+	cases := []struct {
+		method, path, want string
+	}{
+		{"POST", "/mine", "POST /mine"},
+		{"GET", "/metrics", "GET /metrics"},
+		{"GET", "/debug/vars", "GET /debug/vars"},
+		{"POST", "/jobs/mine", "POST /jobs/mine"},
+		{"GET", "/jobs", "GET /jobs"},
+		{"GET", "/jobs/j-123", "GET /jobs/{id}"},
+		{"DELETE", "/jobs/whatever", "DELETE /jobs/{id}"},
+		{"GET", "/debug/pprof/heap", "GET /debug/pprof"},
+		{"GET", "/nonexistent", "other"},
+		{"GET", "/jobs/a/b/c", "GET /jobs/{id}"},
+	}
+	for _, tc := range cases {
+		if got := normalizeRoute(tc.method, tc.path); got != tc.want {
+			t.Errorf("normalizeRoute(%s, %s) = %q, want %q", tc.method, tc.path, got, tc.want)
+		}
+	}
+}

@@ -1,10 +1,82 @@
 package server
 
 import (
+	"fmt"
 	"log"
 	"net/http"
 	"runtime/debug"
+	"strings"
+	"time"
+
+	"graphsig/internal/obs"
 )
+
+// instrumentHTTP records every request into the registry: a running
+// in-flight gauge, a per-route/status request counter, and a per-route
+// latency histogram. It wraps the whole middleware stack so rejections
+// produced inside it (503 from the concurrency limit, 500 from panic
+// recovery) are booked with the status the client actually saw. Routes
+// are normalized to a closed set before becoming label values, so
+// request paths can never mint unbounded series.
+func instrumentHTTP(reg *obs.Registry, next http.Handler) http.Handler {
+	if reg == nil {
+		return next
+	}
+	inFlight := reg.Gauge(obs.MHTTPInFlight)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		route := normalizeRoute(r.Method, r.URL.Path)
+		inFlight.Add(1)
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		defer func() {
+			inFlight.Add(-1)
+			reg.Histogram(obs.MHTTPDuration, obs.DefBuckets, "route", route).
+				ObserveDuration(time.Since(start))
+			reg.Counter(obs.MHTTPRequests, "route", route, "code", fmt.Sprintf("%d", rec.status)).Inc()
+		}()
+		next.ServeHTTP(rec, r)
+	})
+}
+
+// statusRecorder captures the status code written by the handler chain
+// (200 if the handler never calls WriteHeader explicitly).
+type statusRecorder struct {
+	http.ResponseWriter
+	status      int
+	wroteHeader bool
+}
+
+func (s *statusRecorder) WriteHeader(code int) {
+	if !s.wroteHeader {
+		s.status = code
+		s.wroteHeader = true
+	}
+	s.ResponseWriter.WriteHeader(code)
+}
+
+func (s *statusRecorder) Write(b []byte) (int, error) {
+	s.wroteHeader = true
+	return s.ResponseWriter.Write(b)
+}
+
+// normalizeRoute maps a request onto the closed route-label set. Known
+// endpoints keep their pattern (job ids collapse to /jobs/{id}), the
+// pprof tree collapses to one label, and everything else — including
+// 404 probes — becomes "other".
+func normalizeRoute(method, path string) string {
+	switch path {
+	case "/healthz", "/stats", "/mine", "/query", "/significance",
+		"/metrics", "/debug/vars", "/jobs/mine", "/jobs":
+		return method + " " + path
+	}
+	if strings.HasPrefix(path, "/debug/pprof") {
+		return method + " /debug/pprof"
+	}
+	if strings.HasPrefix(path, "/jobs/") {
+		return method + " /jobs/{id}"
+	}
+	return "other"
+}
 
 // recoverPanics converts a handler panic into a 500 instead of killing
 // the serving goroutine's connection without a response (and, for

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"sync"
 	"time"
 
@@ -35,6 +36,7 @@ import (
 	"graphsig/internal/gindex"
 	"graphsig/internal/graph"
 	"graphsig/internal/jobs"
+	"graphsig/internal/obs"
 	"graphsig/internal/runctl"
 	"graphsig/internal/rwr"
 )
@@ -79,6 +81,16 @@ type Server struct {
 	// Logf receives operational log lines (degraded mines, panics);
 	// log.Printf when nil.
 	Logf func(format string, args ...any)
+	// Metrics is the server's observability registry, served at
+	// GET /metrics (Prometheus text) and GET /debug/vars (JSON) and
+	// shared with the jobs subsystem and every per-job mining
+	// controller. New() installs a fresh registry; replace it before
+	// the first request or Jobs() call, or set nil to disable.
+	Metrics *obs.Registry
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
+	// default: profiling endpoints expose stacks and timings, so they
+	// are opt-in (cmd/serve -pprof).
+	EnablePprof bool
 
 	mu    sync.Mutex
 	index *gindex.Index // built lazily on the first /query
@@ -97,7 +109,7 @@ type Server struct {
 // New creates a server over db. Node labels must follow the standard
 // chemistry alphabet (datagen output or SMILES input qualify).
 func New(db []*graph.Graph) *Server {
-	return &Server{
+	s := &Server{
 		db:             db,
 		alpha:          chem.Alphabet(),
 		vecCfg:         core.Defaults(),
@@ -105,7 +117,10 @@ func New(db []*graph.Graph) *Server {
 		MaxBodyBytes:   DefaultMaxBodyBytes,
 		MineTimeout:    DefaultMineTimeout,
 		MineTimeoutCap: DefaultMineTimeoutCap,
+		Metrics:        obs.NewRegistry(),
 	}
+	s.Metrics.Gauge(obs.MDBGraphs).Set(int64(len(db)))
+	return s
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -117,8 +132,9 @@ func (s *Server) logf(format string, args ...any) {
 }
 
 // Handler returns the HTTP handler: the endpoint mux behind the
-// hardening middleware (panic recovery outermost, then the concurrency
-// limit, then the request-body cap).
+// hardening middleware, all behind the HTTP metrics wrapper —
+// instrumentation is outermost so 503s from the concurrency limit and
+// 500s from recovered panics are recorded with their final status.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -133,7 +149,31 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs", s.handleJobList)
 	mux.HandleFunc("GET /jobs/{id}", s.handleJobGet)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleJobCancel)
-	return recoverPanics(limitConcurrency(s.MaxConcurrent, capRequestBody(s.MaxBodyBytes, mux)))
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/vars", s.handleDebugVars)
+	if s.EnablePprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+	return instrumentHTTP(s.Metrics,
+		recoverPanics(limitConcurrency(s.MaxConcurrent, capRequestBody(s.MaxBodyBytes, mux))))
+}
+
+// handleMetrics serves the registry in Prometheus text exposition
+// format: counters, gauges, and cumulative histogram buckets for every
+// live series, deterministically ordered.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", obs.PrometheusContentType)
+	s.Metrics.WritePrometheus(w)
+}
+
+// handleDebugVars serves a JSON snapshot of the same registry —
+// expvar-style, but scoped to graphsig's own series.
+func (s *Server) handleDebugVars(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics.Snapshot())
 }
 
 type statsResponse struct {
@@ -233,6 +273,7 @@ func (s *Server) Jobs() *jobs.Manager {
 			Budgets:    s.MineBudgets,
 			Exec:       s.mineFn,
 			Logf:       s.Logf,
+			Metrics:    s.Metrics,
 		})
 	})
 	return s.jobsMgr

@@ -1,7 +1,9 @@
-// Package textchart renders small scatter/line charts as text, so that
-// cmd/experiments can draw the paper's figures (runtime-vs-threshold
-// curves, the p-value/frequency scatter) directly in the terminal.
-// Rendering is deterministic: fixed input produces identical output.
+// Package textchart renders small scatter/line charts and aligned
+// tables as text, so that cmd/experiments can draw the paper's figures
+// (runtime-vs-threshold curves, the p-value/frequency scatter) and the
+// mining commands can print per-stage metric tables directly in the
+// terminal. Rendering is deterministic: fixed input produces identical
+// output.
 package textchart
 
 import (
@@ -113,6 +115,57 @@ func Render(w io.Writer, title string, series []Series, opt Options) {
 		fmt.Fprintf(w, "  x: %s   y: %s   (^ = DNF)\n", opt.XLabel, opt.YLabel)
 	}
 	fmt.Fprintf(w, "  %s\n", strings.Join(legend, "  "))
+}
+
+// Table renders rows as an aligned text table under a title. The first
+// column is left-aligned (row labels); every other column is
+// right-aligned (numbers). Rows shorter than the header are padded with
+// empty cells; longer rows are truncated to the header width.
+func Table(w io.Writer, title string, headers []string, rows [][]string) {
+	if len(headers) == 0 {
+		return
+	}
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	cells := make([][]string, len(rows))
+	for r, row := range rows {
+		cells[r] = make([]string, len(headers))
+		for c := range headers {
+			if c < len(row) {
+				cells[r][c] = row[c]
+			}
+			if len(cells[r][c]) > widths[c] {
+				widths[c] = len(cells[r][c])
+			}
+		}
+	}
+	if title != "" {
+		fmt.Fprintf(w, "%s\n", title)
+	}
+	writeRow := func(row []string) {
+		for c, cell := range row {
+			if c > 0 {
+				fmt.Fprint(w, "  ")
+			}
+			if c == 0 {
+				fmt.Fprintf(w, "%-*s", widths[c], cell)
+			} else {
+				fmt.Fprintf(w, "%*s", widths[c], cell)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	writeRow(headers)
+	total := 0
+	for _, wd := range widths {
+		total += wd
+	}
+	fmt.Fprintln(w, strings.Repeat("-", total+2*(len(headers)-1)))
+	for _, row := range cells {
+		writeRow(row)
+	}
 }
 
 // collect gathers transformed coordinates; DNF points contribute X only.

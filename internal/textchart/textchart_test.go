@@ -96,3 +96,49 @@ func TestNonpositiveOnLogScale(t *testing.T) {
 		t.Error("no output")
 	}
 }
+
+func TestTableAlignment(t *testing.T) {
+	var b strings.Builder
+	Table(&b, "t", []string{"stage", "n", "time"}, [][]string{
+		{"rwr", "12", "1.5s"},
+		{"group-mine", "3"},                // short row: padded
+		{"verify", "100", "20ms", "extra"}, // long row: truncated
+	})
+	out := b.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 { // title, header, rule, 3 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if lines[0] != "t" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "stage") {
+		t.Errorf("header = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "---") {
+		t.Errorf("rule = %q", lines[2])
+	}
+	// All rows share one width, so columns align.
+	for _, ln := range lines[3:] {
+		if len(ln) > len(lines[2]) {
+			t.Errorf("row wider than rule: %q", ln)
+		}
+	}
+	if strings.Contains(out, "extra") {
+		t.Error("over-wide row not truncated to the header width")
+	}
+	// Numbers right-aligned: "12" and "3" end at the same column.
+	r1 := strings.Index(lines[3], "12")
+	r2 := strings.Index(lines[4], " 3")
+	if r1 < 0 || r2 < 0 || r1+2 != r2+2 && lines[3][r1+1] != lines[4][r2+1] {
+		t.Errorf("numeric column misaligned:\n%s", out)
+	}
+}
+
+func TestTableEmptyHeaders(t *testing.T) {
+	var b strings.Builder
+	Table(&b, "t", nil, [][]string{{"x"}})
+	if b.Len() != 0 {
+		t.Errorf("headerless table rendered %q", b.String())
+	}
+}
