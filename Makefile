@@ -1,6 +1,6 @@
 # Standard entry points. Everything is plain `go` underneath.
 
-.PHONY: all build test vet lint fuzz bench bench-json race experiments datasets examples clean
+.PHONY: all build test vet lint fuzz bench bench-json bench-smoke race experiments datasets examples clean
 
 all: build vet lint test
 
@@ -38,7 +38,14 @@ bench:
 # Machine-readable per-stage mining profile (the Fig-10 workload read
 # through the obs registry) for CI trend tracking.
 bench-json:
-	go run ./cmd/benchjson -out BENCH_graphsig.json
+	go run ./cmd/benchjson -runs 3 -out BENCH_graphsig.json
+
+# Same workload as bench-json, gated: fails when a fresh run is more
+# than 2x slower per run than the committed baseline. CI runs this
+# non-blocking; refresh the baseline with `make bench-json` after
+# intentional performance changes.
+bench-smoke:
+	go run ./cmd/benchjson -runs 1 -out - -baseline BENCH_graphsig.json -max-regression 2
 
 # Regenerate every paper table/figure (writes CSVs into ./csv).
 experiments:
@@ -57,5 +64,7 @@ examples:
 	go run ./examples/graphsearch
 	go run ./examples/generalgraphs
 
+# BENCH_graphsig.json is a committed baseline, not a build artifact;
+# clean leaves it alone.
 clean:
-	rm -rf data csv BENCH_graphsig.json
+	rm -rf data csv

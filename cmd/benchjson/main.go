@@ -7,6 +7,11 @@
 //
 //	benchjson -n 120 -runs 3 -out BENCH_graphsig.json
 //
+// With -baseline it compares the fresh elapsed time against a committed
+// baseline file and exits non-zero on regression beyond -max-regression
+// (`make bench-smoke`). The comparison is skipped, with a log line, when
+// the baseline was recorded for a different dataset shape.
+//
 // The emitted stages are the same series /metrics serves, read through
 // the same snapshot API, so benchmark numbers and production telemetry
 // can never disagree about what was measured.
@@ -17,6 +22,7 @@ import (
 	"flag"
 	"log"
 	"os"
+	"runtime"
 	"time"
 
 	"graphsig/internal/chem"
@@ -40,8 +46,13 @@ type benchJSON struct {
 	Graphs        int                  `json:"graphs"`
 	Runs          int                  `json:"runs"`
 	Radius        int                  `json:"radius"`
+	Parallelism   int                  `json:"parallelism"`
 	ElapsedSec    float64              `json:"elapsedSeconds"`
 	Patterns      int                  `json:"patterns"`
+	WindowHits    int64                `json:"windowCacheHits"`
+	WindowMisses  int64                `json:"windowCacheMisses"`
+	PrefilterHit  int64                `json:"prefilterRejects"`
+	PrefilterMiss int64                `json:"prefilterPasses"`
 	Stages        map[string]stageJSON `json:"stages"`
 	StageOrder    []string             `json:"stageOrder"`
 	GeneratedUnix int64                `json:"generatedUnix"`
@@ -54,8 +65,11 @@ func main() {
 	n := flag.Int("n", 120, "molecules in the generated MOLT-4 slice")
 	runs := flag.Int("runs", 1, "full mining runs to accumulate")
 	radius := flag.Int("radius", 3, "cutoff radius")
+	parallelism := flag.Int("parallelism", 0, "Config.Parallelism (0 = GOMAXPROCS)")
 	verify := flag.Bool("verify", false, "include graph-space support verification")
 	out := flag.String("out", "BENCH_graphsig.json", "output file (- for stdout)")
+	baseline := flag.String("baseline", "", "committed baseline JSON to compare against (empty = no comparison)")
+	maxRegression := flag.Float64("max-regression", 2.0, "fail when elapsed exceeds this multiple of the baseline")
 	flag.Parse()
 
 	spec := chem.CancerSpecs()[1] // MOLT-4, the Fig-10 screen
@@ -64,6 +78,7 @@ func main() {
 	cfg := core.Defaults()
 	cfg.CutoffRadius = *radius
 	cfg.SkipVerify = !*verify
+	cfg.Parallelism = *parallelism
 	reg := obs.NewRegistry()
 	cfg.Metrics = reg
 
@@ -78,14 +93,23 @@ func main() {
 	}
 	elapsed := time.Since(t0)
 
+	effParallel := *parallelism
+	if effParallel <= 0 {
+		effParallel = runtime.GOMAXPROCS(0)
+	}
 	snap := reg.Snapshot()
 	result := benchJSON{
 		Dataset:       spec.Name,
 		Graphs:        len(db),
 		Runs:          *runs,
 		Radius:        *radius,
+		Parallelism:   effParallel,
 		ElapsedSec:    elapsed.Seconds(),
 		Patterns:      patterns,
+		WindowHits:    snap.CounterValue(obs.MWindowCacheHits),
+		WindowMisses:  snap.CounterValue(obs.MWindowCacheMisses),
+		PrefilterHit:  sumSites(snap, obs.MPrefilterRejects),
+		PrefilterMiss: sumSites(snap, obs.MPrefilterPasses),
 		Stages:        map[string]stageJSON{},
 		StageOrder:    snap.LabelValues(obs.MStageStarted, "stage"),
 		GeneratedUnix: t0.Unix(),
@@ -110,11 +134,55 @@ func main() {
 	data = append(data, '\n')
 	if *out == "-" {
 		os.Stdout.Write(data)
+	} else {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("mined %d patterns over %d graphs ×%d in %s; wrote %s",
+			patterns, len(db), *runs, elapsed.Round(time.Millisecond), *out)
+	}
+
+	if *baseline != "" {
+		checkRegression(*baseline, result, *maxRegression)
+	}
+}
+
+// sumSites totals a labelled counter across its "site" label values
+// (maximal-filter and verify prefilters report separately).
+func sumSites(snap obs.Snapshot, name string) int64 {
+	var total int64
+	for _, site := range snap.LabelValues(name, "site") {
+		total += snap.CounterValue(name, "site", site)
+	}
+	return total
+}
+
+// checkRegression exits non-zero when the fresh run is slower than
+// maxRegression × the committed baseline on the same workload shape.
+// Per-run seconds are compared so -runs need not match the baseline's.
+func checkRegression(path string, fresh benchJSON, maxRegression float64) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatalf("read baseline: %v", err)
+	}
+	var base benchJSON
+	if err := json.Unmarshal(data, &base); err != nil {
+		log.Fatalf("parse baseline %s: %v", path, err)
+	}
+	if base.Dataset != fresh.Dataset || base.Graphs != fresh.Graphs || base.Radius != fresh.Radius {
+		log.Printf("baseline %s was recorded for %s/%d graphs/radius %d, not %s/%d/%d; skipping regression check",
+			path, base.Dataset, base.Graphs, base.Radius, fresh.Dataset, fresh.Graphs, fresh.Radius)
 		return
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		log.Fatal(err)
+	if base.Runs < 1 || base.ElapsedSec <= 0 {
+		log.Printf("baseline %s has no usable timing; skipping regression check", path)
+		return
 	}
-	log.Printf("mined %d patterns over %d graphs ×%d in %s; wrote %s",
-		patterns, len(db), *runs, elapsed.Round(time.Millisecond), *out)
+	basePer := base.ElapsedSec / float64(base.Runs)
+	freshPer := fresh.ElapsedSec / float64(fresh.Runs)
+	ratio := freshPer / basePer
+	log.Printf("%.3fs/run vs baseline %.3fs/run (%.2fx, limit %.2fx)", freshPer, basePer, ratio, maxRegression)
+	if ratio > maxRegression {
+		log.Fatalf("performance regression: %.2fx exceeds the %.2fx limit", ratio, maxRegression)
+	}
 }

@@ -134,8 +134,12 @@ func main() {
 			log.Printf("... %d more (raise -top to see them)", len(res.Subgraphs)-i)
 			break
 		}
-		fmt.Printf("#%d  p=%.3g  support=%d (%.2f%%)  %d nodes / %d edges  [source %s]\n",
-			i+1, sg.VectorPValue, sg.Support, 100*sg.Frequency,
+		support := fmt.Sprintf("support=%d (%.2f%%)", sg.Support, 100*sg.Frequency)
+		if sg.Unverified {
+			support = "support=unverified"
+		}
+		fmt.Printf("#%d  p=%.3g  %s  %d nodes / %d edges  [source %s]\n",
+			i+1, sg.VectorPValue, support,
 			sg.Graph.NumNodes(), sg.Graph.NumEdges(), alphabet.Name(sg.SourceLabel))
 		printGraph(sg.Graph, alphabet)
 		if *dotDir != "" {

@@ -92,6 +92,7 @@ func All() []*Analyzer {
 		SafeGo,
 		CheckpointAnalyzer,
 		ErrWrap,
+		BoundedPool,
 	}
 }
 

@@ -203,6 +203,11 @@ func TestErrWrapGolden(t *testing.T) {
 	runGolden(t, ErrWrap, pkgs["errwrap"])
 }
 
+func TestBoundedPoolGolden(t *testing.T) {
+	pkgs := loadTestdata(t, "boundedpool")
+	runGolden(t, BoundedPool, pkgs["boundedpool"])
+}
+
 func TestByName(t *testing.T) {
 	got, err := ByName("maporder, errwrap")
 	if err != nil {

@@ -1,0 +1,114 @@
+// Package boundedpool is the golden corpus for the boundedpool
+// analyzer: goroutine fan-out over range loops, bounded and not.
+package boundedpool
+
+import "sync"
+
+type item struct{ id int }
+
+// unboundedFanOut spawns one goroutine per element with nothing
+// holding the spawn rate back.
+func unboundedFanOut(items []item) {
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func(it item) { // want "unbounded goroutine fan-out"
+			defer wg.Done()
+			_ = it.id
+		}(it)
+	}
+	wg.Wait()
+}
+
+// acquireInsideGoroutine blocks the *work*, not the spawn: every
+// goroutine is launched before any of them park on the semaphore, so
+// the goroutine count is still the input size.
+func acquireInsideGoroutine(items []item) {
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, 4)
+	for _, it := range items {
+		wg.Add(1)
+		go func(it item) { // want "unbounded goroutine fan-out"
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			_ = it.id
+		}(it)
+	}
+	wg.Wait()
+}
+
+// semaphorePool is the project convention: acquire before spawn, so at
+// most cap(sem) goroutines exist at once.
+func semaphorePool(items []item) {
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, 4)
+	for _, it := range items {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(it item) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			_ = it.id
+		}(it)
+	}
+	wg.Wait()
+}
+
+// workerPool spawns a fixed number of workers from a counted loop and
+// feeds them over a channel: bounded by construction, never flagged.
+func workerPool(items []item) {
+	var wg sync.WaitGroup
+	work := make(chan item)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := range work {
+				_ = it.id
+			}
+		}()
+	}
+	for _, it := range items {
+		work <- it
+	}
+	close(work)
+	wg.Wait()
+}
+
+// nestedScope: a range loop that only defines a function literal does
+// not spawn anything itself; the literal's own range loop is analyzed
+// independently and is bounded there.
+func nestedScope(groups [][]item) []func() {
+	var fns []func()
+	sem := make(chan struct{}, 2)
+	for _, g := range groups {
+		g := g
+		fns = append(fns, func() {
+			for _, it := range g {
+				sem <- struct{}{}
+				go func(it item) {
+					defer func() { <-sem }()
+					_ = it.id
+				}(it)
+			}
+		})
+	}
+	return fns
+}
+
+// suppressed shows the escape hatch for a fan-out that is known to be
+// small and latency-critical.
+func suppressed(items []item) {
+	done := make(chan struct{})
+	for _, it := range items {
+		//graphsiglint:ignore boundedpool spawn set is the fixed stage list, never input-sized
+		go func(it item) {
+			_ = it.id
+			done <- struct{}{}
+		}(it)
+	}
+	for range items {
+		<-done
+	}
+}

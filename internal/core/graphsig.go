@@ -84,6 +84,14 @@ type Config struct {
 	MaxGroupSize int
 	// MaxPatternEdges bounds mined pattern size (0 = unbounded).
 	MaxPatternEdges int
+	// Parallelism bounds worker fan-out in the parallel stages — RWR,
+	// per-label FVMine, Phase-3 group mining, and support verification
+	// (0 or negative = GOMAXPROCS). Results are identical at any
+	// setting; only wall-clock changes. A jobs server running several
+	// mines at once sets this to its per-job share so job-level times
+	// mine-level parallelism does not oversubscribe the host. Excluded
+	// from CacheKey: it is a runtime control, not part of the answer.
+	Parallelism int
 	// Deadline aborts the mine when exceeded (zero = none); the result
 	// is flagged Truncated with a Degradation report. Ignored when Ctl
 	// is set.
@@ -167,11 +175,18 @@ type Subgraph struct {
 	GroupSize int
 	// GroupSupport is the pattern's frequency within its group.
 	GroupSupport int
-	// Support is the verified graph-space support across the database
-	// (0 when SkipVerify).
+	// Support is the verified graph-space support across the database.
+	// Meaningful only when Unverified is false.
 	Support int
-	// Frequency is Support / |DB| (0 when SkipVerify).
+	// Frequency is Support / |DB|; meaningful only when Unverified is
+	// false.
 	Frequency float64
+	// Unverified reports that graph-space verification did not run for
+	// this pattern — SkipVerify was set, the verification stage was cut
+	// short (deadline, budget, cancellation), or a verify worker
+	// panicked. It distinguishes "support unknown" from a true support
+	// of zero.
+	Unverified bool
 }
 
 // Profile records where GraphSig's time went (Fig 10's three phases).
@@ -298,7 +313,7 @@ func computeVectors(db []*graph.Graph, fs *feature.Set, cfg Config, ctl *runctl.
 		if end > len(db) {
 			end = len(db)
 		}
-		vecs := rwr.DatabaseVectors(db[base:end], fs, rwr.Config{Alpha: cfg.Alpha, Bins: cfg.Bins})
+		vecs := rwr.DatabaseVectors(db[base:end], fs, rwr.Config{Alpha: cfg.Alpha, Bins: cfg.Bins, Workers: cfg.Parallelism})
 		for i := range vecs {
 			vecs[i].GraphID += base
 		}
@@ -335,7 +350,11 @@ func significantVectorGroups(vectors []rwr.NodeVector, cfg Config, ctl *runctl.C
 	perLabel := make([][]VectorGroup, len(labels))
 	var statesMined, labelsTrunc atomic.Int64
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	workers := cfg.Parallelism
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	sem := make(chan struct{}, workers)
 	spawned := 0
 	for li, label := range labels {
 		if ctl.Stopped() {
@@ -433,50 +452,33 @@ func Mine(db []*graph.Graph, cfg Config) Result {
 	res.VectorsMined = len(groups)
 	res.Profile.FeatureAnalysis = time.Since(t1)
 
-	// Phase 3: cut regions and run maximal FSM per group (lines 8-13).
-	// A panicking group miner is isolated into a per-group error; the
-	// remaining groups still mine.
+	// Phase 3: cut regions and run maximal FSM per group (lines 8-13),
+	// fanned out over a bounded worker pool. Groups are independent, so
+	// only wall-clock depends on cfg.Parallelism: outcomes are merged
+	// into `best` serially in group order, reproducing the serial
+	// iteration exactly. A panicking group worker is isolated into a
+	// per-group error; the remaining groups still mine.
 	t2 := time.Now()
+	outcomes, launched := mineGroups(db, groups, cfg, ctl)
+	if launched < len(groups) {
+		ctl.RecordStop(runctl.StageGroupMine, int64(launched), int64(len(groups)), "vector groups mined")
+	}
 	best := map[string]*Subgraph{}
-	groupsDone := 0
-	for _, grp := range groups {
-		if ctl.Stopped() {
-			ctl.RecordStop(runctl.StageGroupMine, int64(groupsDone), int64(len(groups)), "vector groups mined")
-			break
+	for gi := 0; gi < launched; gi++ {
+		o := &outcomes[gi]
+		grp := groups[gi]
+		if o.mined {
+			res.GroupsMined++
 		}
-		groupsDone++
-		groupSpan := ctl.StartStage(runctl.StageGroup)
-		nodes := grp.Nodes
-		if cfg.MaxGroupSize > 0 && len(nodes) > cfg.MaxGroupSize {
-			nodes = subsample(nodes, cfg.MaxGroupSize)
-		}
-		windows := make([]*graph.Graph, len(nodes))
-		for i, nv := range nodes {
-			windows[i] = db[nv.GraphID].CutGraph(nv.NodeID, cfg.CutoffRadius)
-		}
-		groupSpan.End(int64(len(windows)))
-		minSup := int(math.Ceil(cfg.FSMFreqPct / 100 * float64(len(windows))))
-		if minSup < 2 {
-			minSup = 2
-		}
-		if len(windows) < minSup {
-			res.GroupsPruned++
-			continue
-		}
-		res.GroupsMined++
-		fsmSpan := ctl.StartStage(runctl.StageGroupMine)
-		maximal, panicked := mineMaximalIsolated(windows, minSup, cfg, ctl, grp.Label)
-		if panicked {
-			fsmSpan.Fail(runctl.ReasonPanic, 0)
+		if o.panicked {
 			res.GroupErrors++
 			continue
 		}
-		fsmSpan.End(int64(len(maximal)))
-		if len(maximal) == 0 {
+		if o.pruned {
 			res.GroupsPruned++
 			continue
 		}
-		for _, p := range maximal {
+		for _, p := range o.patterns {
 			if p.Graph.NumEdges() == 0 {
 				continue
 			}
@@ -490,7 +492,7 @@ func Mine(db []*graph.Graph, cfg Config) Result {
 					VectorPValue:    grp.Sig.PValue,
 					VectorLogPValue: grp.Sig.LogPValue,
 					VectorSupport:   grp.Sig.Support,
-					GroupSize:       len(windows),
+					GroupSize:       o.windows,
 					GroupSupport:    p.Support,
 				}
 			}
@@ -513,12 +515,21 @@ func Mine(db []*graph.Graph, cfg Config) Result {
 	// trips — unsorted, two identical runs could verify different
 	// subsets.
 	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Canonical < ordered[j].Canonical })
+	// Every pattern starts unverified; a worker clears the flag only on
+	// a completed support count, so a drained (worker panic) or cut-off
+	// pattern is distinguishable from one whose true support is zero.
+	for _, sg := range ordered {
+		sg.Unverified = true
+	}
 	if !cfg.SkipVerify {
 		verifySpan := ctl.StartStage(runctl.StageVerify)
+		// One summary pass over the database lets every worker reject
+		// graphs that provably cannot contain a pattern before VF2.
+		pf := isomorph.NewPrefilter(db).Meter(ctl.Metrics(), "verify")
 		var wg sync.WaitGroup
 		var verified atomic.Int64
 		work := make(chan *Subgraph)
-		workers := runtime.GOMAXPROCS(0)
+		workers := cfg.Parallelism
 		if workers > len(ordered) {
 			workers = len(ordered)
 		}
@@ -531,21 +542,22 @@ func Mine(db []*graph.Graph, cfg Config) Result {
 						ctl.Recovered(runctl.StageVerify, "support verification worker", r)
 						for range work {
 							// Drain so the feeder never blocks; the drained
-							// patterns simply stay unverified (Support 0).
+							// patterns simply stay Unverified.
 						}
 					}
 				}()
-				cp := ctl.Checkpoint(runctl.StageVF2)
+				cp := ctl.Checkpoint(runctl.StageVerify)
 				for sg := range work {
 					if ctl.Stopped() {
-						continue // drain; remaining patterns stay unverified
+						continue // drain; remaining patterns stay Unverified
 					}
-					sup, err := isomorph.SupportCtl(sg.Graph, db, cp)
+					sup, err := pf.SupportCtl(sg.Graph, cp)
 					if err != nil {
 						continue // partial count is a lower bound: discard
 					}
 					sg.Support = sup
 					sg.Frequency = float64(sup) / float64(len(db))
+					sg.Unverified = false
 					verified.Add(1)
 				}
 			}()
@@ -555,9 +567,25 @@ func Mine(db []*graph.Graph, cfg Config) Result {
 		}
 		close(work)
 		wg.Wait()
-		verifySpan.End(verified.Load())
-		if n := int(verified.Load()); n < len(ordered) {
-			ctl.RecordStop(runctl.StageVerify, int64(n), int64(len(ordered)), "patterns support-verified")
+		if ctl.Stopped() {
+			// All-or-nothing: under a shared VF2 budget, *which* patterns
+			// finished before the trip depends on worker scheduling. A
+			// partial verification would make Result.Subgraphs differ
+			// between runs (and parallelism levels); voiding it keeps the
+			// answer deterministic — the patterns are all still reported,
+			// just uniformly Unverified.
+			for _, sg := range ordered {
+				sg.Support, sg.Frequency, sg.Unverified = 0, 0, true
+			}
+			verifySpan.End(0)
+			if len(ordered) > 0 {
+				ctl.RecordStop(runctl.StageVerify, 0, int64(len(ordered)), "patterns support-verified")
+			}
+		} else {
+			verifySpan.End(verified.Load())
+			if n := int(verified.Load()); n < len(ordered) {
+				ctl.RecordStop(runctl.StageVerify, int64(n), int64(len(ordered)), "patterns support-verified")
+			}
 		}
 	}
 	for _, sg := range ordered {
@@ -605,6 +633,9 @@ func fillConfig(cfg *Config) {
 	if cfg.TopAtoms <= 0 {
 		cfg.TopAtoms = d.TopAtoms
 	}
+	if cfg.Parallelism <= 0 {
+		cfg.Parallelism = runtime.GOMAXPROCS(0)
+	}
 }
 
 func supportThreshold(cfg Config, setSize int) int {
@@ -631,6 +662,115 @@ type groupPattern struct {
 	Support int
 }
 
+// groupOutcome is one group's Phase-3 result, produced by a pool worker
+// and folded into Result serially so counters and the best-pattern
+// merge stay in group order regardless of completion order.
+type groupOutcome struct {
+	// windows is the region-window count after subsampling.
+	windows int
+	// mined: the group passed the size check and entered maximal FSM
+	// (counts toward GroupsMined even when it then panicked or mined
+	// nothing, matching the serial accounting).
+	mined bool
+	// pruned: too few windows for the FSM threshold, or FSM found no
+	// common subgraph (the paper's false-positive pruning).
+	pruned bool
+	// panicked: the group's worker or miner panicked; recorded on the
+	// controller, surfaces as a GroupError.
+	panicked bool
+	patterns []groupPattern
+}
+
+// mineGroups fans Phase 3 out over a pool of cfg.Parallelism workers
+// sharing one window cache. It returns one outcome per launched group
+// (launch stops, in group order, once the controller trips) plus the
+// launch count; outcomes[launched:] are untouched zero values.
+func mineGroups(db []*graph.Graph, groups []VectorGroup, cfg Config, ctl *runctl.Controller) ([]groupOutcome, int) {
+	wc := newWindowCache(db, cfg.CutoffRadius, ctl.Metrics())
+	outcomes := make([]groupOutcome, len(groups))
+	workers := cfg.Parallelism
+	if workers > len(groups) {
+		workers = len(groups)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	launched := 0
+	for gi := range groups {
+		if ctl.Stopped() {
+			break
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		launched++
+		go func(gi int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			outcomes[gi] = mineOneGroup(db, groups[gi], cfg, ctl, wc)
+		}(gi)
+	}
+	wg.Wait()
+	return outcomes, launched
+}
+
+// mineOneGroup cuts one group's region windows and runs maximal FSM on
+// them, keeping the per-group stage spans balanced: every span this
+// worker starts is ended or failed here, even on panic, so the
+// started == completed + degraded invariant survives fan-out.
+func mineOneGroup(db []*graph.Graph, grp VectorGroup, cfg Config, ctl *runctl.Controller, wc *windowCache) (out groupOutcome) {
+	groupSpan := ctl.StartStage(runctl.StageGroup)
+	var fsmSpan *runctl.StageSpan
+	defer func() {
+		if r := recover(); r != nil {
+			// mineMaximalIsolated catches miner panics; this barrier
+			// catches the rest (cutting, subsampling) so one bad group
+			// cannot bring the pool down. Fail is idempotent: spans
+			// already closed on the normal path are left as booked.
+			ctl.Recovered(runctl.StageGroup, fmt.Sprintf("group worker for label %d (%d regions)", grp.Label, len(grp.Nodes)), r)
+			groupSpan.Fail(runctl.ReasonPanic, 0)
+			if fsmSpan != nil {
+				fsmSpan.Fail(runctl.ReasonPanic, 0)
+			}
+			out.panicked = true
+		}
+	}()
+	nodes := grp.Nodes
+	if cfg.MaxGroupSize > 0 && len(nodes) > cfg.MaxGroupSize {
+		nodes = subsample(nodes, cfg.MaxGroupSize)
+	}
+	windows := make([]*graph.Graph, len(nodes))
+	for i, nv := range nodes {
+		windows[i] = wc.window(nv.GraphID, nv.NodeID)
+	}
+	groupSpan.End(int64(len(windows)))
+	out.windows = len(windows)
+	minSup := int(math.Ceil(cfg.FSMFreqPct / 100 * float64(len(windows))))
+	if minSup < 2 {
+		minSup = 2
+	}
+	if len(windows) < minSup {
+		out.pruned = true
+		return out
+	}
+	out.mined = true
+	fsmSpan = ctl.StartStage(runctl.StageGroupMine)
+	maximal, panicked := mineMaximalIsolated(windows, minSup, cfg, ctl, grp.Label)
+	if panicked {
+		fsmSpan.Fail(runctl.ReasonPanic, 0)
+		out.panicked = true
+		return out
+	}
+	fsmSpan.End(int64(len(maximal)))
+	if len(maximal) == 0 {
+		out.pruned = true
+		return out
+	}
+	out.patterns = maximal
+	return out
+}
+
 // mineMaximalIsolated runs one group's maximal FSM behind a panic
 // barrier: a crash in the miner becomes a structured per-group error on
 // the controller instead of killing the process.
@@ -655,7 +795,7 @@ func mineMaximal(windows []*graph.Graph, minSup int, cfg Config, ctl *runctl.Con
 		// The maximality filter observes the controller too: after a trip
 		// it returns only the prefix already decided maximal instead of
 		// finishing an O(n²) containment pass over the partial list.
-		maximal, _ := gspan.MaximalCtl(r.Patterns, ctl.Checkpoint(runctl.StageVF2))
+		maximal, _ := gspan.MaximalCtl(r.Patterns, ctl.Checkpoint(runctl.StageGSpan))
 		var out []groupPattern
 		for _, p := range maximal {
 			out = append(out, groupPattern{Graph: p.Graph, Support: p.Support})

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"sync"
+
+	"graphsig/internal/graph"
+	"graphsig/internal/obs"
+)
+
+// windowKey identifies one cut region. The radius is part of the key
+// even though a single mine cuts at one radius only, so a cache can
+// never serve a window cut at the wrong radius if it outlives a config.
+type windowKey struct {
+	graphID, nodeID, radius int
+}
+
+// windowEntry is one cache slot. The Once guarantees the cut runs
+// exactly once even when several group workers miss on the same key
+// concurrently; losers block until the winner's cut is ready.
+type windowEntry struct {
+	once sync.Once
+	g    *graph.Graph
+}
+
+// windowCache shares CutGraph results across vector groups. Regions
+// supporting many significant vectors appear in many groups; without
+// the cache each appearance pays a BFS cut of the same ball. Cached
+// windows are shared read-only between groups — the miners never
+// mutate their input graphs.
+type windowCache struct {
+	db     []*graph.Graph
+	radius int
+
+	mu sync.Mutex
+	m  map[windowKey]*windowEntry
+
+	hits   *obs.Counter
+	misses *obs.Counter
+}
+
+func newWindowCache(db []*graph.Graph, radius int, reg *obs.Registry) *windowCache {
+	return &windowCache{
+		db:     db,
+		radius: radius,
+		m:      make(map[windowKey]*windowEntry),
+		hits:   reg.Counter(obs.MWindowCacheHits),
+		misses: reg.Counter(obs.MWindowCacheMisses),
+	}
+}
+
+// window returns the radius-bounded cut around (graphID, nodeID),
+// cutting on first use. Safe for concurrent use; the returned graph is
+// shared and must be treated as read-only.
+func (c *windowCache) window(graphID, nodeID int) *graph.Graph {
+	k := windowKey{graphID: graphID, nodeID: nodeID, radius: c.radius}
+	c.mu.Lock()
+	e, ok := c.m[k]
+	if !ok {
+		e = &windowEntry{}
+		c.m[k] = e
+	}
+	c.mu.Unlock()
+	if ok {
+		c.hits.Inc()
+	} else {
+		c.misses.Inc()
+	}
+	e.once.Do(func() { e.g = c.db[graphID].CutGraph(nodeID, c.radius) })
+	return e.g
+}

@@ -22,6 +22,9 @@ type Index struct {
 	db       []*graph.Graph
 	patterns []*graph.Graph
 	postings [][]int // patterns[i] occurs in db graphs postings[i]
+	// pf summarizes db once so dictionary builds and query verification
+	// skip VF2 on graphs that provably cannot contain the pattern.
+	pf *isomorph.Prefilter
 }
 
 // Stats summarizes an index.
@@ -38,7 +41,7 @@ type Stats struct {
 // (by canonical code) are dropped; patterns with empty posting lists are
 // kept (they prune any query that contains them to zero candidates).
 func Build(db []*graph.Graph, dictionary []*graph.Graph) *Index {
-	ix := &Index{db: db}
+	ix := &Index{db: db, pf: isomorph.NewPrefilter(db)}
 	seen := map[string]bool{}
 	for _, p := range dictionary {
 		if p.NumEdges() == 0 {
@@ -50,7 +53,7 @@ func Build(db []*graph.Graph, dictionary []*graph.Graph) *Index {
 		}
 		seen[key] = true
 		ix.patterns = append(ix.patterns, p)
-		ix.postings = append(ix.postings, isomorph.SupportingIDs(p, db))
+		ix.postings = append(ix.postings, ix.pf.SupportingIDs(p))
 	}
 	return ix
 }
@@ -89,6 +92,7 @@ func BuildFrequent(db []*graph.Graph, opt FrequentOptions) *Index {
 		MinSupport: gspan.FromPercent(opt.MinSupportPct, len(db)),
 		MaxEdges:   opt.MaxPatternEdges,
 	})
+	pf := isomorph.NewPrefilter(db)
 	patterns := res.Patterns
 	if opt.DiscriminativeRatio > 0 && opt.DiscriminativeRatio < 1 {
 		patterns = discriminative(patterns, opt.DiscriminativeRatio)
@@ -103,7 +107,7 @@ func BuildFrequent(db []*graph.Graph, opt FrequentOptions) *Index {
 	if len(patterns) > opt.MaxPatterns {
 		patterns = patterns[:opt.MaxPatterns]
 	}
-	ix := &Index{db: db}
+	ix := &Index{db: db, pf: pf}
 	for _, p := range patterns {
 		ix.patterns = append(ix.patterns, p.Graph)
 		ix.postings = append(ix.postings, p.GraphIDs)
@@ -190,10 +194,18 @@ func (ix *Index) Candidates(q *graph.Graph) []int {
 }
 
 // Query returns, in ascending order, the ids of database graphs
-// containing q, verified by subgraph isomorphism.
+// containing q, verified by subgraph isomorphism. Candidates surviving
+// the posting-list intersection still pass through the summary
+// prefilter before VF2: a candidate that slipped past the dictionary
+// (no selective pattern matched the query) can often be dismissed on
+// label histograms alone.
 func (ix *Index) Query(q *graph.Graph) []int {
+	qs := isomorph.Summarize(q)
 	var out []int
 	for _, id := range ix.Candidates(q) {
+		if ix.pf != nil && !ix.pf.Summary(id).CanContain(qs) {
+			continue
+		}
 		if isomorph.SubgraphIsomorphic(q, ix.db[id]) {
 			out = append(out, id)
 		}

@@ -17,6 +17,8 @@ import (
 
 	"graphsig/internal/dfscode"
 	"graphsig/internal/graph"
+	"graphsig/internal/isomorph"
+	"graphsig/internal/obs"
 	"graphsig/internal/runctl"
 )
 
@@ -423,6 +425,15 @@ func Maximal(patterns []Pattern) []Pattern {
 // undecided tail is dropped, keeping every returned pattern genuinely
 // maximal within the input list.
 func MaximalCtl(patterns []Pattern, cp *runctl.Checkpoint) ([]Pattern, error) {
+	// Summaries reject impossible containments on label histograms and
+	// degree sequences before the quadratic pass reaches VF2.
+	sums := make([]*isomorph.Summary, len(patterns))
+	for i, p := range patterns {
+		sums[i] = isomorph.Summarize(p.Graph)
+	}
+	reg := cp.Metrics()
+	rejects := reg.Counter(obs.MPrefilterRejects, "site", "maximal")
+	passes := reg.Counter(obs.MPrefilterPasses, "site", "maximal")
 	var out []Pattern
 	for i, p := range patterns {
 		maximal := true
@@ -434,6 +445,11 @@ func MaximalCtl(patterns []Pattern, cp *runctl.Checkpoint) ([]Pattern, error) {
 				(q.Graph.NumEdges() == p.Graph.NumEdges() && q.Graph.NumNodes() <= p.Graph.NumNodes()) {
 				continue
 			}
+			if !sums[j].CanContain(sums[i]) {
+				rejects.Inc()
+				continue
+			}
+			passes.Inc()
 			hit, err := isoSubgraphCtl(p.Graph, q.Graph, cp)
 			if err != nil {
 				return out, err

@@ -30,6 +30,7 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -78,7 +79,10 @@ type Options struct {
 	DB []*graph.Graph
 	// Workers is the pool size (0 = DefaultWorkers). Each worker runs
 	// one mine at a time; mines are internally parallel, so a handful
-	// of workers saturates the machine.
+	// of workers saturates the machine. The default executor divides
+	// GOMAXPROCS by the pool size into each mine's Config.Parallelism,
+	// so job-level and mine-level fan-out multiply to roughly the host
+	// width instead of oversubscribing it.
 	Workers int
 	// QueueDepth bounds jobs waiting for a worker (0 = DefaultQueueDepth).
 	QueueDepth int
@@ -359,8 +363,19 @@ func NewManager(opt Options) *Manager {
 	m.met = newManagerMetrics(opt.Metrics, opt.Workers, opt.QueueDepth)
 	m.exec = opt.Exec
 	if m.exec == nil {
+		// Split the host between concurrently running mines: with W
+		// workers each mine gets GOMAXPROCS/W of its own. Parallelism
+		// is a runtime control outside the dedup key, so an explicit
+		// caller setting still wins.
+		share := runtime.GOMAXPROCS(0) / opt.Workers
+		if share < 1 {
+			share = 1
+		}
 		m.exec = func(ctl *runctl.Controller, cfg core.Config) core.Result {
 			cfg.Ctl = ctl
+			if cfg.Parallelism <= 0 {
+				cfg.Parallelism = share
+			}
 			return core.Mine(opt.DB, cfg)
 		}
 	}

@@ -97,7 +97,9 @@ func Mine(pos, neg []*graph.Graph, opt Options) []Pattern {
 		ctl = runctl.FromDeadline(opt.Deadline)
 	}
 	cp := ctl.Checkpoint(runctl.StageLEAP)
-	cpVF2 := ctl.Checkpoint(runctl.StageVF2)
+	// Mining-internal isomorphism charges the miner pool; Budgets.VF2Nodes
+	// is reserved for support verification and query-time search.
+	cpVF2 := ctl.Checkpoint(runctl.StageLEAP)
 
 	scoredByKey := map[string]Pattern{}
 	minedAbove := len(pos) + 1 // support threshold of the previous round

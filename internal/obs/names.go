@@ -30,6 +30,19 @@ const (
 	// MPanics counts isolated worker panics by stage (label: stage).
 	MPanics = "graphsig_panics_total"
 
+	// Shared window cache (internal/core): one CutGraph per distinct
+	// (graphID, nodeID, radius), however many vector groups reference it.
+	MWindowCacheHits   = "graphsig_window_cache_hits_total"
+	MWindowCacheMisses = "graphsig_window_cache_misses_total"
+
+	// VF2 fast-reject pre-filter (internal/isomorph; label: site —
+	// "verify" for graph-space support counting, "maximal" for the
+	// miners' containment passes, "gindex" for feature-index builds).
+	// A reject is a candidate dismissed on label/degree summaries alone,
+	// without entering VF2 search; a pass fell through to VF2.
+	MPrefilterRejects = "graphsig_vf2_prefilter_rejects_total"
+	MPrefilterPasses  = "graphsig_vf2_prefilter_passes_total"
+
 	// Jobs subsystem (internal/jobs).
 	MJobsWorkers     = "graphsig_jobs_workers"
 	MJobsBusy        = "graphsig_jobs_busy_workers"

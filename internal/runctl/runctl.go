@@ -92,10 +92,15 @@ type Budgets struct {
 	// FVMineStates caps FVMine recursion states.
 	FVMineStates int64
 	// MinerSteps caps frequent-subgraph mining work: gSpan search states
-	// plus FSG candidates (and LEAP scoring steps).
+	// plus FSG candidates (and LEAP scoring steps), including the
+	// isomorphism checks the miners run internally for support counting
+	// and maximality filtering.
 	MinerSteps int64
-	// VF2Nodes caps isomorphism search-tree nodes, bounding pathological
-	// pattern/target pairs during support verification.
+	// VF2Nodes caps isomorphism search-tree nodes spent on graph-space
+	// support verification and query-time search. Mining-internal
+	// isomorphism work charges MinerSteps instead, so a VF2 budget trip
+	// always lands in the verification phase — a deterministic point in
+	// the pipeline regardless of Config.Parallelism.
 	VF2Nodes int64
 }
 
@@ -503,6 +508,16 @@ func (cp *Checkpoint) Force() error {
 	}
 	cp.pending++
 	return cp.sync()
+}
+
+// Metrics returns the owning controller's metrics registry, so library
+// code handed only a checkpoint (the miners' maximality passes) can
+// still meter itself. Nil for a nil or unmetered checkpoint.
+func (cp *Checkpoint) Metrics() *obs.Registry {
+	if cp == nil {
+		return nil
+	}
+	return cp.ctl.Metrics()
 }
 
 // Steps returns the checkpoint's local step count (work attributable

@@ -27,6 +27,9 @@ type Config struct {
 	MaxIterations int
 	// Tolerance is the L1 convergence threshold (default 1e-9).
 	Tolerance float64
+	// Workers bounds DatabaseVectors' goroutine fan-out (0 or negative
+	// = GOMAXPROCS). Output is deterministic at any setting.
+	Workers int
 }
 
 // Defaults returns the paper's Table IV configuration.
@@ -218,8 +221,8 @@ func GraphVectors(g *graph.Graph, fs *feature.Set, cfg Config) []feature.Vector 
 
 // DatabaseVectors converts an entire database into feature space: RWR on
 // every node of every graph (Algorithm 2, lines 3-4). Work is spread
-// across GOMAXPROCS goroutines; output order is deterministic (by graph,
-// then node).
+// across cfg.Workers goroutines (default GOMAXPROCS); output order is
+// deterministic (by graph, then node).
 func DatabaseVectors(db []*graph.Graph, fs *feature.Set, cfg Config) []NodeVector {
 	cfg.fill()
 	offsets := make([]int, len(db)+1)
@@ -228,7 +231,10 @@ func DatabaseVectors(db []*graph.Graph, fs *feature.Set, cfg Config) []NodeVecto
 	}
 	out := make([]NodeVector, offsets[len(db)])
 
-	workers := runtime.GOMAXPROCS(0)
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > len(db) {
 		workers = len(db)
 	}

@@ -215,6 +215,10 @@ type minedPattern struct {
 	Frequency float64 `json:"frequency"`
 	Nodes     int     `json:"nodes"`
 	Edges     int     `json:"edges"`
+	// Unverified distinguishes "graph-space support unknown" (the
+	// verification phase was skipped, tripped, or crashed) from a true
+	// support of zero.
+	Unverified bool `json:"unverified,omitempty"`
 }
 
 type mineResponse struct {
@@ -369,12 +373,13 @@ func renderMine(snap jobs.Snapshot, limit int) mineResponse {
 			continue
 		}
 		resp.Patterns = append(resp.Patterns, minedPattern{
-			SMILES:    smiles,
-			PValue:    sg.VectorPValue,
-			Support:   sg.Support,
-			Frequency: sg.Frequency,
-			Nodes:     sg.Graph.NumNodes(),
-			Edges:     sg.Graph.NumEdges(),
+			SMILES:     smiles,
+			PValue:     sg.VectorPValue,
+			Support:    sg.Support,
+			Frequency:  sg.Frequency,
+			Nodes:      sg.Graph.NumNodes(),
+			Edges:      sg.Graph.NumEdges(),
+			Unverified: sg.Unverified,
 		})
 	}
 	return resp
