@@ -1,6 +1,6 @@
 # Standard entry points. Everything is plain `go` underneath.
 
-.PHONY: all build test vet lint fuzz bench bench-json bench-smoke race experiments datasets examples clean
+.PHONY: all build test vet lint fuzz bench bench-json bench-smoke race crash-test experiments datasets examples clean
 
 all: build vet lint test
 
@@ -31,6 +31,14 @@ test:
 
 race:
 	go test -race -shuffle=on ./...
+
+# Durability integration test: builds a real serve binary, kills it
+# with SIGKILL mid-mine, restarts over the same journal directory, and
+# asserts the resumed job finishes byte-identical to an uninterrupted
+# mine. Under -race because the interesting bugs here are races between
+# the checkpointer, the journal, and the worker pool.
+crash-test:
+	go test -race -count=1 -run 'TestCrashRestart' -v ./cmd/serve
 
 bench:
 	go test -bench=. -benchmem ./...

@@ -52,6 +52,8 @@ func main() {
 	maxVF2 := flag.Int64("max-vf2", 0, "budget on VF2 isomorphism search nodes (0 = unbounded)")
 	useGSpan := flag.Bool("gspan", false, "use gSpan instead of FSG for the group mining step")
 	stats := flag.Bool("stats", false, "print the per-stage metrics table to stderr at exit")
+	ckptFile := flag.String("checkpoint", "", "write resumable mining snapshots to this file (atomically replaced at each group-merge commit)")
+	resumeFile := flag.String("resume", "", "resume group mining from a snapshot written by -checkpoint (ignored unless it matches this database and configuration)")
 	flag.Parse()
 
 	if *in == "" {
@@ -104,6 +106,42 @@ func main() {
 	if *stats {
 		reg = obs.NewRegistry()
 		cfg.Metrics = reg
+	}
+
+	if *resumeFile != "" {
+		buf, err := os.ReadFile(*resumeFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rs, err := core.DecodeResumeState(buf)
+		if err != nil {
+			// A stale or corrupt snapshot is not fatal: the mine simply
+			// starts over, exactly as core does for a key mismatch.
+			log.Printf("warning: ignoring resume snapshot: %v", err)
+		} else {
+			cfg.Resume = rs
+			log.Printf("resuming group mining from %s (%d groups done)", *resumeFile, rs.Done)
+		}
+	}
+	if *ckptFile != "" {
+		// With a sink installed the pipeline emits snapshots at every
+		// group-merge commit; each lands atomically via rename so a kill
+		// mid-write can never corrupt the previous good snapshot.
+		cfg.Ctl = runctl.New(runctl.Options{
+			Deadline: cfg.Deadline,
+			Budgets:  cfg.Budgets,
+			Metrics:  reg,
+			CheckpointSink: func(payload []byte) {
+				tmp := *ckptFile + ".tmp"
+				if err := os.WriteFile(tmp, payload, 0o644); err != nil {
+					log.Printf("warning: checkpoint write: %v", err)
+					return
+				}
+				if err := os.Rename(tmp, *ckptFile); err != nil {
+					log.Printf("warning: checkpoint rename: %v", err)
+				}
+			},
+		})
 	}
 
 	t0 := time.Now()

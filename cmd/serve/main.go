@@ -22,6 +22,7 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -32,6 +33,7 @@ import (
 	"graphsig/internal/chem"
 	"graphsig/internal/graph"
 	"graphsig/internal/jobs"
+	"graphsig/internal/journal"
 	"graphsig/internal/obs"
 	"graphsig/internal/server"
 )
@@ -52,6 +54,10 @@ func main() {
 	queueDepth := flag.Int("queue-depth", jobs.DefaultQueueDepth, "max queued mining jobs before 503 backpressure")
 	jobTTL := flag.Duration("job-ttl", jobs.DefaultTTL, "how long finished jobs stay retrievable")
 	cacheSize := flag.Int("cache-size", jobs.DefaultCacheSize, "dedup result-cache entries (-1 disables)")
+	journalDir := flag.String("journal-dir", "", "directory for the durable job journal (empty = jobs are not durable)")
+	maxRetries := flag.Int("max-retries", 0, "automatic retries for transiently failed jobs (0 = disabled)")
+	stallTimeout := flag.Duration("stall-timeout", 0, "cancel running jobs whose checkpoints stop advancing for this long (0 = no watchdog)")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "emit a resumable snapshot every N mined groups (0 = default)")
 	warm := flag.Bool("warm", false, "eagerly build the query index and RWR vectors before serving")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (off by default: it reveals stacks and timings)")
 	stats := flag.Bool("stats", false, "print the per-stage metrics table to stderr after shutdown")
@@ -100,7 +106,31 @@ func main() {
 	svc.JobQueueDepth = *queueDepth
 	svc.JobTTL = *jobTTL
 	svc.JobCacheSize = *cacheSize
+	svc.JobMaxRetries = *maxRetries
+	svc.JobStallTimeout = *stallTimeout
+	svc.JobCheckpointEvery = *checkpointEvery
 	svc.EnablePprof = *pprofOn
+
+	var jnl *journal.Journal
+	if *journalDir != "" {
+		if err := os.MkdirAll(*journalDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		var recs []journal.JobRecord
+		var err error
+		jnl, recs, err = journal.Open(*journalDir, journal.Options{
+			Retention: *jobTTL,
+			Metrics:   svc.Metrics,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		svc.Journal = jnl
+		svc.JournalReplay = recs
+		if len(recs) > 0 {
+			log.Printf("journal: replaying %d job(s) from %s", len(recs), *journalDir)
+		}
+	}
 
 	if *warm {
 		t0 := time.Now()
@@ -108,8 +138,15 @@ func main() {
 		log.Printf("warmed query index and RWR vectors in %s", time.Since(t0).Round(time.Millisecond))
 	}
 
+	// Listen before announcing: the bound address (meaningful with
+	// ":0") goes to the log, and tooling that spawns this binary can
+	// scrape it to find the port.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	srv := &http.Server{
-		Addr:    *addr,
 		Handler: svc.Handler(),
 		// Header/read timeouts bound slow-loris clients; the write
 		// timeout must outlast the longest admissible mine, so it tracks
@@ -125,8 +162,8 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("serving %d graphs on %s", len(db), *addr)
-		errCh <- srv.ListenAndServe()
+		log.Printf("serving %d graphs on %s", len(db), ln.Addr())
+		errCh <- srv.Serve(ln)
 	}()
 
 	select {
@@ -147,6 +184,9 @@ func main() {
 		// finish before being cut into partial results.
 		if err := svc.Close(shCtx); err != nil {
 			log.Printf("job drain deadline exceeded, running mines canceled: %v", err)
+		}
+		if err := jnl.Close(); err != nil {
+			log.Printf("journal close: %v", err)
 		}
 		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Fatal(err)

@@ -93,6 +93,7 @@ func All() []*Analyzer {
 		CheckpointAnalyzer,
 		ErrWrap,
 		BoundedPool,
+		FsyncClose,
 	}
 }
 

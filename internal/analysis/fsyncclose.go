@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// FsyncClose forbids discarding the error of (*os.File).Sync, and of
+// (*os.File).Close on files opened for writing, in the durability
+// packages. The write-ahead journal's whole contract is "acknowledged
+// means on disk": a Sync whose error vanishes turns an fsync failure
+// into silent data loss, and on many filesystems Close is where a
+// delayed write-back error finally surfaces. Read-only handles are
+// exempt — closing them cannot lose data.
+var FsyncClose = &Analyzer{
+	Name: "fsyncclose",
+	Doc: "Sync/Close errors on writable files in internal/journal must be " +
+		"handled, not discarded — a dropped fsync error is silent data loss",
+	Run: runFsyncClose,
+}
+
+// writableOpeners are the os functions that yield a file handle the
+// process may have dirtied; Close errors on these matter.
+var writableOpeners = map[string]bool{
+	"Create":     true,
+	"CreateTemp": true,
+	"OpenFile":   true,
+}
+
+func runFsyncClose(pass *Pass) error {
+	if !pass.inFsyncScope() {
+		return nil
+	}
+	for _, file := range pass.Files {
+		writable := collectWritableFiles(pass, file)
+		check := func(call *ast.CallExpr, how string) {
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return
+			}
+			fn, ok := pass.objOf(sel.Sel).(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "os" {
+				return
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() == nil || !isNamedType(sig.Recv().Type(), true, "os", "File") {
+				return
+			}
+			switch fn.Name() {
+			case "Sync":
+				// Syncing a read-only handle is pointless, so any Sync
+				// call is on a write path — no provenance check needed.
+				pass.Reportf(call.Pos(),
+					"%s (*os.File).Sync error; a failed fsync means the data never became durable", how)
+			case "Close":
+				id := rootIdent(sel.X)
+				if id == nil || !writable[pass.objOf(id)] {
+					return // read-only or unknown provenance: closing loses nothing
+				}
+				pass.Reportf(call.Pos(),
+					"%s Close error on a writable file; Close is where delayed write-back failures surface", how)
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := st.X.(*ast.CallExpr); ok {
+					check(call, "discarded")
+				}
+			case *ast.DeferStmt:
+				check(st.Call, "defer discards the")
+			case *ast.GoStmt:
+				check(st.Call, "go statement discards the")
+			case *ast.AssignStmt:
+				for i, rhs := range st.Rhs {
+					if i >= len(st.Lhs) {
+						break
+					}
+					lhs, ok := st.Lhs[i].(*ast.Ident)
+					if !ok || lhs.Name != "_" {
+						continue
+					}
+					if call, ok := rhs.(*ast.CallExpr); ok {
+						check(call, "blank-assigned")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// collectWritableFiles maps the objects of variables assigned directly
+// from a writable os opener (os.Create, os.CreateTemp, os.OpenFile) —
+// the handles whose Close error carries a durability signal.
+func collectWritableFiles(pass *Pass, file *ast.File) map[types.Object]bool {
+	writable := map[types.Object]bool{}
+	mark := func(lhs ast.Expr, rhs ast.Expr) {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		fn, ok := pass.objOf(sel.Sel).(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "os" || !writableOpeners[fn.Name()] {
+			return
+		}
+		if id, ok := lhs.(*ast.Ident); ok {
+			if obj := pass.objOf(id); obj != nil {
+				writable[obj] = true
+			}
+		}
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			// f, err := os.Create(...) — one multi-valued rhs.
+			if len(st.Rhs) == 1 && len(st.Lhs) >= 1 {
+				mark(st.Lhs[0], st.Rhs[0])
+			}
+		case *ast.ValueSpec:
+			if len(st.Values) == 1 && len(st.Names) >= 1 {
+				mark(st.Names[0], st.Values[0])
+			}
+		}
+		return true
+	})
+	return writable
+}

@@ -198,6 +198,18 @@ func TestCheckpointGolden(t *testing.T) {
 	runGolden(t, CheckpointAnalyzer, pkgs["checkpoint"])
 }
 
+func TestFsyncCloseGolden(t *testing.T) {
+	pkgs := loadTestdata(t, "journal")
+	runGolden(t, FsyncClose, pkgs["journal"])
+}
+
+// TestFsyncCloseScopeExcludesOtherPackages: the identical discard
+// patterns outside the durability scope produce no diagnostics.
+func TestFsyncCloseScopeExcludesOtherPackages(t *testing.T) {
+	pkgs := loadTestdata(t, "outside")
+	runGolden(t, FsyncClose, pkgs["outside"])
+}
+
 func TestErrWrapGolden(t *testing.T) {
 	pkgs := loadTestdata(t, "errwrap")
 	runGolden(t, ErrWrap, pkgs["errwrap"])

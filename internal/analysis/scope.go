@@ -43,6 +43,13 @@ var spawnScope = map[string]bool{
 	"server": true,
 }
 
+// fsyncScope lists the packages whose file handles carry durability
+// guarantees: a Sync or Close error discarded there turns an fsync
+// failure into silently lost acknowledged data.
+var fsyncScope = map[string]bool{
+	"journal": true,
+}
+
 // inDeterministicScope reports whether the file is part of a
 // deterministic path for maporder.
 func (p *Pass) inDeterministicScope(file *ast.File) bool {
@@ -74,6 +81,10 @@ func (p *Pass) inScope(scope map[string][]string, file *ast.File) bool {
 
 func (p *Pass) inSpawnScope() bool {
 	return spawnScope[path.Base(p.ImportPath)]
+}
+
+func (p *Pass) inFsyncScope() bool {
+	return fsyncScope[path.Base(p.ImportPath)]
 }
 
 // isNamedType reports whether t (after pointer indirection when deref is

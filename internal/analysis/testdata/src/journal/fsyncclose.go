@@ -1,0 +1,85 @@
+// Package journal is the fsyncclose corpus: its base name places it in
+// the durability scope, like the real write-ahead journal package.
+package journal
+
+import (
+	"errors"
+	"os"
+)
+
+// Positive: a bare Sync statement loses the fsync error.
+func bareSync(path string) {
+	f, _ := os.Create(path)
+	f.Sync()      // want "discarded (*os.File).Sync error"
+	_ = f.Close() // want "blank-assigned Close error on a writable file"
+}
+
+// Positive: blank-assigning Sync is the same loss, spelled louder.
+func blankSync(f *os.File) {
+	_ = f.Sync() // want "blank-assigned (*os.File).Sync error"
+}
+
+// Positive: Sync on a struct-held handle — provenance doesn't matter
+// for Sync, only write paths ever call it.
+type wal struct{ f *os.File }
+
+func (w *wal) flush() {
+	w.f.Sync() // want "discarded (*os.File).Sync error"
+}
+
+// Positive: a deferred Close on a writable file discards the final
+// write-back error.
+func deferClose(path string) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want "defer discards the Close error on a writable file"
+	_, err = f.Write([]byte("x"))
+	return err
+}
+
+// Positive: bare and blank-assigned Close on writable files.
+func looseClose(dir string) {
+	f, _ := os.CreateTemp(dir, "tmp")
+	f.Close() // want "discarded Close error on a writable file"
+	g, _ := os.Create(dir + "/g")
+	_ = g.Close() // want "blank-assigned Close error on a writable file"
+}
+
+// Negative: handled errors are the sanctioned pattern.
+func handled(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return errors.Join(err, f.Close())
+	}
+	return f.Close()
+}
+
+// Negative: a read-only handle has nothing to lose on Close.
+func readOnly(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, 16)
+	n, err := f.Read(buf)
+	return buf[:n], err
+}
+
+// Negative: the Close error riding along in errors.Join is used, not
+// discarded.
+func joined(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("x")); err != nil {
+		return errors.Join(err, f.Close())
+	}
+	return f.Close()
+}

@@ -92,6 +92,21 @@ type Config struct {
 	// mine-level parallelism does not oversubscribe the host. Excluded
 	// from CacheKey: it is a runtime control, not part of the answer.
 	Parallelism int
+	// Resume, when non-nil, is a Phase-3 snapshot emitted by a previous
+	// run of the same (database, config): Mine skips re-mining the
+	// committed group prefix and replays its recorded outcomes, so the
+	// final Result is byte-identical to an uninterrupted run. A snapshot
+	// that does not match this run's identity (MineKey or group-list
+	// hash) is rejected — counted on obs.MResumeRejected — and the mine
+	// starts from scratch. Excluded from CacheKey: resuming is a
+	// runtime control, not part of the answer.
+	Resume *ResumeState
+	// CheckpointEvery sets the snapshot granularity when the controller
+	// carries a checkpoint sink (runctl.Options.CheckpointSink): one
+	// resumable snapshot per CheckpointEvery groups committed in order
+	// (0 = DefaultCheckpointEvery). Without a sink no snapshots are
+	// built and Phase 3 pays nothing. Excluded from CacheKey.
+	CheckpointEvery int
 	// Deadline aborts the mine when exceeded (zero = none); the result
 	// is flagged Truncated with a Degradation report. Ignored when Ctl
 	// is set.
@@ -459,7 +474,37 @@ func Mine(db []*graph.Graph, cfg Config) Result {
 	// iteration exactly. A panicking group worker is isolated into a
 	// per-group error; the remaining groups still mine.
 	t2 := time.Now()
-	outcomes, launched := mineGroups(db, groups, cfg, ctl)
+	// Durability hooks: when the caller installed a checkpoint sink or
+	// handed us a snapshot, bind this run's identity (database + config
+	// + group list) so snapshots can only resume the exact same mine.
+	var resumed []groupOutcome
+	var ckpt *checkpointer
+	if cfg.Resume != nil || ctl.WantsCheckpoints() {
+		key := MineKey(graph.Fingerprint(db), cfg)
+		gh := groupsHash(groups)
+		resumed = validResumePrefix(cfg.Resume, key, gh, len(groups), ctl.Metrics())
+		if ctl.WantsCheckpoints() {
+			every := cfg.CheckpointEvery
+			if every <= 0 {
+				every = DefaultCheckpointEvery
+			}
+			ckpt = newCheckpointer(len(groups), len(resumed), every, func(done int, outcomes []groupOutcome) {
+				persisted, err := persistOutcomes(outcomes)
+				if err != nil {
+					return // unserializable snapshot: skip, never block mining
+				}
+				buf, err := EncodeResumeState(&ResumeState{
+					V: persistVersion, Key: key, GroupsHash: gh,
+					Done: done, Outcomes: persisted,
+				})
+				if err != nil {
+					return
+				}
+				ctl.EmitCheckpoint(buf)
+			})
+		}
+	}
+	outcomes, launched := mineGroups(db, groups, cfg, ctl, resumed, ckpt)
 	if launched < len(groups) {
 		ctl.RecordStop(runctl.StageGroupMine, int64(launched), int64(len(groups)), "vector groups mined")
 	}
@@ -482,11 +527,17 @@ func Mine(db []*graph.Graph, cfg Config) Result {
 			if p.Graph.NumEdges() == 0 {
 				continue
 			}
-			key := dfscode.Canonical(p.Graph)
+			// Group miners number pattern vertices in discovery order,
+			// which varies between processes; rematerializing from the
+			// minimum DFS code makes the reported graph canonical, so the
+			// answer set is byte-stable across runs and across a
+			// crash/resume boundary (cmd/serve's crash test relies on it).
+			code := dfscode.MinimumCode(p.Graph)
+			key := code.String()
 			cur, ok := best[key]
 			if !ok || grp.Sig.LogPValue < cur.VectorLogPValue {
 				best[key] = &Subgraph{
-					Graph:           p.Graph,
+					Graph:           code.Graph(),
 					Canonical:       key,
 					SourceLabel:     grp.Label,
 					VectorPValue:    grp.Sig.PValue,
@@ -681,24 +732,89 @@ type groupOutcome struct {
 	patterns []groupPattern
 }
 
+// DefaultCheckpointEvery is the resumable-snapshot granularity when
+// Config.CheckpointEvery is zero: one snapshot per 8 committed groups.
+// Groups are the unit of lost work on a crash, so this bounds re-mining
+// after restart to at most 8 groups plus whatever was in flight.
+const DefaultCheckpointEvery = 8
+
+// checkpointer tracks the in-order commit frontier of Phase-3 group
+// outcomes and emits a resumable snapshot each time the frontier
+// advances by `every` groups. Workers finish out of order; the frontier
+// only covers the contiguous committed prefix, which is exactly what a
+// resumed run can safely replay. All state is guarded by mu, so a
+// worker's outcome write (made before its commit call) happens-before
+// any snapshot read of that slot.
+type checkpointer struct {
+	mu       sync.Mutex
+	done     []bool
+	frontier int
+	lastEmit int
+	every    int
+	emit     func(done int, outcomes []groupOutcome)
+	outcomes []groupOutcome
+}
+
+func newCheckpointer(n, start, every int, emit func(int, []groupOutcome)) *checkpointer {
+	c := &checkpointer{done: make([]bool, n), frontier: start, lastEmit: start, every: every, emit: emit}
+	for i := 0; i < start; i++ {
+		c.done[i] = true
+	}
+	return c
+}
+
+// attach hands the checkpointer the live outcome slice before workers
+// start; snapshots read only outcomes[:frontier].
+func (c *checkpointer) attach(outcomes []groupOutcome) {
+	if c != nil {
+		c.outcomes = outcomes
+	}
+}
+
+// commit marks group gi complete and emits a snapshot when the
+// contiguous frontier has advanced far enough. The emit callback runs
+// under the lock: serialization plus one journal fsync every `every`
+// groups, a deliberate trade of a short worker stall for a bounded
+// re-mining window after a crash.
+func (c *checkpointer) commit(gi int) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.done[gi] = true
+	for c.frontier < len(c.done) && c.done[c.frontier] {
+		c.frontier++
+	}
+	if c.frontier-c.lastEmit >= c.every {
+		c.lastEmit = c.frontier
+		c.emit(c.frontier, c.outcomes[:c.frontier])
+	}
+}
+
 // mineGroups fans Phase 3 out over a pool of cfg.Parallelism workers
 // sharing one window cache. It returns one outcome per launched group
 // (launch stops, in group order, once the controller trips) plus the
-// launch count; outcomes[launched:] are untouched zero values.
-func mineGroups(db []*graph.Graph, groups []VectorGroup, cfg Config, ctl *runctl.Controller) ([]groupOutcome, int) {
+// launch count; outcomes[launched:] are untouched zero values. A
+// resumed prefix is copied in verbatim and never re-mined — its groups
+// count as launched — and each newly finished group is committed to the
+// checkpointer (nil = no snapshots).
+func mineGroups(db []*graph.Graph, groups []VectorGroup, cfg Config, ctl *runctl.Controller, resumed []groupOutcome, ckpt *checkpointer) ([]groupOutcome, int) {
 	wc := newWindowCache(db, cfg.CutoffRadius, ctl.Metrics())
 	outcomes := make([]groupOutcome, len(groups))
+	start := copy(outcomes, resumed)
+	ckpt.attach(outcomes)
 	workers := cfg.Parallelism
-	if workers > len(groups) {
-		workers = len(groups)
+	if workers > len(groups)-start {
+		workers = len(groups) - start
 	}
 	if workers < 1 {
 		workers = 1
 	}
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, workers)
-	launched := 0
-	for gi := range groups {
+	launched := start
+	for gi := start; gi < len(groups); gi++ {
 		if ctl.Stopped() {
 			break
 		}
@@ -709,6 +825,7 @@ func mineGroups(db []*graph.Graph, groups []VectorGroup, cfg Config, ctl *runctl
 			defer wg.Done()
 			defer func() { <-sem }()
 			outcomes[gi] = mineOneGroup(db, groups[gi], cfg, ctl, wc)
+			ckpt.commit(gi)
 		}(gi)
 	}
 	wg.Wait()

@@ -37,7 +37,7 @@ func BenchmarkGroupMine(b *testing.B) {
 			run.Parallelism = p
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				_, launched := mineGroups(db, groups, run, runctl.New(runctl.Options{}))
+				_, launched := mineGroups(db, groups, run, runctl.New(runctl.Options{}), nil, nil)
 				if launched != len(groups) {
 					b.Fatalf("launched %d of %d groups", launched, len(groups))
 				}

@@ -38,6 +38,7 @@ import (
 
 	"graphsig/internal/core"
 	"graphsig/internal/graph"
+	"graphsig/internal/journal"
 	"graphsig/internal/obs"
 	"graphsig/internal/runctl"
 )
@@ -104,6 +105,30 @@ type Options struct {
 	// and is handed to every job's controller, so mining-stage metrics
 	// land in the same registry. Nil disables metering.
 	Metrics *obs.Registry
+	// Journal, when non-nil, receives every job lifecycle event as a
+	// durable write-ahead record, and each running mine's resumable
+	// checkpoints. Nil means a purely in-memory manager.
+	Journal *journal.Journal
+	// Replay is the journal's startup fold (journal.Open's second
+	// return): terminal jobs are surfaced with their persisted results,
+	// interrupted jobs re-enter the queue resuming from their last
+	// checkpoint.
+	Replay []journal.JobRecord
+	// MaxRetries bounds automatic re-runs of transiently failed jobs
+	// (0 = retries disabled). Failures marked with Permanent are never
+	// retried; neither are canceled runs.
+	MaxRetries int
+	// RetryBackoff is the base of the jittered exponential backoff
+	// between attempts (0 = DefaultRetryBackoff).
+	RetryBackoff time.Duration
+	// StallTimeout, when > 0, arms the stall watchdog: a running job
+	// whose controller checkpoints stop advancing for this long is
+	// canceled and flagged Stalled.
+	StallTimeout time.Duration
+	// CheckpointEvery overrides the mining pipeline's snapshot
+	// granularity, in committed groups (0 = core's default). Only
+	// meaningful with a Journal.
+	CheckpointEvery int
 }
 
 // SubmitOptions parameterizes one Submit.
@@ -123,6 +148,10 @@ type SubmitOptions struct {
 	// Meta is an opaque embedder payload echoed on snapshots (the HTTP
 	// layer stores presentation parameters like the result limit).
 	Meta any
+	// Deadline, when non-zero, is the caller's completion deadline.
+	// Admission control sheds the submission with ErrDeadline when the
+	// expected queue wait alone already overshoots it. Zero opts out.
+	Deadline time.Time
 }
 
 // SubmitInfo reports how a Submit was satisfied.
@@ -174,6 +203,12 @@ type Snapshot struct {
 	Err     string
 	Waiters int
 	Meta    any
+	// Attempt is the 0-based execution attempt; > 0 means the job was
+	// retried after transient failures.
+	Attempt int
+	// Stalled: the stall watchdog canceled this job because its
+	// controller checkpoints stopped advancing.
+	Stalled bool
 }
 
 // Job is one unit of mining work. All mutable state is guarded; read
@@ -186,6 +221,10 @@ type Job struct {
 	cfg     core.Config
 	label   string
 	timeout time.Duration
+	// journaled: the submission was durably recorded, so lifecycle
+	// events keep appending. Written before the job is published and
+	// immutable afterwards.
+	journaled bool
 
 	done chan struct{} // closed exactly once, on reaching a terminal state
 
@@ -202,6 +241,22 @@ type Job struct {
 	result          *core.Result
 	degradation     *runctl.Degradation
 	err             error
+	// attempt is the 0-based execution attempt (bumped per retry).
+	attempt int
+	// checkpoint is the latest resumable mining snapshot, from the
+	// journal replay or this process's own checkpoint sink; the next
+	// (re)run resumes from it.
+	checkpoint []byte
+	// inQueue: the job is physically referenced by the queue channel.
+	// The janitor never evicts such a job — a worker will still
+	// dequeue it — even when cancellation already made it terminal.
+	inQueue bool
+	// retryPending + retryTimer: a backoff timer holds the job for
+	// re-enqueueing; eviction must wait for it to fire or be settled.
+	retryPending bool
+	retryTimer   *time.Timer
+	// stalled: the watchdog canceled this job for lack of progress.
+	stalled bool
 }
 
 // ID returns the job's stable identifier.
@@ -232,6 +287,8 @@ func (j *Job) Snapshot() Snapshot {
 		Degradation:     j.degradation,
 		Waiters:         j.waiters,
 		Meta:            j.meta,
+		Attempt:         j.attempt,
+		Stalled:         j.stalled,
 	}
 	if j.err != nil {
 		s.Err = j.err.Error()
@@ -259,6 +316,10 @@ type Stats struct {
 	CacheHits   int64         `json:"cacheHits"`
 	CacheMisses int64         `json:"cacheMisses"`
 	Rejected    int64         `json:"rejected"`
+	Shed        int64         `json:"shed"`
+	Retries     int64         `json:"retries"`
+	Replayed    int64         `json:"replayed"`
+	Stalled     int64         `json:"stalled"`
 	CacheSize   int           `json:"cacheSize"`
 	CacheCap    int           `json:"cacheCap"`
 }
@@ -292,7 +353,14 @@ type Manager struct {
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
 	rejected    atomic.Int64
+	shed        atomic.Int64
+	retries     atomic.Int64
+	replayed    atomic.Int64
+	stalled     atomic.Int64
 	seq         atomic.Int64
+	// avgRunNs is the EWMA of executed-job wall time, in nanoseconds;
+	// 0 = no evidence yet. Admission control divides the backlog by it.
+	avgRunNs atomic.Int64
 
 	met managerMetrics
 }
@@ -310,6 +378,10 @@ type managerMetrics struct {
 	cacheHits    *obs.Counter
 	cacheMisses  *obs.Counter
 	rejected     *obs.Counter
+	shed         *obs.Counter
+	retries      *obs.Counter
+	stalled      *obs.Counter
+	replayed     func(outcome string) *obs.Counter
 	runSeconds   *obs.Histogram
 	finished     func(state State) *obs.Counter
 }
@@ -326,6 +398,10 @@ func newManagerMetrics(r *obs.Registry, workers, queueCap int) managerMetrics {
 		cacheHits:    r.Counter(obs.MJobsCacheHits),
 		cacheMisses:  r.Counter(obs.MJobsCacheMisses),
 		rejected:     r.Counter(obs.MJobsRejected),
+		shed:         r.Counter(obs.MJobsShed),
+		retries:      r.Counter(obs.MJobsRetries),
+		stalled:      r.Counter(obs.MJobsStalled),
+		replayed:     obsReplayed(r),
 		runSeconds:   r.Histogram(obs.MJobsRunSeconds, obs.DefBuckets),
 		finished: func(state State) *obs.Counter {
 			return r.Counter(obs.MJobsFinished, "state", string(state))
@@ -384,6 +460,12 @@ func NewManager(opt Options) *Manager {
 		runctl.Spawn("jobs worker", m.spawnPanic, m.worker)
 	}
 	runctl.Spawn("jobs janitor", m.spawnPanic, m.janitor)
+	if opt.StallTimeout > 0 {
+		runctl.Spawn("jobs stall watchdog", m.spawnPanic, m.watchdog)
+	}
+	if len(opt.Replay) > 0 {
+		m.replay(opt.Replay)
+	}
 	return m
 }
 
@@ -415,10 +497,20 @@ func (m *Manager) KeyFor(cfg core.Config) string {
 func (m *Manager) Submit(cfg core.Config, opt SubmitOptions) (*Job, SubmitInfo, error) {
 	key := m.KeyFor(cfg)
 	now := time.Now()
+	// Persist the submission's identity up front, outside the lock: the
+	// encode is pure CPU and its failure (a config the wire form cannot
+	// carry) just means this job is not durable.
+	var cfgBytes []byte
+	if m.opts.Journal != nil {
+		var err error
+		if cfgBytes, err = core.EncodeConfig(cfg); err != nil {
+			m.logf("jobs: submission not journaled: %v", err)
+		}
+	}
 
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if m.closed {
+		m.mu.Unlock()
 		return nil, SubmitInfo{}, ErrClosed
 	}
 	if j := m.byKey[key]; j != nil {
@@ -430,6 +522,7 @@ func (m *Manager) Submit(cfg core.Config, opt SubmitOptions) (*Job, SubmitInfo, 
 			j.waiters++
 		}
 		j.mu.Unlock()
+		m.mu.Unlock()
 		return j, SubmitInfo{Coalesced: true}, nil
 	}
 	if res, ok := m.cache.get(key); ok {
@@ -442,21 +535,47 @@ func (m *Manager) Submit(cfg core.Config, opt SubmitOptions) (*Job, SubmitInfo, 
 		j.finished = now
 		close(j.done)
 		m.jobs[j.id] = j
+		m.mu.Unlock()
 		return j, SubmitInfo{Cached: true}, nil
+	}
+	// Deadline-aware admission: only a genuinely new execution queues
+	// work, so shedding happens after the free paths (coalesce, cache).
+	if !opt.Deadline.IsZero() {
+		if wait := m.expectedWaitLocked(); wait > 0 && now.Add(wait).After(opt.Deadline) {
+			m.shed.Add(1)
+			m.met.shed.Inc()
+			m.mu.Unlock()
+			return nil, SubmitInfo{}, &ErrDeadline{ExpectedWait: wait, Deadline: opt.Deadline}
+		}
 	}
 	m.cacheMisses.Add(1)
 	m.met.cacheMisses.Inc()
 	j := m.newJobLocked(key, cfg, opt, now)
+	j.journaled = len(cfgBytes) > 0
+	// inQueue is set before the send: the moment the job is on the
+	// channel a worker may own it, so no unlocked writes after that.
+	j.inQueue = true
 	select {
 	case m.queue <- j:
 	default:
+		j.inQueue = false
 		m.rejected.Add(1)
 		m.met.rejected.Inc()
+		m.mu.Unlock()
 		return nil, SubmitInfo{}, &ErrQueueFull{Depth: len(m.queue), Cap: cap(m.queue)}
 	}
 	m.met.queueDepth.Set(int64(len(m.queue)))
 	m.jobs[j.id] = j
 	m.byKey[key] = j
+	m.mu.Unlock()
+
+	// Journal after releasing the lock (the fsync must not serialize
+	// unrelated submissions) but before acknowledging to the caller, so
+	// an acked job is always recoverable.
+	m.journalFor(j, journal.Event{
+		Type: journal.EvSubmitted, Key: key, Label: opt.Label,
+		Config: cfgBytes, TimeoutMs: opt.Timeout.Milliseconds(), AtMs: now.UnixMilli(),
+	})
 	return j, SubmitInfo{}, nil
 }
 
@@ -540,6 +659,7 @@ func (m *Manager) cancelLocked(j *Job, detail string) {
 		}
 		delete(m.byKey, j.key)
 		j.finishLocked(StateCanceled, time.Now())
+		m.journalFor(j, journal.Event{Type: journal.EvCancelled, Error: detail + " before start"})
 	case StateRunning:
 		j.cancelRequested = true
 		j.ctl.Cancel(detail) // the run unwinds; the worker finalizes the state
@@ -575,22 +695,53 @@ func (m *Manager) worker() {
 	}
 }
 
-// run executes one job end to end.
+// run executes one job end to end (one attempt; a transient failure
+// with retry budget loops the job back through the queue).
 func (m *Manager) run(j *Job) {
 	j.mu.Lock()
+	j.inQueue = false
 	if j.state != StateQueued { // canceled while waiting in the queue
 		j.mu.Unlock()
 		return
 	}
+	attempt := j.attempt
+	checkpoint := j.checkpoint
 	var deadline time.Time
 	if j.timeout > 0 {
 		deadline = time.Now().Add(j.timeout)
 	}
-	ctl := runctl.New(runctl.Options{Deadline: deadline, Budgets: m.opts.Budgets, Metrics: m.opts.Metrics})
+	// With a journal, every resumable snapshot the mine emits is both
+	// remembered on the job (so a retry in this process resumes) and
+	// appended to the WAL (so a restarted process resumes).
+	var sink func([]byte)
+	if m.opts.Journal != nil && j.journaled {
+		sink = func(payload []byte) {
+			j.mu.Lock()
+			j.checkpoint = payload
+			j.mu.Unlock()
+			m.journalFor(j, journal.Event{Type: journal.EvCheckpoint, State: payload})
+		}
+	}
+	ctl := runctl.New(runctl.Options{Deadline: deadline, Budgets: m.opts.Budgets, Metrics: m.opts.Metrics, CheckpointSink: sink})
 	j.ctl = ctl
 	j.state = StateRunning
-	j.started = time.Now()
+	started := time.Now()
+	j.started = started
+	j.err = nil
 	j.mu.Unlock()
+
+	cfg := j.cfg
+	if m.opts.CheckpointEvery > 0 {
+		cfg.CheckpointEvery = m.opts.CheckpointEvery
+	}
+	if len(checkpoint) > 0 {
+		if rs, err := core.DecodeResumeState(checkpoint); err == nil {
+			cfg.Resume = rs
+		} else {
+			m.logf("jobs: %s checkpoint undecodable, mining from scratch: %v", j.id, err)
+		}
+	}
+	m.journalFor(j, journal.Event{Type: journal.EvStarted, Attempt: attempt})
 
 	// Handshake with Shutdown's drain deadline: the flag is set before
 	// the running-job sweep, so a job that reached running after the
@@ -606,13 +757,32 @@ func (m *Manager) run(j *Job) {
 	m.executions.Add(1)
 	m.met.busy.Add(1)
 	m.met.executions.Inc()
-	res, err := m.execIsolated(ctl, j.cfg)
+	res, err := m.execIsolated(ctl, cfg)
 	m.busy.Add(-1)
 	m.met.busy.Add(-1)
 
 	deg := ctl.Report()
 	now := time.Now()
+	// Every execution, terminal or retried, occupied a worker for this
+	// long — exactly what the admission-control wait estimate needs.
+	m.updateAvgRun(now.Sub(started))
+	m.met.runSeconds.Observe(now.Sub(started).Seconds())
+
 	j.mu.Lock()
+	canceled := j.cancelRequested || (deg.Truncated && deg.Reason == runctl.ReasonCancel)
+	if err != nil && !IsPermanent(err) && !canceled && !m.draining.Load() && attempt < m.opts.MaxRetries {
+		// Transient failure with retry budget left: back to queued; the
+		// backoff timer re-enqueues, and the next attempt resumes from
+		// the last checkpoint instead of from zero.
+		j.state = StateQueued
+		j.attempt = attempt + 1
+		j.retryPending = true
+		j.ctl = nil
+		j.started = time.Time{}
+		j.mu.Unlock()
+		m.scheduleRetry(j, attempt+1, err)
+		return
+	}
 	j.err = err
 	if err == nil {
 		j.result = &res
@@ -620,7 +790,6 @@ func (m *Manager) run(j *Job) {
 	if deg.Truncated {
 		j.degradation = &deg
 	}
-	canceled := j.cancelRequested || (deg.Truncated && deg.Reason == runctl.ReasonCancel)
 	switch {
 	case err != nil:
 		j.finishLocked(StateFailed, now)
@@ -631,7 +800,6 @@ func (m *Manager) run(j *Job) {
 	}
 	state := j.state
 	j.mu.Unlock()
-	m.met.runSeconds.Observe(now.Sub(j.started).Seconds())
 	m.met.finished(state).Inc()
 
 	m.mu.Lock()
@@ -645,19 +813,40 @@ func (m *Manager) run(j *Job) {
 	m.met.cacheEntries.Set(int64(entries))
 	m.mu.Unlock()
 
+	switch state {
+	case StateDone:
+		var resultBytes []byte
+		if buf, encErr := core.EncodeResult(res); encErr == nil {
+			resultBytes = buf
+		} else {
+			m.logf("jobs: %s result not journaled: %v", j.id, encErr)
+		}
+		m.journalFor(j, journal.Event{Type: journal.EvCompleted, Result: resultBytes, AtMs: now.UnixMilli()})
+	case StateFailed:
+		m.journalFor(j, journal.Event{Type: journal.EvFailed, Error: err.Error(), AtMs: now.UnixMilli()})
+	case StateCanceled:
+		m.journalFor(j, journal.Event{Type: journal.EvCancelled, Error: deg.Detail, AtMs: now.UnixMilli()})
+	}
+
 	switch {
 	case err != nil:
-		m.logf("jobs: %s failed after %s: %v", j.id, now.Sub(j.started).Round(time.Millisecond), err)
+		m.logf("jobs: %s failed after %s: %v", j.id, now.Sub(started).Round(time.Millisecond), err)
 	case deg.Truncated:
-		m.logf("jobs: %s %s after %s: %s", j.id, state, now.Sub(j.started).Round(time.Millisecond), deg.String())
+		m.logf("jobs: %s %s after %s: %s", j.id, state, now.Sub(started).Round(time.Millisecond), deg.String())
 	}
 }
 
 // execIsolated runs the executor behind a panic barrier so one
-// pathological mine cannot take down the worker pool.
+// pathological mine cannot take down the worker pool. A panic carrying
+// a Permanent-marked error keeps the marker, so the retry loop sees it;
+// any other panic value is a transient failure.
 func (m *Manager) execIsolated(ctl *runctl.Controller, cfg core.Config) (res core.Result, err error) {
 	defer func() {
 		if rec := recover(); rec != nil {
+			if e, ok := rec.(error); ok && IsPermanent(e) {
+				err = e
+				return
+			}
 			err = fmt.Errorf("mine panicked: %v", rec)
 		}
 	}()
@@ -685,14 +874,20 @@ func (m *Manager) janitor() {
 	}
 }
 
-// evictExpired drops finished jobs whose TTL passed.
+// evictExpired drops finished jobs whose TTL passed. Only terminal
+// jobs are reaped, and even a terminal job is held while anything still
+// references it: a worker that will yet dequeue it from the queue
+// channel (canceled-in-queue jobs stay physically enqueued), or a
+// pending retry-backoff timer. A queued or running job is never
+// evicted, however old — its worker owns it.
 func (m *Manager) evictExpired(now time.Time) {
 	cutoff := now.Add(-m.opts.TTL)
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for id, j := range m.jobs {
 		j.mu.Lock()
-		expired := j.state.Finished() && j.finished.Before(cutoff)
+		expired := j.state.Finished() && !j.inQueue && !j.retryPending &&
+			j.retryTimer == nil && j.finished.Before(cutoff)
 		j.mu.Unlock()
 		if expired {
 			delete(m.jobs, id)
@@ -726,6 +921,10 @@ func (m *Manager) Stats() Stats {
 		CacheHits:   m.cacheHits.Load(),
 		CacheMisses: m.cacheMisses.Load(),
 		Rejected:    m.rejected.Load(),
+		Shed:        m.shed.Load(),
+		Retries:     m.retries.Load(),
+		Replayed:    m.replayed.Load(),
+		Stalled:     m.stalled.Load(),
 		CacheSize:   entries,
 		CacheCap:    capacity,
 	}
@@ -751,6 +950,9 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 	for {
 		select {
 		case j := <-m.queue:
+			j.mu.Lock()
+			j.inQueue = false // drained here; no worker will dequeue it
+			j.mu.Unlock()
 			m.cancelLocked(j, "server shutting down")
 			continue
 		default:

@@ -58,6 +58,39 @@ const (
 	MJobsFinished = "graphsig_jobs_finished_total"
 	// MJobsRunSeconds is the executed-job wall-time histogram.
 	MJobsRunSeconds = "graphsig_jobs_run_seconds"
+	// MJobsShed counts submissions refused by deadline-aware admission
+	// control: the expected queue wait already exceeded the client's
+	// completion deadline, so running the job could only waste a worker.
+	MJobsShed = "graphsig_jobs_shed_total"
+	// MJobsRetries counts re-enqueues of transiently failed jobs.
+	MJobsRetries = "graphsig_jobs_retries_total"
+	// MJobsReplayed counts jobs reconstructed from the write-ahead
+	// journal at startup (label: outcome — "requeued" for incomplete
+	// jobs re-entering the queue, "finished" for terminal jobs surfaced
+	// with their persisted results, "dropped" for records that could not
+	// be restored).
+	MJobsReplayed = "graphsig_jobs_replayed_total"
+	// MJobsStalled counts jobs the stall watchdog canceled because their
+	// runctl checkpoints stopped advancing for the configured window.
+	MJobsStalled = "graphsig_jobs_stalled_total"
+
+	// Durability layer (internal/journal, runctl checkpoint sink,
+	// core resume).
+	// MJournalRecords counts appended journal records by type.
+	MJournalRecords = "graphsig_journal_records_total"
+	// MJournalTruncations counts corrupt-tail repairs on journal open:
+	// each is one torn or CRC-failing suffix cut back to the last intact
+	// record boundary.
+	MJournalTruncations = "graphsig_journal_tail_truncations_total"
+	// MJournalErrors counts journal append/sync failures; the serving
+	// layer degrades to in-memory operation instead of failing the job.
+	MJournalErrors = "graphsig_journal_errors_total"
+	// MCheckpointsEmitted counts resumable snapshots handed to a
+	// runctl checkpoint sink.
+	MCheckpointsEmitted = "graphsig_checkpoints_emitted_total"
+	// MResumeRejected counts resume states Mine refused (key or group
+	// identity mismatch); the run falls back to mining from scratch.
+	MResumeRejected = "graphsig_resume_rejected_total"
 
 	// HTTP surface (internal/server; labels: route, code).
 	MHTTPRequests = "graphsig_http_requests_total"

@@ -125,6 +125,14 @@ type Options struct {
 	// exactly-once degradation counter, and the isolated-panic counter.
 	// Nil disables metering with no per-step cost.
 	Metrics *obs.Registry
+	// CheckpointSink, when non-nil, receives the resumable snapshots the
+	// pipeline emits at its durable progress boundaries (core.Mine's
+	// group-merge commits). The owner persists them — the jobs layer
+	// appends each to its write-ahead journal — so a killed process can
+	// restart from the last snapshot instead of from zero. The payload
+	// is opaque to runctl; core owns its encoding. Pipelines only build
+	// snapshots when a sink is installed, so unattended runs pay nothing.
+	CheckpointSink func(payload []byte)
 }
 
 // StopError is the structured cause a checkpoint returns once the run
@@ -227,9 +235,11 @@ type Controller struct {
 	interval int64
 	hook     func(int64) bool
 	metrics  *obs.Registry
+	sink     func([]byte)
 
-	checks atomic.Int64
-	cause  atomic.Pointer[StopError]
+	checks    atomic.Int64
+	snapshots atomic.Int64
+	cause     atomic.Pointer[StopError]
 
 	spentFV    atomic.Int64
 	spentMiner atomic.Int64
@@ -256,7 +266,42 @@ func New(opt Options) *Controller {
 		interval: interval,
 		hook:     opt.Hook,
 		metrics:  opt.Metrics,
+		sink:     opt.CheckpointSink,
 	}
+}
+
+// WantsCheckpoints reports whether a checkpoint sink is installed, so
+// pipelines can skip building snapshots nobody will persist. False for
+// a nil controller.
+func (c *Controller) WantsCheckpoints() bool {
+	return c != nil && c.sink != nil
+}
+
+// EmitCheckpoint hands one resumable snapshot to the checkpoint sink.
+// A nil controller or absent sink drops the payload; a panicking sink
+// is contained here (persistence failure must degrade durability, not
+// the mine).
+func (c *Controller) EmitCheckpoint(payload []byte) {
+	if c == nil || c.sink == nil {
+		return
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			c.Recovered("checkpoint", "checkpoint sink", r)
+		}
+	}()
+	c.sink(payload)
+	c.snapshots.Add(1)
+	c.metrics.Counter(obs.MCheckpointsEmitted).Inc()
+}
+
+// CheckpointsEmitted returns how many snapshots reached the sink (test
+// and watchdog observability; zero for a nil controller).
+func (c *Controller) CheckpointsEmitted() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.snapshots.Load()
 }
 
 // Metrics returns the controller's metrics registry (nil when the run

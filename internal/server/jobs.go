@@ -101,6 +101,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		Timeout:  s.mineTimeout(req.TimeoutMs),
 		Detached: true,
 		Meta:     req.Limit,
+		Deadline: submitDeadline(req.DeadlineMs),
 	})
 	if err != nil {
 		submitError(w, err)

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"io"
@@ -312,13 +313,116 @@ func TestQueueFullReturns503(t *testing.T) {
 	if code := postJSON(t, srv.URL+"/jobs/mine", mineRequest{Radius: 3}, nil); code != http.StatusAccepted {
 		t.Fatalf("second submit status %d", code)
 	}
-	var errBody map[string]string
-	code := postJSON(t, srv.URL+"/jobs/mine", mineRequest{Radius: 4}, &errBody)
-	if code != http.StatusServiceUnavailable {
-		t.Fatalf("overflow submit status %d; want 503", code)
+	body, err := json.Marshal(mineRequest{Radius: 4})
+	if err != nil {
+		t.Fatal(err)
 	}
-	if !strings.Contains(errBody["error"], "queue full") {
-		t.Errorf("overflow error = %q", errBody["error"])
+	resp, err := http.Post(srv.URL+"/jobs/mine", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("overflow submit status %d; want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("queue-full 503 is missing the Retry-After header")
+	}
+	var errBody submitErrorBody
+	if err := json.NewDecoder(resp.Body).Decode(&errBody); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	if !strings.Contains(errBody.Error, "queue full") {
+		t.Errorf("overflow error = %q", errBody.Error)
+	}
+	if errBody.Reason != "queue_full" || errBody.QueueCap != 1 || errBody.QueueDepth != 1 || errBody.RetryAfterMs <= 0 {
+		t.Errorf("structured overflow body = %+v", errBody)
+	}
+}
+
+// TestDeadlineShedReturns503: a submission whose deadline the expected
+// queue wait already exceeds is shed with 503, Retry-After, and the
+// admission controller's wait estimate in the body.
+func TestDeadlineShedReturns503(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 1)
+	d := chem.GenerateN(chem.AIDSSpec(), 10)
+	s := New(d.Graphs)
+	s.Logf = t.Logf
+	s.JobWorkers = 1
+	s.JobQueueDepth = 8
+	s.mineFn = func(ctl *runctl.Controller, cfg core.Config) core.Result {
+		// Real elapsed time: the EWMA the admission controller keeps is
+		// measured, so a no-op executor would never produce a wait
+		// estimate above anyone's deadline.
+		time.Sleep(25 * time.Millisecond)
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		<-release
+		return core.Result{}
+	}
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		close(release)
+		srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+		defer cancel()
+		s.Close(ctx)
+	})
+
+	// Seed the admission controller's run-time estimate: with no history
+	// it never sheds, so record one completed run first.
+	if code := postJSON(t, srv.URL+"/jobs/mine", mineRequest{Radius: 2}, nil); code != http.StatusAccepted {
+		t.Fatalf("first submit status %d", code)
+	}
+	<-started
+	release <- struct{}{}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Jobs().Stats().Busy != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("first job never finished")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Occupy the worker and stack the queue so the expected wait for a
+	// new job is several average run-times.
+	if code := postJSON(t, srv.URL+"/jobs/mine", mineRequest{Radius: 3}, nil); code != http.StatusAccepted {
+		t.Fatalf("busy submit status %d", code)
+	}
+	<-started
+	for r := 4; r <= 6; r++ {
+		if code := postJSON(t, srv.URL+"/jobs/mine", mineRequest{Radius: r}, nil); code != http.StatusAccepted {
+			t.Fatalf("queue submit radius=%d status %d", r, code)
+		}
+	}
+
+	body, err := json.Marshal(mineRequest{Radius: 7, DeadlineMs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/jobs/mine", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("shed submit status %d; want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("deadline 503 is missing the Retry-After header")
+	}
+	var errBody submitErrorBody
+	if err := json.NewDecoder(resp.Body).Decode(&errBody); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	if errBody.Reason != "deadline" || errBody.ExpectedWaitMs <= 0 {
+		t.Errorf("structured shed body = %+v", errBody)
+	}
+	if got := s.Jobs().Stats().Shed; got != 1 {
+		t.Errorf("shed counter = %d, want 1", got)
 	}
 }
 

@@ -36,6 +36,7 @@ import (
 	"graphsig/internal/gindex"
 	"graphsig/internal/graph"
 	"graphsig/internal/jobs"
+	"graphsig/internal/journal"
 	"graphsig/internal/obs"
 	"graphsig/internal/runctl"
 	"graphsig/internal/rwr"
@@ -78,6 +79,20 @@ type Server struct {
 	JobQueueDepth int
 	JobTTL        time.Duration
 	JobCacheSize  int
+	// Journal, when non-nil, makes job lifecycles durable: submissions,
+	// checkpoints, and outcomes are written through it, and
+	// JournalReplay (the fold journal.Open returned) is re-enqueued or
+	// surfaced on manager startup. The server does not own the journal;
+	// close it after Close().
+	Journal       *journal.Journal
+	JournalReplay []journal.JobRecord
+	// JobMaxRetries, JobRetryBackoff, JobStallTimeout, and
+	// JobCheckpointEvery configure the durability layer (zero = the
+	// internal/jobs defaults: no retries, no watchdog).
+	JobMaxRetries      int
+	JobRetryBackoff    time.Duration
+	JobStallTimeout    time.Duration
+	JobCheckpointEvery int
 	// Logf receives operational log lines (degraded mines, panics);
 	// log.Printf when nil.
 	Logf func(format string, args ...any)
@@ -206,6 +221,19 @@ type mineRequest struct {
 	TopK       int     `json:"topK"`
 	TimeoutMs  int     `json:"timeoutMs"`
 	Limit      int     `json:"limit"`
+	// DeadlineMs, when > 0, is the client's tolerance for total
+	// latency: admission control sheds the request with 503 +
+	// Retry-After when the expected queue wait alone exceeds it.
+	DeadlineMs int `json:"deadlineMs"`
+}
+
+// submitDeadline maps the client's latency tolerance onto an absolute
+// admission deadline (zero time = no deadline, never shed).
+func submitDeadline(deadlineMs int) time.Time {
+	if deadlineMs <= 0 {
+		return time.Time{}
+	}
+	return time.Now().Add(time.Duration(deadlineMs) * time.Millisecond)
 }
 
 type minedPattern struct {
@@ -269,15 +297,21 @@ func mineConfig(req mineRequest) core.Config {
 func (s *Server) Jobs() *jobs.Manager {
 	s.jobsOnce.Do(func() {
 		s.jobsMgr = jobs.NewManager(jobs.Options{
-			DB:         s.db,
-			Workers:    s.JobWorkers,
-			QueueDepth: s.JobQueueDepth,
-			TTL:        s.JobTTL,
-			CacheSize:  s.JobCacheSize,
-			Budgets:    s.MineBudgets,
-			Exec:       s.mineFn,
-			Logf:       s.Logf,
-			Metrics:    s.Metrics,
+			DB:              s.db,
+			Workers:         s.JobWorkers,
+			QueueDepth:      s.JobQueueDepth,
+			TTL:             s.JobTTL,
+			CacheSize:       s.JobCacheSize,
+			Budgets:         s.MineBudgets,
+			Exec:            s.mineFn,
+			Logf:            s.Logf,
+			Metrics:         s.Metrics,
+			Journal:         s.Journal,
+			Replay:          s.JournalReplay,
+			MaxRetries:      s.JobMaxRetries,
+			RetryBackoff:    s.JobRetryBackoff,
+			StallTimeout:    s.JobStallTimeout,
+			CheckpointEvery: s.JobCheckpointEvery,
 		})
 	})
 	return s.jobsMgr
@@ -309,8 +343,9 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 	}
 	t0 := time.Now()
 	job, info, err := s.Jobs().Submit(mineConfig(req), jobs.SubmitOptions{
-		Label:   "mine (sync)",
-		Timeout: s.mineTimeout(req.TimeoutMs),
+		Label:    "mine (sync)",
+		Timeout:  s.mineTimeout(req.TimeoutMs),
+		Deadline: submitDeadline(req.DeadlineMs),
 	})
 	if err != nil {
 		submitError(w, err)
@@ -385,17 +420,65 @@ func renderMine(snap jobs.Snapshot, limit int) mineResponse {
 	return resp
 }
 
-// submitError maps a Submit failure onto a status: 503 with queue
-// depth info for backpressure, 503 for shutdown.
+// submitErrorBody is the structured 503 answer for rejected
+// submissions: enough for a client to implement informed backoff
+// without parsing prose.
+type submitErrorBody struct {
+	Error string `json:"error"`
+	// Reason is machine-readable: "queue_full", "deadline", "shutdown".
+	Reason string `json:"reason"`
+	// RetryAfterMs mirrors the Retry-After header in milliseconds.
+	RetryAfterMs int64 `json:"retryAfterMs,omitempty"`
+	// QueueDepth/QueueCap are set on queue_full rejections.
+	QueueDepth int `json:"queueDepth,omitempty"`
+	QueueCap   int `json:"queueCap,omitempty"`
+	// ExpectedWaitMs is set on deadline sheds: the admission
+	// controller's queue-wait estimate that exceeded the deadline.
+	ExpectedWaitMs int64 `json:"expectedWaitMs,omitempty"`
+}
+
+// retryAfterSeconds renders a backoff hint for the Retry-After header,
+// rounding up so "wait 300ms" never becomes "retry immediately".
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return fmt.Sprintf("%d", secs)
+}
+
+// submitError maps a Submit failure onto a status: overload rejections
+// (queue full, deadline shed) answer 503 with a Retry-After header and
+// a structured JSON body; shutdown answers 503 plain.
 func submitError(w http.ResponseWriter, err error) {
 	var full *jobs.ErrQueueFull
 	if errors.As(err, &full) {
 		w.Header().Set("Retry-After", "1")
-		httpError(w, http.StatusServiceUnavailable, "mining queue full: %d of %d jobs queued", full.Depth, full.Cap)
+		writeJSON(w, http.StatusServiceUnavailable, submitErrorBody{
+			Error:        err.Error(),
+			Reason:       "queue_full",
+			RetryAfterMs: time.Second.Milliseconds(),
+			QueueDepth:   full.Depth,
+			QueueCap:     full.Cap,
+		})
+		return
+	}
+	var shed *jobs.ErrDeadline
+	if errors.As(err, &shed) {
+		w.Header().Set("Retry-After", retryAfterSeconds(shed.ExpectedWait))
+		writeJSON(w, http.StatusServiceUnavailable, submitErrorBody{
+			Error:          err.Error(),
+			Reason:         "deadline",
+			RetryAfterMs:   shed.ExpectedWait.Milliseconds(),
+			ExpectedWaitMs: shed.ExpectedWait.Milliseconds(),
+		})
 		return
 	}
 	if errors.Is(err, jobs.ErrClosed) {
-		httpError(w, http.StatusServiceUnavailable, "server shutting down")
+		writeJSON(w, http.StatusServiceUnavailable, submitErrorBody{
+			Error:  "server shutting down",
+			Reason: "shutdown",
+		})
 		return
 	}
 	httpError(w, http.StatusInternalServerError, "%v", err)
