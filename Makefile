@@ -1,6 +1,6 @@
 # Standard entry points. Everything is plain `go` underneath.
 
-.PHONY: all build test vet lint fuzz bench bench-json bench-smoke race crash-test experiments datasets examples clean
+.PHONY: all build test vet lint fuzz bench bench-json bench-smoke race crash-test shard-test experiments datasets examples clean
 
 all: build vet lint test
 
@@ -39,6 +39,15 @@ race:
 # the checkpointer, the journal, and the worker pool.
 crash-test:
 	go test -race -count=1 -run 'TestCrashRestart' -v ./cmd/serve
+
+# Shard-invariance acceptance gate: the scatter-gather mine must answer
+# byte-identically — every p-value and verified support — to an
+# unsharded in-memory mine at shard counts 1, 2, and 4 under both
+# partition strategies, plus the out-of-core store-backed path. Under
+# -race because the coordinator fans out per-shard vectorization and
+# support counting.
+shard-test:
+	go test -race -count=1 -run 'TestShardInvariance|TestStoreBackedMine' -v ./internal/shard
 
 bench:
 	go test -bench=. -benchmem ./...

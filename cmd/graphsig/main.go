@@ -2,6 +2,15 @@
 // graph database file in gSpan transaction format:
 //
 //	graphsig -in screen.db -maxp 0.1 -minfreq 0.1 -radius 4 -top 10
+//	graphsig -store-dir store/ -shards 4 -top 10
+//	graphsig store build -in screen.db -dir store/
+//
+// With -store-dir the corpus is mined out of a persistent segment
+// store (see `graphsig store build`): segments load lazily through a
+// bounded LRU and the mine scatter-gathers across -shards shards, so a
+// database larger than RAM is minable with results byte-identical to
+// an in-memory run. Name rendering then assumes the standard chemistry
+// alphabet (datagen or SMILES-derived stores qualify).
 //
 // Labels in the input may be symbols (atom names) or integers. The
 // output lists each significant subgraph with its describing vector's
@@ -27,6 +36,8 @@ import (
 	"graphsig/internal/graph"
 	"graphsig/internal/obs"
 	"graphsig/internal/runctl"
+	"graphsig/internal/shard"
+	"graphsig/internal/store"
 )
 
 // exitTruncated is the exit status for a partial (degraded) mine,
@@ -37,7 +48,14 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("graphsig: ")
 
+	if len(os.Args) > 1 && os.Args[1] == "store" {
+		storeMain(os.Args[2:])
+		return
+	}
+
 	in := flag.String("in", "", "input graph database (gSpan transaction format, or .smi SMILES file)")
+	storeDir := flag.String("store-dir", "", "mine out of this persistent segment store (see `graphsig store build`) instead of -in")
+	shards := flag.Int("shards", 1, "scatter-gather mining shards for -store-dir")
 	maxP := flag.Float64("maxp", 0.1, "p-value threshold")
 	minFreq := flag.Float64("minfreq", 0.1, "FVMine support threshold, % of per-label vectors")
 	radius := flag.Int("radius", 4, "cutoff radius around region centers")
@@ -56,31 +74,50 @@ func main() {
 	resumeFile := flag.String("resume", "", "resume group mining from a snapshot written by -checkpoint (ignored unless it matches this database and configuration)")
 	flag.Parse()
 
-	if *in == "" {
+	if (*in == "") == (*storeDir == "") {
 		flag.Usage()
 		os.Exit(2)
 	}
-	f, err := os.Open(*in)
-	if err != nil {
-		log.Fatal(err)
+	// A nil registry makes every metric a no-op; only meter when asked.
+	var reg *obs.Registry
+	if *stats {
+		reg = obs.NewRegistry()
 	}
-	defer f.Close()
 	var db []*graph.Graph
+	var reader *store.Reader
 	var alphabet *graph.Alphabet
-	if strings.HasSuffix(*in, ".smi") {
+	if *storeDir != "" {
+		// Segment stores persist integer labels only; render names
+		// through the standard chemistry alphabet.
 		alphabet = chem.Alphabet()
-		db, _, err = chem.ReadSMILESFile(f)
-		for i, g := range db {
-			g.ID = i
+		var err error
+		reader, err = store.Open(*storeDir, store.Options{Metrics: reg})
+		if err != nil {
+			log.Fatal(err)
 		}
+		log.Printf("opened store %s: generation %d, %d graphs in %d segment(s)",
+			*storeDir, reader.Generation(), reader.Len(), len(reader.Manifest().Segments))
 	} else {
-		alphabet = graph.NewAlphabet()
-		db, err = graph.ReadDB(f, alphabet)
+		f, err := os.Open(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if strings.HasSuffix(*in, ".smi") {
+			alphabet = chem.Alphabet()
+			db, _, err = chem.ReadSMILESFile(f)
+			for i, g := range db {
+				g.ID = i
+			}
+		} else {
+			alphabet = graph.NewAlphabet()
+			db, err = graph.ReadDB(f, alphabet)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("loaded %d graphs from %s", len(db), *in)
 	}
-	if err != nil {
-		log.Fatal(err)
-	}
-	log.Printf("loaded %d graphs from %s", len(db), *in)
 
 	cfg := core.Defaults()
 	cfg.MaxPvalue = *maxP
@@ -101,12 +138,7 @@ func main() {
 		MinerSteps:   *maxSteps,
 		VF2Nodes:     *maxVF2,
 	}
-	// A nil registry makes every metric a no-op; only meter when asked.
-	var reg *obs.Registry
-	if *stats {
-		reg = obs.NewRegistry()
-		cfg.Metrics = reg
-	}
+	cfg.Metrics = reg
 
 	if *resumeFile != "" {
 		buf, err := os.ReadFile(*resumeFile)
@@ -145,7 +177,23 @@ func main() {
 	}
 
 	t0 := time.Now()
-	res := core.Mine(db, cfg)
+	var res core.Result
+	if reader != nil {
+		coord, err := shard.New(reader, shard.Options{
+			Shards:      *shards,
+			Fingerprint: reader.Fingerprint(),
+			Metrics:     reg,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err = coord.Mine(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		res = core.Mine(db, cfg)
+	}
 	log.Printf("mined %d significant subgraphs in %s (RWR %s, feature analysis %s, FSM %s)",
 		len(res.Subgraphs), time.Since(t0).Round(time.Millisecond),
 		res.Profile.RWR.Round(time.Millisecond),

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"graphsig/internal/chem"
+	"graphsig/internal/graph"
+	"graphsig/internal/store"
+)
+
+// storeMain dispatches the `graphsig store` subcommands that manage
+// persistent segment stores — the on-disk database format behind
+// `graphsig -store-dir` and `serve -store-dir`:
+//
+//	graphsig store build  -in screen.db -dir store/ [-segment-graphs 256]
+//	graphsig store append -in more.smi  -dir store/
+//	graphsig store info   -dir store/
+func storeMain(args []string) {
+	if len(args) == 0 {
+		log.Fatal("usage: graphsig store <build|append|info> ...")
+	}
+	switch args[0] {
+	case "build":
+		storeBuild("build", args[1:])
+	case "append":
+		storeBuild("append", args[1:])
+	case "info":
+		storeInfo(args[1:])
+	default:
+		log.Fatalf("unknown store subcommand %q (want build, append, or info)", args[0])
+	}
+}
+
+// loadInput reads a graph database the same way the mining path does:
+// gSpan transaction format, or SMILES when the name ends in .smi.
+// SMILES IDs are assigned sequentially from base.
+func loadInput(in string, base int) []*graph.Graph {
+	f, err := os.Open(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	var db []*graph.Graph
+	if strings.HasSuffix(in, ".smi") {
+		db, _, err = chem.ReadSMILESFile(f)
+		for i, g := range db {
+			g.ID = base + i
+		}
+	} else {
+		db, err = graph.ReadDB(f, graph.NewAlphabet())
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	return db
+}
+
+// storeBuild implements both `store build` (create) and `store append`
+// (extend an existing store, bumping its generation).
+func storeBuild(mode string, args []string) {
+	fs := flag.NewFlagSet("graphsig store "+mode, flag.ExitOnError)
+	in := fs.String("in", "", "input graph database (gSpan transaction format, or .smi SMILES file)")
+	dir := fs.String("dir", "", "store directory")
+	segGraphs := fs.Int("segment-graphs", 0, "graphs per segment (0 = default)")
+	fs.Parse(args)
+	if *in == "" || *dir == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+	base := 0
+	if mode == "append" {
+		// Validate the existing store before touching it, and continue
+		// the SMILES ID sequence where the resident corpus left off.
+		r, err := store.Open(*dir, store.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		base = r.Len()
+	}
+	db := loadInput(*in, base)
+	opts := store.BuildOptions{SegmentGraphs: *segGraphs}
+	var m *store.Manifest
+	var err error
+	if mode == "append" {
+		m, err = store.Append(*dir, db, opts)
+	} else {
+		m, err = store.Build(*dir, db, opts)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("%s %s: generation %d, %d graphs in %d segment(s), fingerprint %s",
+		mode, *dir, m.Generation, m.Graphs, len(m.Segments), m.Fingerprint)
+}
+
+func storeInfo(args []string) {
+	fs := flag.NewFlagSet("graphsig store info", flag.ExitOnError)
+	dir := fs.String("dir", "", "store directory")
+	fs.Parse(args)
+	if *dir == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+	r, err := store.Open(*dir, store.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := r.Manifest()
+	fmt.Printf("store:        %s\n", *dir)
+	fmt.Printf("generation:   %d\n", m.Generation)
+	fmt.Printf("graphs:       %d\n", m.Graphs)
+	fmt.Printf("nodes:        %d\n", m.Nodes)
+	fmt.Printf("edges:        %d\n", m.Edges)
+	fmt.Printf("fingerprint:  %s\n", m.Fingerprint)
+	fmt.Printf("segments:     %d\n", len(m.Segments))
+	for _, seg := range m.Segments {
+		fmt.Printf("  %s  graphs [%d, %d)  %s\n", seg.File, seg.Start, seg.Start+seg.Count, seg.Fingerprint)
+	}
+}

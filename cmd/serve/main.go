@@ -2,6 +2,13 @@
 //
 //	serve -in data/AIDS.db -addr :8080
 //	serve -dataset MOLT-4 -n 1000 -addr :8080 -warm
+//	serve -store-dir store/ -shards 4 -addr :8080
+//
+// With -store-dir the corpus is served out of a persistent segment
+// store (built with `graphsig store build`): segments load lazily
+// through a bounded LRU, so a database larger than RAM is servable,
+// and mining scatter-gathers across -shards shards with results
+// byte-identical to an unsharded in-memory mine.
 //
 // Endpoints: GET /healthz, GET /stats, POST /mine, POST /query,
 // POST /significance, POST /jobs/mine, GET /jobs, GET /jobs/{id},
@@ -46,6 +53,9 @@ func main() {
 	in := flag.String("in", "", "graph database file (.db transaction format or .smi)")
 	dataset := flag.String("dataset", "", "generate this catalog dataset instead of loading")
 	n := flag.Int("n", 1000, "molecules to generate with -dataset")
+	storeDir := flag.String("store-dir", "", "serve out of this persistent segment store (see `graphsig store build`) instead of loading into memory")
+	shards := flag.Int("shards", 1, "scatter-gather mining shards for -store-dir")
+	cachedSegments := flag.Int("cached-segments", 0, "decoded-segment LRU size for -store-dir (0 = default)")
 	maxConc := flag.Int("max-concurrent", server.DefaultMaxConcurrent, "max in-flight requests before 503 (0 = unbounded)")
 	maxBody := flag.Int64("max-body", server.DefaultMaxBodyBytes, "request body cap in bytes (0 = unbounded)")
 	mineCap := flag.Duration("mine-cap", server.DefaultMineTimeoutCap, "hard cap on a single /mine run")
@@ -65,6 +75,8 @@ func main() {
 
 	var db []*graph.Graph
 	switch {
+	case *storeDir != "":
+		// The store is opened below; the corpus never loads into memory.
 	case *in != "":
 		f, err := os.Open(*in)
 		if err != nil {
@@ -95,7 +107,21 @@ func main() {
 		os.Exit(2)
 	}
 
-	svc := server.New(db)
+	var svc *server.Server
+	if *storeDir != "" {
+		var err error
+		svc, err = server.NewFromStore(*storeDir, server.StoreOptions{
+			Shards:         *shards,
+			CachedSegments: *cachedSegments,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		gen, graphs, width, _ := svc.Store()
+		log.Printf("opened store %s: generation %d, %d graphs, %d shard(s)", *storeDir, gen, graphs, width)
+	} else {
+		svc = server.New(db)
+	}
 	svc.MaxConcurrent = *maxConc
 	svc.MaxBodyBytes = *maxBody
 	svc.MineTimeoutCap = *mineCap
@@ -134,7 +160,9 @@ func main() {
 
 	if *warm {
 		t0 := time.Now()
-		svc.Warm()
+		if err := svc.Warm(); err != nil {
+			log.Fatal(err)
+		}
 		log.Printf("warmed query index and RWR vectors in %s", time.Since(t0).Round(time.Millisecond))
 	}
 
@@ -162,7 +190,11 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("serving %d graphs on %s", len(db), ln.Addr())
+		if _, graphs, _, ok := svc.Store(); ok {
+			log.Printf("serving %d graphs (store-backed) on %s", graphs, ln.Addr())
+		} else {
+			log.Printf("serving %d graphs on %s", len(db), ln.Addr())
+		}
 		errCh <- srv.Serve(ln)
 	}()
 

@@ -7,15 +7,18 @@ import (
 
 // FsyncClose forbids discarding the error of (*os.File).Sync, and of
 // (*os.File).Close on files opened for writing, in the durability
-// packages. The write-ahead journal's whole contract is "acknowledged
-// means on disk": a Sync whose error vanishes turns an fsync failure
-// into silent data loss, and on many filesystems Close is where a
-// delayed write-back error finally surfaces. Read-only handles are
-// exempt — closing them cannot lose data.
+// packages (internal/journal and internal/store). The write-ahead
+// journal's whole contract is "acknowledged means on disk", and the
+// segment store's is "manifest-named means fully on disk": a Sync
+// whose error vanishes turns an fsync failure into silent data loss,
+// and on many filesystems Close is where a delayed write-back error
+// finally surfaces. Read-only handles are exempt — closing them cannot
+// lose data.
 var FsyncClose = &Analyzer{
 	Name: "fsyncclose",
-	Doc: "Sync/Close errors on writable files in internal/journal must be " +
-		"handled, not discarded — a dropped fsync error is silent data loss",
+	Doc: "Sync/Close errors on writable files in internal/journal and " +
+		"internal/store must be handled, not discarded — a dropped fsync " +
+		"error is silent data loss",
 	Run: runFsyncClose,
 }
 

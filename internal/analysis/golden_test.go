@@ -199,8 +199,9 @@ func TestCheckpointGolden(t *testing.T) {
 }
 
 func TestFsyncCloseGolden(t *testing.T) {
-	pkgs := loadTestdata(t, "journal")
+	pkgs := loadTestdata(t, "journal", "store")
 	runGolden(t, FsyncClose, pkgs["journal"])
+	runGolden(t, FsyncClose, pkgs["store"])
 }
 
 // TestFsyncCloseScopeExcludesOtherPackages: the identical discard

@@ -45,9 +45,12 @@ var spawnScope = map[string]bool{
 
 // fsyncScope lists the packages whose file handles carry durability
 // guarantees: a Sync or Close error discarded there turns an fsync
-// failure into silently lost acknowledged data.
+// failure into silently lost acknowledged data. The journal is the
+// write-ahead log; the store writes segment files and manifests whose
+// crash-safety contract is "manifest-named means fully on disk".
 var fsyncScope = map[string]bool{
 	"journal": true,
+	"store":   true,
 }
 
 // inDeterministicScope reports whether the file is part of a

@@ -1,0 +1,75 @@
+// Package store is the fsyncclose corpus for the segment-store scope:
+// its base name places it in the durability scope, like the real
+// persistent segment store. The idioms mirror segment and manifest
+// writers — write, Sync, Close, Rename — where a dropped error breaks
+// the "manifest-named means fully on disk" contract.
+package store
+
+import (
+	"errors"
+	"os"
+)
+
+// Positive: a segment writer that fires and forgets its fsync — the
+// segment may be named by the manifest without ever reaching disk.
+func writeSegment(path string, payload []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	_, err = f.Write(payload)
+	f.Sync()        // want "discarded (*os.File).Sync error"
+	defer f.Close() // want "defer discards the Close error on a writable file"
+	return err
+}
+
+// Positive: a manifest temp file whose Close error is blanked — the
+// delayed write-back error vanishes right before the Rename commits.
+func replaceManifest(dir string, payload []byte) error {
+	f, err := os.CreateTemp(dir, "manifest-*")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(payload); err != nil {
+		f.Close() // want "discarded Close error on a writable file"
+		return err
+	}
+	_ = f.Sync()  // want "blank-assigned (*os.File).Sync error"
+	_ = f.Close() // want "blank-assigned Close error on a writable file"
+	return os.Rename(f.Name(), dir+"/manifest.json")
+}
+
+// Positive: Sync on a struct-held segment handle.
+type segmentWriter struct{ f *os.File }
+
+func (w *segmentWriter) flush() {
+	w.f.Sync() // want "discarded (*os.File).Sync error"
+}
+
+// Negative: the sanctioned pattern — every Sync and Close error is
+// propagated, with Close joined onto the failure path.
+func writeSegmentDurably(path string, payload []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(payload); err != nil {
+		return errors.Join(err, f.Close())
+	}
+	if err := f.Sync(); err != nil {
+		return errors.Join(err, f.Close())
+	}
+	return f.Close()
+}
+
+// Negative: a read-only segment load has nothing to lose on Close.
+func readSegment(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, 64)
+	n, err := f.Read(buf)
+	return buf[:n], err
+}

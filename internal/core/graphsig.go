@@ -20,7 +20,6 @@ import (
 	"time"
 
 	"graphsig/internal/chem"
-	"graphsig/internal/dfscode"
 	"graphsig/internal/feature"
 	"graphsig/internal/fsg"
 	"graphsig/internal/fvmine"
@@ -128,6 +127,14 @@ type Config struct {
 	// internal/obs). Ignored when Ctl is set: the controller's registry
 	// wins, so a job-owned mine reports into its owner's registry.
 	Metrics *obs.Registry
+	// DBFingerprint, when non-empty, is graph.Fingerprint of the
+	// database being mined, precomputed by the caller — a jobs manager
+	// that hashed the corpus once at startup, or a store manifest that
+	// carries it on disk. Mine uses it as the checkpoint/resume identity
+	// instead of rehashing the whole database per run. Excluded from
+	// CacheKey: it names the database, not the parameters; MineKey
+	// composes the two explicitly.
+	DBFingerprint string
 	// Alphabet names atom labels in reports (optional).
 	Alphabet *graph.Alphabet
 	// FeatureSet overrides the feature set (nil = chemistry set built
@@ -474,81 +481,17 @@ func Mine(db []*graph.Graph, cfg Config) Result {
 	// iteration exactly. A panicking group worker is isolated into a
 	// per-group error; the remaining groups still mine.
 	t2 := time.Now()
-	// Durability hooks: when the caller installed a checkpoint sink or
-	// handed us a snapshot, bind this run's identity (database + config
-	// + group list) so snapshots can only resume the exact same mine.
-	var resumed []groupOutcome
-	var ckpt *checkpointer
-	if cfg.Resume != nil || ctl.WantsCheckpoints() {
-		key := MineKey(graph.Fingerprint(db), cfg)
-		gh := groupsHash(groups)
-		resumed = validResumePrefix(cfg.Resume, key, gh, len(groups), ctl.Metrics())
-		if ctl.WantsCheckpoints() {
-			every := cfg.CheckpointEvery
-			if every <= 0 {
-				every = DefaultCheckpointEvery
-			}
-			ckpt = newCheckpointer(len(groups), len(resumed), every, func(done int, outcomes []groupOutcome) {
-				persisted, err := persistOutcomes(outcomes)
-				if err != nil {
-					return // unserializable snapshot: skip, never block mining
-				}
-				buf, err := EncodeResumeState(&ResumeState{
-					V: persistVersion, Key: key, GroupsHash: gh,
-					Done: done, Outcomes: persisted,
-				})
-				if err != nil {
-					return
-				}
-				ctl.EmitCheckpoint(buf)
-			})
-		}
+	// The checkpoint/resume identity needs the database fingerprint;
+	// trust a caller-supplied one (jobs manager, store manifest) and
+	// hash the corpus only when nobody did it already.
+	dbFP := cfg.DBFingerprint
+	if dbFP == "" && (cfg.Resume != nil || ctl.WantsCheckpoints()) {
+		dbFP = graph.Fingerprint(db)
 	}
-	outcomes, launched := mineGroups(db, groups, cfg, ctl, resumed, ckpt)
-	if launched < len(groups) {
-		ctl.RecordStop(runctl.StageGroupMine, int64(launched), int64(len(groups)), "vector groups mined")
-	}
-	best := map[string]*Subgraph{}
-	for gi := 0; gi < launched; gi++ {
-		o := &outcomes[gi]
-		grp := groups[gi]
-		if o.mined {
-			res.GroupsMined++
-		}
-		if o.panicked {
-			res.GroupErrors++
-			continue
-		}
-		if o.pruned {
-			res.GroupsPruned++
-			continue
-		}
-		for _, p := range o.patterns {
-			if p.Graph.NumEdges() == 0 {
-				continue
-			}
-			// Group miners number pattern vertices in discovery order,
-			// which varies between processes; rematerializing from the
-			// minimum DFS code makes the reported graph canonical, so the
-			// answer set is byte-stable across runs and across a
-			// crash/resume boundary (cmd/serve's crash test relies on it).
-			code := dfscode.MinimumCode(p.Graph)
-			key := code.String()
-			cur, ok := best[key]
-			if !ok || grp.Sig.LogPValue < cur.VectorLogPValue {
-				best[key] = &Subgraph{
-					Graph:           code.Graph(),
-					Canonical:       key,
-					SourceLabel:     grp.Label,
-					VectorPValue:    grp.Sig.PValue,
-					VectorLogPValue: grp.Sig.LogPValue,
-					VectorSupport:   grp.Sig.Support,
-					GroupSize:       o.windows,
-					GroupSupport:    p.Support,
-				}
-			}
-		}
-	}
+	ordered, stats := minePatterns(func(i int) *graph.Graph { return db[i] }, dbFP, groups, cfg, ctl)
+	res.GroupsMined = stats.GroupsMined
+	res.GroupsPruned = stats.GroupsPruned
+	res.GroupErrors = stats.GroupErrors
 	res.Profile.FSM = time.Since(t2)
 
 	// Final: verify support in graph space (in parallel across patterns;
@@ -556,22 +499,6 @@ func Mine(db []*graph.Graph, cfg Config) Result {
 	// Each worker draws from the shared VF2 node budget, so one
 	// pathological pattern/target pair cannot stall verification.
 	t3 := time.Now()
-	ordered := make([]*Subgraph, 0, len(best))
-	for _, sg := range best {
-		ordered = append(ordered, sg)
-	}
-	// Map iteration order is random; sort by canonical code so the
-	// verification feed order is reproducible. Under a VF2 budget the
-	// feed order decides *which* patterns get verified before the budget
-	// trips — unsorted, two identical runs could verify different
-	// subsets.
-	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Canonical < ordered[j].Canonical })
-	// Every pattern starts unverified; a worker clears the flag only on
-	// a completed support count, so a drained (worker panic) or cut-off
-	// pattern is distinguishable from one whose true support is zero.
-	for _, sg := range ordered {
-		sg.Unverified = true
-	}
 	if !cfg.SkipVerify {
 		verifySpan := ctl.StartStage(runctl.StageVerify)
 		// One summary pass over the database lets every worker reject
@@ -642,16 +569,7 @@ func Mine(db []*graph.Graph, cfg Config) Result {
 	for _, sg := range ordered {
 		res.Subgraphs = append(res.Subgraphs, *sg)
 	}
-	sort.Slice(res.Subgraphs, func(i, j int) bool {
-		a, b := res.Subgraphs[i], res.Subgraphs[j]
-		if a.VectorLogPValue != b.VectorLogPValue {
-			return a.VectorLogPValue < b.VectorLogPValue
-		}
-		if a.Graph.NumEdges() != b.Graph.NumEdges() {
-			return a.Graph.NumEdges() > b.Graph.NumEdges()
-		}
-		return a.Canonical < b.Canonical
-	})
+	SortSubgraphs(res.Subgraphs)
 	res.Profile.Verify = time.Since(t3)
 	res.Degradation = ctl.Report()
 	res.Truncated = res.Degradation.Truncated
@@ -799,8 +717,8 @@ func (c *checkpointer) commit(gi int) {
 // resumed prefix is copied in verbatim and never re-mined — its groups
 // count as launched — and each newly finished group is committed to the
 // checkpointer (nil = no snapshots).
-func mineGroups(db []*graph.Graph, groups []VectorGroup, cfg Config, ctl *runctl.Controller, resumed []groupOutcome, ckpt *checkpointer) ([]groupOutcome, int) {
-	wc := newWindowCache(db, cfg.CutoffRadius, ctl.Metrics())
+func mineGroups(fetch func(int) *graph.Graph, groups []VectorGroup, cfg Config, ctl *runctl.Controller, resumed []groupOutcome, ckpt *checkpointer) ([]groupOutcome, int) {
+	wc := newWindowCache(fetch, cfg.CutoffRadius, ctl.Metrics())
 	outcomes := make([]groupOutcome, len(groups))
 	start := copy(outcomes, resumed)
 	ckpt.attach(outcomes)
@@ -824,7 +742,7 @@ func mineGroups(db []*graph.Graph, groups []VectorGroup, cfg Config, ctl *runctl
 		go func(gi int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			outcomes[gi] = mineOneGroup(db, groups[gi], cfg, ctl, wc)
+			outcomes[gi] = mineOneGroup(groups[gi], cfg, ctl, wc)
 			ckpt.commit(gi)
 		}(gi)
 	}
@@ -836,7 +754,7 @@ func mineGroups(db []*graph.Graph, groups []VectorGroup, cfg Config, ctl *runctl
 // them, keeping the per-group stage spans balanced: every span this
 // worker starts is ended or failed here, even on panic, so the
 // started == completed + degraded invariant survives fan-out.
-func mineOneGroup(db []*graph.Graph, grp VectorGroup, cfg Config, ctl *runctl.Controller, wc *windowCache) (out groupOutcome) {
+func mineOneGroup(grp VectorGroup, cfg Config, ctl *runctl.Controller, wc *windowCache) (out groupOutcome) {
 	groupSpan := ctl.StartStage(runctl.StageGroup)
 	var fsmSpan *runctl.StageSpan
 	defer func() {

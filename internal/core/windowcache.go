@@ -28,7 +28,9 @@ type windowEntry struct {
 // windows are shared read-only between groups — the miners never
 // mutate their input graphs.
 type windowCache struct {
-	db     []*graph.Graph
+	// fetch resolves a database position to its graph — a slice index
+	// for an in-memory mine, a lazy segment load for a store-backed one.
+	fetch  func(int) *graph.Graph
 	radius int
 
 	mu sync.Mutex
@@ -38,9 +40,9 @@ type windowCache struct {
 	misses *obs.Counter
 }
 
-func newWindowCache(db []*graph.Graph, radius int, reg *obs.Registry) *windowCache {
+func newWindowCache(fetch func(int) *graph.Graph, radius int, reg *obs.Registry) *windowCache {
 	return &windowCache{
-		db:     db,
+		fetch:  fetch,
 		radius: radius,
 		m:      make(map[windowKey]*windowEntry),
 		hits:   reg.Counter(obs.MWindowCacheHits),
@@ -65,6 +67,6 @@ func (c *windowCache) window(graphID, nodeID int) *graph.Graph {
 	} else {
 		c.misses.Inc()
 	}
-	e.once.Do(func() { e.g = c.db[graphID].CutGraph(nodeID, c.radius) })
+	e.once.Do(func() { e.g = c.fetch(graphID).CutGraph(nodeID, c.radius) })
 	return e.g
 }

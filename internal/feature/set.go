@@ -72,108 +72,26 @@ type AtomFrequency struct {
 // (names fall back to numeric placeholders).
 func AtomProfile(db []*graph.Graph, alpha *graph.Alphabet) []AtomFrequency {
 	counts := map[graph.Label]int{}
-	total := 0
 	for _, g := range db {
 		for _, l := range g.Labels() {
 			counts[l]++
-			total++
 		}
 	}
-	profile := make([]AtomFrequency, 0, len(counts))
-	for l, c := range counts {
-		name := fmt.Sprintf("#%d", int(l))
-		if alpha != nil {
-			name = alpha.Name(l)
-		}
-		profile = append(profile, AtomFrequency{Label: l, Name: name, Count: c})
-	}
-	sort.Slice(profile, func(i, j int) bool {
-		if profile[i].Count != profile[j].Count {
-			return profile[i].Count > profile[j].Count
-		}
-		return profile[i].Label < profile[j].Label
-	})
-	cum := 0
-	for i := range profile {
-		cum += profile[i].Count
-		if total > 0 {
-			profile[i].CumulativePct = 100 * float64(cum) / float64(total)
-		}
-	}
-	return profile
+	return profileFromCounts(counts, alpha)
 }
 
 // ChemistrySet builds the paper's chemistry feature set from a database:
 // all atom types seen in db plus the edge types (atom pair × bond label)
 // among the topK most frequent atoms that actually occur in db. alpha
-// may be nil.
+// may be nil. It is defined as ChemistrySetFromStats over a one-pass
+// accumulation, so a shard coordinator that merges per-shard Stats
+// rebuilds an identical set.
 func ChemistrySet(db []*graph.Graph, alpha *graph.Alphabet, topK int) *Set {
-	profile := AtomProfile(db, alpha)
-	s := &Set{
-		atomFeature: map[graph.Label]int{},
-		edgeFeature: map[[3]graph.Label]int{},
-	}
-	if topK > len(profile) {
-		topK = len(profile)
-	}
-	covered, total := 0, 0
-	for _, p := range profile {
-		total += p.Count
-	}
-	rank := map[graph.Label]int{}
-	names := map[graph.Label]string{}
-	for i, p := range profile {
-		rank[p.Label] = i
-		names[p.Label] = p.Name
-	}
-	top := map[graph.Label]bool{}
-	for i := 0; i < topK; i++ {
-		s.topAtoms = append(s.topAtoms, profile[i].Label)
-		top[profile[i].Label] = true
-		covered += profile[i].Count
-	}
-	if total > 0 {
-		s.atomCoverage = float64(covered) / float64(total)
-	}
-	// Edge features: every (top atom, top atom, bond) combination seen
-	// in the database, ordered by atom ranks then bond for stability.
-	type edgeType struct{ key [3]graph.Label }
-	var types []edgeType
-	seen := map[[3]graph.Label]bool{}
+	st := NewStats()
 	for _, g := range db {
-		for _, e := range g.Edges() {
-			a, b := g.NodeLabel(e.From), g.NodeLabel(e.To)
-			if !top[a] || !top[b] {
-				continue
-			}
-			key := edgeKey(a, b, e.Label)
-			if !seen[key] {
-				seen[key] = true
-				types = append(types, edgeType{key})
-			}
-		}
+		st.Add(g)
 	}
-	sort.Slice(types, func(i, j int) bool {
-		a, b := types[i].key, types[j].key
-		ra, rb := [2]int{rank[a[0]], rank[a[1]]}, [2]int{rank[b[0]], rank[b[1]]}
-		if ra[0] != rb[0] {
-			return ra[0] < rb[0]
-		}
-		if ra[1] != rb[1] {
-			return ra[1] < rb[1]
-		}
-		return a[2] < b[2]
-	})
-	for _, t := range types {
-		s.edgeFeature[t.key] = len(s.names)
-		s.names = append(s.names, fmt.Sprintf("%s-%s/%d", names[t.key[0]], names[t.key[1]], int(t.key[2])))
-	}
-	// Then one feature per atom type.
-	for _, p := range profile {
-		s.atomFeature[p.Label] = len(s.names)
-		s.names = append(s.names, "atom:"+p.Name)
-	}
-	return s
+	return ChemistrySetFromStats(st, alpha, topK)
 }
 
 // edgeKey normalizes an edge type to (min atom, max atom, bond).

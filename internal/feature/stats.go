@@ -1,0 +1,147 @@
+package feature
+
+import (
+	"fmt"
+	"sort"
+
+	"graphsig/internal/graph"
+)
+
+// Stats is the mergeable raw material of a chemistry feature set: atom
+// occurrence counts and the set of edge types (unordered atom pair ×
+// bond label) seen. A shard coordinator accumulates one Stats per
+// shard in parallel, merges them, and builds the feature set from the
+// merged whole — ChemistrySet over the full database and
+// ChemistrySetFromStats over merged per-shard stats produce identical
+// sets, because the set depends only on these totals, never on scan
+// order.
+type Stats struct {
+	atomCounts map[graph.Label]int
+	edgeTypes  map[[3]graph.Label]bool
+}
+
+// NewStats returns an empty accumulator.
+func NewStats() *Stats {
+	return &Stats{
+		atomCounts: map[graph.Label]int{},
+		edgeTypes:  map[[3]graph.Label]bool{},
+	}
+}
+
+// Add folds one graph's atoms and edge types into the stats.
+func (s *Stats) Add(g *graph.Graph) {
+	for _, l := range g.Labels() {
+		s.atomCounts[l]++
+	}
+	for _, e := range g.Edges() {
+		s.edgeTypes[edgeKey(g.NodeLabel(e.From), g.NodeLabel(e.To), e.Label)] = true
+	}
+}
+
+// Merge folds another accumulator into s. Counts add and edge-type
+// sets union, so merging is commutative and associative — shard order
+// cannot change the result.
+func (s *Stats) Merge(o *Stats) {
+	for l, c := range o.atomCounts {
+		s.atomCounts[l] += c
+	}
+	for k := range o.edgeTypes {
+		s.edgeTypes[k] = true
+	}
+}
+
+// Graphs-independent profile assembly shared by AtomProfile and the
+// stats path: most frequent first, ties broken by label, cumulative
+// coverage in percent.
+func profileFromCounts(counts map[graph.Label]int, alpha *graph.Alphabet) []AtomFrequency {
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	profile := make([]AtomFrequency, 0, len(counts))
+	for l, c := range counts {
+		name := fmt.Sprintf("#%d", int(l))
+		if alpha != nil {
+			name = alpha.Name(l)
+		}
+		profile = append(profile, AtomFrequency{Label: l, Name: name, Count: c})
+	}
+	sort.Slice(profile, func(i, j int) bool {
+		if profile[i].Count != profile[j].Count {
+			return profile[i].Count > profile[j].Count
+		}
+		return profile[i].Label < profile[j].Label
+	})
+	cum := 0
+	for i := range profile {
+		cum += profile[i].Count
+		if total > 0 {
+			profile[i].CumulativePct = 100 * float64(cum) / float64(total)
+		}
+	}
+	return profile
+}
+
+// ChemistrySetFromStats builds the paper's chemistry feature set from
+// accumulated (possibly merged) stats — the scatter-gather twin of
+// ChemistrySet, which is defined as ChemistrySetFromStats over a
+// single-pass accumulation.
+func ChemistrySetFromStats(st *Stats, alpha *graph.Alphabet, topK int) *Set {
+	profile := profileFromCounts(st.atomCounts, alpha)
+	s := &Set{
+		atomFeature: map[graph.Label]int{},
+		edgeFeature: map[[3]graph.Label]int{},
+	}
+	if topK > len(profile) {
+		topK = len(profile)
+	}
+	covered, total := 0, 0
+	for _, p := range profile {
+		total += p.Count
+	}
+	rank := map[graph.Label]int{}
+	names := map[graph.Label]string{}
+	for i, p := range profile {
+		rank[p.Label] = i
+		names[p.Label] = p.Name
+	}
+	top := map[graph.Label]bool{}
+	for i := 0; i < topK; i++ {
+		s.topAtoms = append(s.topAtoms, profile[i].Label)
+		top[profile[i].Label] = true
+		covered += profile[i].Count
+	}
+	if total > 0 {
+		s.atomCoverage = float64(covered) / float64(total)
+	}
+	// Edge features: every (top atom, top atom, bond) combination seen,
+	// ordered by atom ranks then bond for stability.
+	var types [][3]graph.Label
+	for key := range st.edgeTypes {
+		if !top[key[0]] || !top[key[1]] {
+			continue
+		}
+		types = append(types, key)
+	}
+	sort.Slice(types, func(i, j int) bool {
+		a, b := types[i], types[j]
+		ra, rb := [2]int{rank[a[0]], rank[a[1]]}, [2]int{rank[b[0]], rank[b[1]]}
+		if ra[0] != rb[0] {
+			return ra[0] < rb[0]
+		}
+		if ra[1] != rb[1] {
+			return ra[1] < rb[1]
+		}
+		return a[2] < b[2]
+	})
+	for _, key := range types {
+		s.edgeFeature[key] = len(s.names)
+		s.names = append(s.names, fmt.Sprintf("%s-%s/%d", names[key[0]], names[key[1]], int(key[2])))
+	}
+	// Then one feature per atom type.
+	for _, p := range profile {
+		s.atomFeature[p.Label] = len(s.names)
+		s.names = append(s.names, "atom:"+p.Name)
+	}
+	return s
+}

@@ -1,0 +1,48 @@
+package feature
+
+import (
+	"reflect"
+	"testing"
+
+	"graphsig/internal/chem"
+	"graphsig/internal/graph"
+)
+
+// TestStatsMergeMatchesWholeDatabase: accumulating per-partition stats
+// and merging them builds a feature set identical to the one built from
+// the whole database in one pass — for any partition and merge order.
+func TestStatsMergeMatchesWholeDatabase(t *testing.T) {
+	gen := chem.NewGenerator(7)
+	var db []*graph.Graph
+	for i := 0; i < 30; i++ {
+		db = append(db, gen.Molecule())
+	}
+	want := ChemistrySet(db, chem.Alphabet(), 5)
+
+	for _, parts := range [][]int{{30}, {1, 29}, {10, 10, 10}, {7, 3, 11, 9}} {
+		shards := make([]*Stats, len(parts))
+		off := 0
+		for i, n := range parts {
+			shards[i] = NewStats()
+			for _, g := range db[off : off+n] {
+				shards[i].Add(g)
+			}
+			off += n
+		}
+		// Merge back-to-front so a non-trivial merge order is exercised.
+		merged := NewStats()
+		for i := len(shards) - 1; i >= 0; i-- {
+			merged.Merge(shards[i])
+		}
+		got := ChemistrySetFromStats(merged, chem.Alphabet(), 5)
+		if !reflect.DeepEqual(got.Names(), want.Names()) {
+			t.Fatalf("partition %v: feature names differ\n got: %v\nwant: %v", parts, got.Names(), want.Names())
+		}
+		if !reflect.DeepEqual(got.TopAtoms(), want.TopAtoms()) {
+			t.Fatalf("partition %v: top atoms differ: %v vs %v", parts, got.TopAtoms(), want.TopAtoms())
+		}
+		if got.TopAtomCoverage() != want.TopAtomCoverage() {
+			t.Fatalf("partition %v: coverage differs: %v vs %v", parts, got.TopAtomCoverage(), want.TopAtomCoverage())
+		}
+	}
+}

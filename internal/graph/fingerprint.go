@@ -2,34 +2,108 @@ package graph
 
 import (
 	"crypto/sha256"
+	"encoding"
 	"encoding/binary"
 	"encoding/hex"
+	"fmt"
+	"hash"
 )
 
-// Fingerprint returns a stable content hash of a graph database: two
-// slices holding structurally identical graphs in the same order hash
-// equal, any change to a label, edge, or ordering changes the hash.
-// Job result caches use it to scope cached mines to the exact database
-// they were mined from.
+// Fingerprinter folds graphs into a stable content hash of a database,
+// one graph at a time. Two sequences of structurally identical graphs
+// added in the same order hash equal; any change to a label, an edge,
+// an ordering, or the count changes the hash. Unlike a one-shot hash,
+// the fold's mid-state is persistable (MarshalState), so an on-disk
+// store can extend its database fingerprint on append without
+// re-scanning every graph already written.
 //
-// The hash folds in, per graph, the node count, every node label in
-// node order, the edge count, and every edge as (u, v, label) in the
-// graph's own edge order. Node identity matters: Fingerprint detects
-// byte-level database changes, it does not canonicalize isomorphic
-// relabelings (two isomorphic but differently-numbered databases hash
-// differently, which is the safe direction for a cache key).
-func Fingerprint(db []*Graph) string {
-	h := sha256.New()
+// Node identity matters: the fingerprint detects byte-level database
+// changes, it does not canonicalize isomorphic relabelings (two
+// isomorphic but differently-numbered databases hash differently,
+// which is the safe direction for a cache key).
+type Fingerprinter struct {
+	h hash.Hash
+	n int64
+}
+
+// NewFingerprinter returns an empty fold.
+func NewFingerprinter() *Fingerprinter {
+	return &Fingerprinter{h: sha256.New()}
+}
+
+// Add folds one graph: its node count, every node label in node order,
+// its edge count, and every edge as (u, v, label) in the graph's own
+// edge order. A nil graph folds as a distinct marker.
+func (f *Fingerprinter) Add(g *Graph) {
 	var buf [8]byte
 	writeInt := func(v int64) {
 		binary.LittleEndian.PutUint64(buf[:], uint64(v))
-		h.Write(buf[:])
+		f.h.Write(buf[:])
 	}
-	writeInt(int64(len(db)))
-	for _, g := range db {
-		fingerprintGraph(writeInt, g)
+	fingerprintGraph(writeInt, g)
+	f.n++
+}
+
+// Count returns how many graphs have been added.
+func (f *Fingerprinter) Count() int64 { return f.n }
+
+// Sum returns the fingerprint of the graphs added so far, without
+// consuming the fold: the graph count is appended as a trailer to a
+// copy of the digest state, so Add can continue afterwards. The
+// per-graph encoding is self-delimiting, which keeps the trailing
+// count unambiguous.
+func (f *Fingerprinter) Sum() string {
+	state, err := f.h.(encoding.BinaryMarshaler).MarshalBinary()
+	if err != nil {
+		// The stdlib sha256 marshaler cannot fail; guard anyway.
+		panic(fmt.Sprintf("graph: fingerprint state marshal: %v", err))
 	}
+	h := sha256.New()
+	if err := h.(encoding.BinaryUnmarshaler).UnmarshalBinary(state); err != nil {
+		panic(fmt.Sprintf("graph: fingerprint state unmarshal: %v", err))
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(f.n))
+	h.Write(buf[:])
 	return hex.EncodeToString(h.Sum(nil))
+}
+
+// MarshalState serializes the fold's mid-state — the digest internals
+// plus the graph count — so a later process can resume the fold with
+// UnmarshalFingerprinter.
+func (f *Fingerprinter) MarshalState() ([]byte, error) {
+	state, err := f.h.(encoding.BinaryMarshaler).MarshalBinary()
+	if err != nil {
+		return nil, fmt.Errorf("graph: fingerprint state marshal: %w", err)
+	}
+	out := make([]byte, 8, 8+len(state))
+	binary.LittleEndian.PutUint64(out, uint64(f.n))
+	return append(out, state...), nil
+}
+
+// UnmarshalFingerprinter resumes a fold from MarshalState output.
+func UnmarshalFingerprinter(data []byte) (*Fingerprinter, error) {
+	if len(data) < 8 {
+		return nil, fmt.Errorf("graph: fingerprint state too short (%d bytes)", len(data))
+	}
+	f := NewFingerprinter()
+	f.n = int64(binary.LittleEndian.Uint64(data))
+	if err := f.h.(encoding.BinaryUnmarshaler).UnmarshalBinary(data[8:]); err != nil {
+		return nil, fmt.Errorf("graph: fingerprint state unmarshal: %w", err)
+	}
+	return f, nil
+}
+
+// Fingerprint returns a stable content hash of a graph database: the
+// one-shot form of Fingerprinter. Job result caches and the on-disk
+// store use it to scope cached mines to the exact database they were
+// mined from.
+func Fingerprint(db []*Graph) string {
+	f := NewFingerprinter()
+	for _, g := range db {
+		f.Add(g)
+	}
+	return f.Sum()
 }
 
 func fingerprintGraph(writeInt func(int64), g *Graph) {

@@ -61,3 +61,54 @@ func TestFingerprintNilGraph(t *testing.T) {
 		t.Error("nil graph indistinguishable from empty graph")
 	}
 }
+
+// TestFingerprinterMatchesOneShot: folding graph by graph equals the
+// one-shot database fingerprint, and Sum is a non-consuming read.
+func TestFingerprinterMatchesOneShot(t *testing.T) {
+	db := []*Graph{fpChain([]Label{0, 1, 2}, 0), nil, fpChain([]Label{3, 3}, 1)}
+	f := NewFingerprinter()
+	for i, g := range db {
+		f.Add(g)
+		if got, want := f.Sum(), Fingerprint(db[:i+1]); got != want {
+			t.Fatalf("prefix %d: fold %s != one-shot %s", i+1, got, want)
+		}
+	}
+	if f.Count() != int64(len(db)) {
+		t.Fatalf("Count = %d, want %d", f.Count(), len(db))
+	}
+}
+
+// TestFingerprinterResume: a fold persisted mid-way and resumed in a
+// "new process" continues to the same hash — the property the store's
+// incremental append relies on.
+func TestFingerprinterResume(t *testing.T) {
+	db := []*Graph{
+		fpChain([]Label{0, 1}, 0),
+		fpChain([]Label{2, 2, 2}, 1),
+		fpChain([]Label{4}, 0),
+	}
+	f := NewFingerprinter()
+	f.Add(db[0])
+	f.Add(db[1])
+	state, err := f.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := UnmarshalFingerprinter(state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Count() != 2 {
+		t.Fatalf("resumed Count = %d, want 2", g.Count())
+	}
+	g.Add(db[2])
+	if got, want := g.Sum(), Fingerprint(db); got != want {
+		t.Fatalf("resumed fold %s != one-shot %s", got, want)
+	}
+	if _, err := UnmarshalFingerprinter([]byte("short")); err == nil {
+		t.Fatal("truncated state accepted")
+	}
+	if _, err := UnmarshalFingerprinter(make([]byte, 32)); err == nil {
+		t.Fatal("garbage digest state accepted")
+	}
+}

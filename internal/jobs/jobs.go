@@ -78,6 +78,19 @@ type Options struct {
 	// scopes the dedup key, so a manager over a different database can
 	// never collide in a shared-nothing deployment.
 	DB []*graph.Graph
+	// DBFingerprint, when non-empty, is graph.Fingerprint of the served
+	// database, precomputed by the caller — a store manifest carries it
+	// on disk, and a server that loaded DB from memory hashed it once
+	// at startup. When empty the manager hashes DB itself. Required
+	// when DB is nil (store-backed managers run a custom Exec and never
+	// hold the corpus in memory).
+	DBFingerprint string
+	// Generation is the store generation of the served database (0 for
+	// an in-memory corpus). It is folded into every dedup key, so after
+	// an incremental append — same directory, new generation — stale
+	// cached patterns and journal records from the old generation can
+	// never be served, even transiently.
+	Generation int64
 	// Workers is the pool size (0 = DefaultWorkers). Each worker runs
 	// one mine at a time; mines are internally parallel, so a handful
 	// of workers saturates the machine. The default executor divides
@@ -427,9 +440,13 @@ func NewManager(opt Options) *Manager {
 	case cacheSize < 0:
 		cacheSize = 0
 	}
+	dbFP := opt.DBFingerprint
+	if dbFP == "" {
+		dbFP = graph.Fingerprint(opt.DB)
+	}
 	m := &Manager{
 		opts:        opt,
-		dbFP:        graph.Fingerprint(opt.DB),
+		dbFP:        dbFP,
 		cache:       newResultCache(cacheSize),
 		queue:       make(chan *Job, opt.QueueDepth),
 		jobs:        make(map[string]*Job),
@@ -452,6 +469,9 @@ func NewManager(opt Options) *Manager {
 			if cfg.Parallelism <= 0 {
 				cfg.Parallelism = share
 			}
+			// Hand the mine the fingerprint computed once at startup so
+			// checkpoint identity never re-hashes the corpus per run.
+			cfg.DBFingerprint = m.dbFP
 			return core.Mine(opt.DB, cfg)
 		}
 	}
@@ -484,10 +504,18 @@ func (m *Manager) spawnPanic(name string, r any, stack []byte) {
 	m.logf("jobs: %s panicked: %v\n%s", name, r, stack)
 }
 
-// KeyFor returns the canonical dedup key a config submits under —
-// the database fingerprint joined with the normalized config hash.
+// KeyFor returns the canonical dedup key a config submits under — the
+// database fingerprint joined with the normalized config hash, scoped
+// to the store generation when the database came from a store. An
+// append bumps the generation, so every key changes and cached results
+// mined against the smaller corpus are unreachable; journal records
+// from the old generation fail the replay key check and drop.
 func (m *Manager) KeyFor(cfg core.Config) string {
-	return core.MineKey(m.dbFP, cfg)
+	key := core.MineKey(m.dbFP, cfg)
+	if m.opts.Generation > 0 {
+		return fmt.Sprintf("g%d:%s", m.opts.Generation, key)
+	}
+	return key
 }
 
 // Submit schedules cfg for execution, or attaches to an identical job

@@ -99,4 +99,27 @@ const (
 
 	// Served database shape (internal/server).
 	MDBGraphs = "graphsig_db_graphs"
+
+	// Persistent segment store (internal/store).
+	// MStoreSegmentLoads counts segments decoded from disk;
+	// MStoreSegmentCacheHits/Misses track the Reader's decoded-segment
+	// LRU, so hits+misses is total segment lookups and loads ≤ misses
+	// (concurrent decoders of the same segment keep one copy).
+	MStoreSegmentLoads       = "graphsig_store_segment_loads_total"
+	MStoreSegmentCacheHits   = "graphsig_store_segment_cache_hits_total"
+	MStoreSegmentCacheMisses = "graphsig_store_segment_cache_misses_total"
+	// MStoreGeneration is the manifest generation the reader serves;
+	// it moves only when an append is picked up.
+	MStoreGeneration = "graphsig_store_generation"
+	MStoreSegments   = "graphsig_store_segments"
+
+	// Scatter-gather sharded mining (internal/shard; label: shard).
+	// MShardGraphs gauges each shard's member count. The vector-cache
+	// counters track the coordinator's content-keyed per-shard RWR
+	// vector cache — after an incremental append, unchanged shards hit.
+	MShardGraphs            = "graphsig_shard_graphs"
+	MShardVectorCacheHits   = "graphsig_shard_vector_cache_hits_total"
+	MShardVectorCacheMisses = "graphsig_shard_vector_cache_misses_total"
+	// MShardMines counts scatter-gather coordinator runs.
+	MShardMines = "graphsig_shard_mines_total"
 )

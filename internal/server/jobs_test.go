@@ -478,18 +478,22 @@ func TestClientJobHelpers(t *testing.T) {
 func TestWarmBuildsLazyModels(t *testing.T) {
 	d := chem.GenerateN(chem.AIDSSpec(), 30)
 	s := New(d.Graphs)
-	s.Warm()
+	if err := s.Warm(); err != nil {
+		t.Fatal(err)
+	}
 	s.mu.Lock()
 	built := s.index != nil
 	s.mu.Unlock()
 	if !built {
 		t.Error("Warm did not build the query index")
 	}
-	if s.lazyVectors() == nil {
-		t.Error("Warm did not build the RWR vectors")
+	if vecs, err := s.lazyVectors(); err != nil || vecs == nil {
+		t.Errorf("Warm did not build the RWR vectors (err=%v)", err)
 	}
 	// Idempotent.
-	s.Warm()
+	if err := s.Warm(); err != nil {
+		t.Fatal(err)
+	}
 }
 
 // TestLazyInitConcurrentFirstHit drives the lazyIndex/vecOnce paths
@@ -507,8 +511,16 @@ func TestLazyInitConcurrentFirstHit(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			indexes[i] = s.lazyIndex()
-			vectors[i] = len(s.lazyVectors())
+			idx, err := s.lazyIndex()
+			if err != nil {
+				t.Error(err)
+			}
+			indexes[i] = idx
+			vecs, err := s.lazyVectors()
+			if err != nil {
+				t.Error(err)
+			}
+			vectors[i] = len(vecs)
 		}(i)
 	}
 	wg.Wait()

@@ -28,6 +28,7 @@ import (
 	"log"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
 	"sync"
 	"time"
 
@@ -40,6 +41,8 @@ import (
 	"graphsig/internal/obs"
 	"graphsig/internal/runctl"
 	"graphsig/internal/rwr"
+	"graphsig/internal/shard"
+	"graphsig/internal/store"
 )
 
 // Operational defaults; override the Server fields before Handler().
@@ -57,8 +60,17 @@ const (
 
 // Server answers mining and search requests over one immutable database.
 type Server struct {
+	// db is the in-memory corpus (New). Store-backed servers
+	// (NewFromStore) leave it nil and serve mining lazily through the
+	// segment reader; the auxiliary read models (/query, /significance)
+	// materialize the corpus on first use via database().
 	db    []*graph.Graph
 	alpha *graph.Alphabet
+
+	// reader and coord are set on store-backed servers: the lazy
+	// segment reader and the scatter-gather mining coordinator.
+	reader *store.Reader
+	coord  *shard.Coordinator
 
 	// MaxConcurrent bounds simultaneously served requests; excess
 	// requests get an immediate 503 (0 = unbounded).
@@ -138,6 +150,90 @@ func New(db []*graph.Graph) *Server {
 	return s
 }
 
+// StoreOptions configures NewFromStore.
+type StoreOptions struct {
+	// Shards is the scatter-gather partition count (minimum 1).
+	Shards int
+	// Strategy maps graph positions to shards (default shard.Hash, so
+	// incremental appends keep unchanged shards' caches warm).
+	Strategy shard.Strategy
+	// CachedSegments bounds the reader's decoded-segment LRU
+	// (0 = store.DefaultCachedSegments).
+	CachedSegments int
+}
+
+// NewFromStore creates a server over a persistent segment store built
+// by store.Build / `graphsig store build`. The corpus is served lazily
+// — mining streams shard by shard through the reader's segment LRU, so
+// a database larger than RAM is servable — and mining scatter-gathers
+// across opts.Shards shards with results byte-identical to an
+// unsharded in-memory mine. The store's fingerprint and generation
+// scope every job cache key, so results cached before an append can
+// never be served after it.
+func NewFromStore(dir string, opts StoreOptions) (*Server, error) {
+	if opts.Shards < 1 {
+		opts.Shards = 1
+	}
+	reg := obs.NewRegistry()
+	r, err := store.Open(dir, store.Options{CachedSegments: opts.CachedSegments, Metrics: reg})
+	if err != nil {
+		return nil, err
+	}
+	strategy := opts.Strategy
+	if strategy == 0 {
+		strategy = shard.Hash
+	}
+	coord, err := shard.New(r, shard.Options{
+		Shards:      opts.Shards,
+		Strategy:    strategy,
+		Fingerprint: r.Fingerprint(),
+		Metrics:     reg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		alpha:          chem.Alphabet(),
+		reader:         r,
+		coord:          coord,
+		vecCfg:         core.Defaults(),
+		MaxConcurrent:  DefaultMaxConcurrent,
+		MaxBodyBytes:   DefaultMaxBodyBytes,
+		MineTimeout:    DefaultMineTimeout,
+		MineTimeoutCap: DefaultMineTimeoutCap,
+		Metrics:        reg,
+	}
+	s.Metrics.Gauge(obs.MDBGraphs).Set(int64(r.Len()))
+	return s, nil
+}
+
+// Store reports the backing store's generation, graph count, and
+// scatter-gather shard width; ok is false on in-memory servers.
+func (s *Server) Store() (generation int64, graphs, shards int, ok bool) {
+	if s.reader == nil {
+		return 0, 0, 0, false
+	}
+	return s.reader.Generation(), s.reader.Len(), s.coord.Shards(), true
+}
+
+// database returns the full in-memory corpus, materializing it from
+// the store on first use. The mining path never calls this — it
+// streams through the shard coordinator — but the auxiliary read
+// models (substructure index, database RWR vectors) operate on the
+// whole corpus and pay the materialization once, on first demand.
+func (s *Server) database() ([]*graph.Graph, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.db == nil && s.reader != nil {
+		db, err := s.reader.Graphs()
+		if err != nil {
+			return nil, err
+		}
+		s.db = db
+	}
+	return s.db, nil
+}
+
 func (s *Server) logf(format string, args ...any) {
 	if s.Logf != nil {
 		s.Logf(format, args...)
@@ -195,18 +291,37 @@ type statsResponse struct {
 	Graphs   int     `json:"graphs"`
 	AvgAtoms float64 `json:"avgAtoms"`
 	AvgBonds float64 `json:"avgBonds"`
+	// Generation and Shards are set on store-backed servers: the
+	// manifest generation being served and the scatter-gather width.
+	Generation int64 `json:"generation,omitempty"`
+	Shards     int   `json:"shards,omitempty"`
 	// Jobs carries the jobs-subsystem counters: queue depth, worker
 	// utilization, cache hit rate, and job-state census.
 	Jobs jobs.Stats `json:"jobs"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	resp := statsResponse{Jobs: s.Jobs().Stats()}
+	if s.reader != nil {
+		// The manifest carries the corpus totals; answering from it
+		// keeps /stats O(1) instead of materializing every segment.
+		m := s.reader.Manifest()
+		resp.Graphs = m.Graphs
+		resp.Generation = m.Generation
+		resp.Shards = s.coord.Shards()
+		if m.Graphs > 0 {
+			resp.AvgAtoms = float64(m.Nodes) / float64(m.Graphs)
+			resp.AvgBonds = float64(m.Edges) / float64(m.Graphs)
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
 	atoms, bonds := 0, 0
 	for _, g := range s.db {
 		atoms += g.NumNodes()
 		bonds += g.NumEdges()
 	}
-	resp := statsResponse{Graphs: len(s.db), Jobs: s.Jobs().Stats()}
+	resp.Graphs = len(s.db)
 	if len(s.db) > 0 {
 		resp.AvgAtoms = float64(atoms) / float64(len(s.db))
 		resp.AvgBonds = float64(bonds) / float64(len(s.db))
@@ -296,14 +411,58 @@ func mineConfig(req mineRequest) core.Config {
 // Configure the Job* fields before the first call.
 func (s *Server) Jobs() *jobs.Manager {
 	s.jobsOnce.Do(func() {
+		exec := s.mineFn
+		var fp string
+		var gen int64
+		if s.coord != nil {
+			// Store-backed: jobs mine through the scatter-gather
+			// coordinator instead of an in-memory core.Mine, and the
+			// dedup key is scoped by the manifest fingerprint and
+			// generation so results cached before an append can never be
+			// served after it.
+			fp = s.reader.Fingerprint()
+			gen = s.reader.Generation()
+			if exec == nil {
+				workers := s.JobWorkers
+				if workers <= 0 {
+					workers = jobs.DefaultWorkers
+				}
+				share := runtime.GOMAXPROCS(0) / workers
+				if share < 1 {
+					share = 1
+				}
+				exec = func(ctl *runctl.Controller, cfg core.Config) core.Result {
+					cfg.Ctl = ctl
+					if cfg.Parallelism <= 0 {
+						cfg.Parallelism = share
+					}
+					res, err := s.coord.Mine(cfg)
+					if err != nil {
+						// A store read failure voids the run; surface it
+						// as a degraded (empty) result rather than a
+						// panic so the job terminates cleanly.
+						s.logf("server: sharded mine failed: %v", err)
+						res.Truncated = true
+						res.Degradation = runctl.Degradation{
+							Truncated: true,
+							Reason:    runctl.ReasonPanic,
+							Detail:    fmt.Sprintf("store read failed: %v", err),
+						}
+					}
+					return res
+				}
+			}
+		}
 		s.jobsMgr = jobs.NewManager(jobs.Options{
 			DB:              s.db,
+			DBFingerprint:   fp,
+			Generation:      gen,
 			Workers:         s.JobWorkers,
 			QueueDepth:      s.JobQueueDepth,
 			TTL:             s.JobTTL,
 			CacheSize:       s.JobCacheSize,
 			Budgets:         s.MineBudgets,
-			Exec:            s.mineFn,
+			Exec:            exec,
 			Logf:            s.Logf,
 			Metrics:         s.Metrics,
 			Journal:         s.Journal,
@@ -498,7 +657,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	ids := s.lazyIndex().Query(pattern)
+	idx, err := s.lazyIndex()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "loading database: %v", err)
+		return
+	}
+	ids := idx.Query(pattern)
 	if ids == nil {
 		ids = []int{}
 	}
@@ -517,7 +681,17 @@ func (s *Server) handleSignificance(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	stats := core.EvaluateSubgraph(s.db, s.lazyVectors(), pattern, s.vecCfg)
+	db, err := s.database()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "loading database: %v", err)
+		return
+	}
+	vectors, err := s.lazyVectors()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "loading database: %v", err)
+		return
+	}
+	stats := core.EvaluateSubgraph(db, vectors, pattern, s.vecCfg)
 	writeJSON(w, http.StatusOK, significanceResponse{
 		Support:   stats.Support,
 		Frequency: stats.Frequency,
@@ -548,37 +722,52 @@ func (s *Server) decodeSMILES(w http.ResponseWriter, r *http.Request) (*graph.Gr
 	return g, true
 }
 
-// lazyIndex builds the substructure index on first use.
-func (s *Server) lazyIndex() *gindex.Index {
+// lazyIndex builds the substructure index on first use. On a
+// store-backed server it materializes the corpus first (database()
+// also takes s.mu, so it runs before the lock here).
+func (s *Server) lazyIndex() (*gindex.Index, error) {
+	db, err := s.database()
+	if err != nil {
+		return nil, err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.index == nil {
-		s.index = gindex.BuildFrequent(s.db, gindex.FrequentOptions{
+		s.index = gindex.BuildFrequent(db, gindex.FrequentOptions{
 			MinSupportPct:   10,
 			MaxPatternEdges: 3,
 			MaxPatterns:     128,
 		})
 	}
-	return s.index
+	return s.index, nil
 }
 
 // lazyVectors builds the database RWR vectors on first use.
-func (s *Server) lazyVectors() []rwr.NodeVector {
+func (s *Server) lazyVectors() ([]rwr.NodeVector, error) {
+	db, err := s.database()
+	if err != nil {
+		return nil, err
+	}
 	s.vecOnce.Do(func() {
-		fs := core.BuildFeatureSet(s.db, s.vecCfg)
-		s.vectors = rwr.DatabaseVectors(s.db, fs, rwr.Config{Alpha: s.vecCfg.Alpha, Bins: s.vecCfg.Bins})
+		fs := core.BuildFeatureSet(db, s.vecCfg)
+		s.vectors = rwr.DatabaseVectors(db, fs, rwr.Config{Alpha: s.vecCfg.Alpha, Bins: s.vecCfg.Bins})
 	})
-	return s.vectors
+	return s.vectors, nil
 }
 
 // Warm eagerly builds the lazily-constructed read models — the
 // substructure index behind /query and the RWR vectors behind
 // /significance — so the first requests after startup don't pay a
 // multi-second cold-start stall. Safe (and cheap) to call more than
-// once; safe concurrently with serving.
-func (s *Server) Warm() {
-	s.lazyIndex()
-	s.lazyVectors()
+// once; safe concurrently with serving. On a store-backed server the
+// first error aborts the warm-up; /query and /significance retry the
+// materialization per request.
+func (s *Server) Warm() error {
+	if _, err := s.lazyIndex(); err != nil {
+		return err
+	}
+	_, err := s.lazyVectors()
+	return err
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

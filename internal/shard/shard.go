@@ -1,0 +1,507 @@
+// Package shard partitions a graph database across N shards and mines
+// it by scatter-gather, producing a pattern set byte-identical to a
+// single-process core.Mine at any shard count.
+//
+// The decomposition is forced by the statistics, not by convenience.
+// GraphSig's significance measure judges each region vector against
+// empirical priors over the WHOLE vector database (§III) — a p-value
+// computed against one shard's background is a different number, so
+// naively running core.Mine per shard and unioning the answers is
+// wrong at any threshold. What CAN scatter is exactly the per-graph
+// work: feature statistics (counts add, edge-type sets union), RWR
+// vectorization (each node's vector depends only on its own graph),
+// and graph-space support counting (supports over a disjoint partition
+// sum). Everything that reads a distribution — the significance
+// model's priors, FVMine thresholds, group assembly, pattern dedup by
+// minimum DFS code — runs once at the coordinator over pooled inputs.
+// Backgrounds pool before scoring; that is the whole design.
+//
+// The coordinator visits shards one at a time in the scatter passes,
+// so peak residency is one shard's graphs plus the pooled vectors —
+// with a store.Reader underneath, a corpus larger than RAM mines in
+// bounded memory. Per-shard RWR vectors are cached under the shard's
+// content fingerprint: after an incremental append under the Hash
+// strategy, unchanged shards hit their cache and only the shards that
+// actually gained graphs re-vectorize.
+package shard
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"graphsig/internal/core"
+	"graphsig/internal/feature"
+	"graphsig/internal/graph"
+	"graphsig/internal/isomorph"
+	"graphsig/internal/obs"
+	"graphsig/internal/runctl"
+	"graphsig/internal/rwr"
+)
+
+// Strategy selects how database positions map to shards.
+type Strategy int
+
+const (
+	// Contiguous assigns position ranges: shard s holds an equal-share
+	// contiguous run of graph positions. Best locality over a segment
+	// store, but an append shifts every boundary, so all shard caches
+	// invalidate.
+	Contiguous Strategy = iota
+	// Hash assigns position i to shard i mod N. An append only ever
+	// adds members to shards, never moves existing ones, so shards
+	// keep their cached vectors across appends except where new graphs
+	// actually landed.
+	Hash
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case Contiguous:
+		return "contiguous"
+	case Hash:
+		return "hash"
+	}
+	return fmt.Sprintf("strategy(%d)", int(s))
+}
+
+// Source is a graph database the coordinator can read positionally —
+// an in-memory Slice or a lazy store.Reader.
+type Source interface {
+	Len() int
+	Graph(i int) (*graph.Graph, error)
+}
+
+// Slice adapts an in-memory database to Source.
+type Slice []*graph.Graph
+
+// Len returns the database size.
+func (s Slice) Len() int { return len(s) }
+
+// Graph returns position i.
+func (s Slice) Graph(i int) (*graph.Graph, error) { return s[i], nil }
+
+// Options configures a Coordinator.
+type Options struct {
+	// Shards is the partition count (minimum 1; 1 degenerates to an
+	// out-of-core single-shard mine).
+	Shards int
+	// Strategy maps positions to shards (default Contiguous).
+	Strategy Strategy
+	// Fingerprint is the whole-database content fingerprint
+	// (graph.Fingerprint). When empty, New computes it with one
+	// streaming pass over the source; a store.Reader's manifest already
+	// carries it, so store-backed callers pass it and skip the scan.
+	Fingerprint string
+	// Metrics, when non-nil, receives per-shard gauges and the vector
+	// cache counters.
+	Metrics *obs.Registry
+}
+
+// Coordinator owns the shard plan and the per-shard vector cache. One
+// coordinator serves many Mine calls (and many configs — the cache key
+// includes the vectorization parameters). Safe for concurrent use.
+type Coordinator struct {
+	metrics *obs.Registry
+	mines   *obs.Counter
+
+	mu       sync.Mutex
+	src      Source
+	fp       string
+	shards   int
+	strategy Strategy
+	plan     [][]int
+	vecCache map[vecCacheKey][]rwr.NodeVector
+}
+
+// vecCacheKey scopes cached per-shard vectors to the exact shard
+// content and the exact vectorization inputs. The shard fingerprint
+// covers membership, order, and every graph's bytes; the config key
+// covers the feature set, alpha, bins, vectorizer and radius (it is
+// the full mining CacheKey — coarser reuse across configs that differ
+// only post-RWR is deliberately left on the table for safety).
+type vecCacheKey struct {
+	shardFP string
+	cfgKey  string
+}
+
+// New plans a partition of src into opt.Shards shards.
+func New(src Source, opt Options) (*Coordinator, error) {
+	if opt.Shards < 1 {
+		opt.Shards = 1
+	}
+	fp := opt.Fingerprint
+	if fp == "" {
+		f := graph.NewFingerprinter()
+		for i := 0; i < src.Len(); i++ {
+			g, err := src.Graph(i)
+			if err != nil {
+				return nil, fmt.Errorf("shard: fingerprint scan: %w", err)
+			}
+			f.Add(g)
+		}
+		fp = f.Sum()
+	}
+	c := &Coordinator{
+		metrics:  opt.Metrics,
+		mines:    opt.Metrics.Counter(obs.MShardMines),
+		src:      src,
+		fp:       fp,
+		shards:   opt.Shards,
+		strategy: opt.Strategy,
+		vecCache: map[vecCacheKey][]rwr.NodeVector{},
+	}
+	c.replan()
+	return c, nil
+}
+
+// replan recomputes the member lists. Caller holds mu (or is New).
+func (c *Coordinator) replan() {
+	n := c.src.Len()
+	plan := make([][]int, c.shards)
+	switch c.strategy {
+	case Hash:
+		for i := 0; i < n; i++ {
+			s := i % c.shards
+			plan[s] = append(plan[s], i)
+		}
+	default:
+		per, extra := n/c.shards, n%c.shards
+		pos := 0
+		for s := 0; s < c.shards; s++ {
+			count := per
+			if s < extra {
+				count++
+			}
+			for i := 0; i < count; i++ {
+				plan[s] = append(plan[s], pos)
+				pos++
+			}
+		}
+	}
+	c.plan = plan
+	for s, members := range plan {
+		c.metrics.Gauge(obs.MShardGraphs, "shard", strconv.Itoa(s)).Set(int64(len(members)))
+	}
+}
+
+// Reload swaps the database under the coordinator after an incremental
+// append: new source, new whole-database fingerprint, new plan. The
+// vector cache is kept — under the Hash strategy a shard that gained
+// no graphs has an unchanged content fingerprint and hits it.
+func (c *Coordinator) Reload(src Source, fingerprint string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.src = src
+	c.fp = fingerprint
+	c.replan()
+}
+
+// Shards returns the shard count.
+func (c *Coordinator) Shards() int { return c.shards }
+
+// Fingerprint returns the whole-database fingerprint being served.
+func (c *Coordinator) Fingerprint() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.fp
+}
+
+// Members returns shard s's database positions (read-only).
+func (c *Coordinator) Members(s int) []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.plan[s]
+}
+
+// snapshot pins the plan a Mine runs against, so a concurrent Reload
+// cannot shear one run's passes across two generations.
+func (c *Coordinator) snapshot() (Source, string, [][]int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.src, c.fp, c.plan
+}
+
+// loadShard materializes one shard's graphs in member order and their
+// content fingerprint.
+func loadShard(src Source, members []int) ([]*graph.Graph, string, error) {
+	graphs := make([]*graph.Graph, len(members))
+	f := graph.NewFingerprinter()
+	for k, pos := range members {
+		g, err := src.Graph(pos)
+		if err != nil {
+			return nil, "", fmt.Errorf("shard: load graph %d: %w", pos, err)
+		}
+		graphs[k] = g
+		f.Add(g)
+	}
+	return graphs, f.Sum(), nil
+}
+
+// Mine runs the scatter-gather pipeline and returns a Result
+// byte-identical to core.Mine over the same database and config —
+// including p-values, verified supports, and ordering — at any shard
+// count and either strategy. An error means a source read failed in a
+// scatter pass; truncation (deadline, budget, cancel) is reported in
+// Result.Degradation exactly as core.Mine reports it.
+func (c *Coordinator) Mine(cfg core.Config) (core.Result, error) {
+	cfg = core.Normalized(cfg)
+	ctl := core.ControllerFor(cfg)
+	cfg.Ctl = ctl // every stage below must observe this one controller
+	src, dbFP, plan := c.snapshot()
+	cfg.DBFingerprint = dbFP
+	c.mines.Inc()
+
+	var res core.Result
+	n := src.Len()
+	if n == 0 {
+		return res, nil
+	}
+
+	// Phase 1 scatter: per-shard feature statistics, merged before the
+	// feature set is built — the first of the pooled decisions.
+	t0 := time.Now()
+	featSpan := ctl.StartStage(runctl.StageFeatures)
+	fs := cfg.FeatureSet
+	shardFPs := make([]string, len(plan))
+	if fs == nil {
+		merged := feature.NewStats()
+		for s, members := range plan {
+			if ctl.Stopped() {
+				break
+			}
+			graphs, sfp, err := loadShard(src, members)
+			if err != nil {
+				featSpan.Fail(runctl.ReasonPanic, 0)
+				return res, err
+			}
+			shardFPs[s] = sfp
+			st := feature.NewStats()
+			for _, g := range graphs {
+				st.Add(g)
+			}
+			merged.Merge(st)
+		}
+		fs = feature.ChemistrySetFromStats(merged, cfg.Alphabet, cfg.TopAtoms)
+	}
+	featSpan.End(int64(fs.Len()))
+
+	// Phase 1 scatter, second pass: RWR per shard, results remapped to
+	// database positions and pooled. Each node's vector depends only on
+	// its own graph, so per-shard vectorization plus a positional sort
+	// reproduces the database-order vector slice exactly.
+	vectors := make([]rwr.NodeVector, 0, n)
+	for s, members := range plan {
+		if ctl.Stopped() {
+			break
+		}
+		vecs, err := c.shardVectors(src, members, shardFPs[s], s, fs, cfg)
+		if err != nil {
+			return res, err
+		}
+		vectors = append(vectors, vecs...)
+	}
+	sort.Slice(vectors, func(i, j int) bool {
+		if vectors[i].GraphID != vectors[j].GraphID {
+			return vectors[i].GraphID < vectors[j].GraphID
+		}
+		return vectors[i].NodeID < vectors[j].NodeID
+	})
+	res.Profile.RWR = time.Since(t0)
+
+	// Phase 2 gather: significance over the POOLED vectors. The model's
+	// empirical priors now span the whole database, which is what makes
+	// per-shard p-values come out right (they are never computed).
+	t1 := time.Now()
+	groups := core.SignificantGroups(vectors, cfg)
+	res.VectorsMined = len(groups)
+	res.Profile.FeatureAnalysis = time.Since(t1)
+
+	// Phase 3 at the coordinator: group FSM and dedup are global
+	// decisions (a pattern's supporting regions span shards). Windows
+	// are cut through the source on demand, so the store's segment LRU
+	// bounds residency; a read error surfaces as that group's isolated
+	// error, consistent with the per-group panic barrier.
+	t2 := time.Now()
+	fetch := func(i int) *graph.Graph {
+		g, err := src.Graph(i)
+		if err != nil {
+			panic(fmt.Sprintf("shard: window fetch: %v", err))
+		}
+		return g
+	}
+	patterns, stats := core.MinePatterns(fetch, groups, cfg)
+	res.GroupsMined = stats.GroupsMined
+	res.GroupsPruned = stats.GroupsPruned
+	res.GroupErrors = stats.GroupErrors
+	res.Profile.FSM = time.Since(t2)
+
+	// Final scatter: per-shard support verification. Disjoint shards
+	// partition the database, so per-shard counts sum to the exact
+	// whole-database support.
+	t3 := time.Now()
+	if !cfg.SkipVerify && len(patterns) > 0 {
+		if err := c.verify(src, plan, patterns, cfg, ctl); err != nil {
+			return res, err
+		}
+	}
+	for _, sg := range patterns {
+		res.Subgraphs = append(res.Subgraphs, *sg)
+	}
+	core.SortSubgraphs(res.Subgraphs)
+	res.Profile.Verify = time.Since(t3)
+	res.Degradation = ctl.Report()
+	res.Truncated = res.Degradation.Truncated
+	return res, nil
+}
+
+// shardVectors returns shard s's RWR vectors with GraphIDs remapped to
+// database positions, from cache when the shard's content and the
+// vectorization config match a previous run. shardFP may be empty (the
+// stats pass was skipped because cfg supplied a feature set); the
+// shard is then loaded and fingerprinted here.
+func (c *Coordinator) shardVectors(src Source, members []int, shardFP string, s int, fs *feature.Set, cfg core.Config) ([]rwr.NodeVector, error) {
+	var graphs []*graph.Graph
+	if shardFP == "" {
+		var err error
+		graphs, shardFP, err = loadShard(src, members)
+		if err != nil {
+			return nil, err
+		}
+	}
+	key := vecCacheKey{shardFP: shardFP, cfgKey: cfg.CacheKey()}
+	label := strconv.Itoa(s)
+	c.mu.Lock()
+	cached, ok := c.vecCache[key]
+	c.mu.Unlock()
+	if ok {
+		c.metrics.Counter(obs.MShardVectorCacheHits, "shard", label).Inc()
+		return cached, nil
+	}
+	c.metrics.Counter(obs.MShardVectorCacheMisses, "shard", label).Inc()
+	if graphs == nil {
+		var err error
+		graphs, _, err = loadShard(src, members)
+		if err != nil {
+			return nil, err
+		}
+	}
+	vecs := core.ComputeVectors(graphs, fs, cfg)
+	for i := range vecs {
+		vecs[i].GraphID = members[vecs[i].GraphID]
+	}
+	// A truncated vectorization (deadline, cancel) is partial; caching
+	// it would poison later complete runs.
+	if cfg.Ctl != nil && cfg.Ctl.Stopped() {
+		return vecs, nil
+	}
+	c.mu.Lock()
+	c.vecCache[key] = vecs
+	c.mu.Unlock()
+	return vecs, nil
+}
+
+// verify counts each pattern's support shard by shard and sums. Shards
+// are visited sequentially (one shard's graphs resident at a time);
+// within a shard, patterns fan out over cfg.Parallelism workers that
+// share the controller's VF2 budget. The all-or-nothing rule matches
+// core.Mine: if the run was cut short, every pattern reverts to
+// Unverified, because *which* counts completed depends on scheduling.
+func (c *Coordinator) verify(src Source, plan [][]int, patterns []*core.Subgraph, cfg core.Config, ctl *runctl.Controller) error {
+	span := ctl.StartStage(runctl.StageVerify)
+	supports := make([]atomic.Int64, len(patterns))
+	incomplete := make([]atomic.Bool, len(patterns))
+	workers := cfg.Parallelism
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(patterns) {
+		workers = len(patterns)
+	}
+	for _, members := range plan {
+		if ctl.Stopped() {
+			break
+		}
+		graphs, _, err := loadShard(src, members)
+		if err != nil {
+			span.Fail(runctl.ReasonPanic, 0)
+			return err
+		}
+		verifyShard(graphs, patterns, supports, incomplete, workers, ctl)
+	}
+	if ctl.Stopped() {
+		// Counts are partial in an order-dependent way; void uniformly.
+		span.End(0)
+		ctl.RecordStop(runctl.StageVerify, 0, int64(len(patterns)), "patterns support-verified")
+		return nil
+	}
+	verified := 0
+	for i, sg := range patterns {
+		if incomplete[i].Load() {
+			continue // stays Unverified
+		}
+		sup := int(supports[i].Load())
+		sg.Support = sup
+		sg.Frequency = float64(sup) / float64(src.Len())
+		sg.Unverified = false
+		verified++
+	}
+	span.End(int64(verified))
+	if verified < len(patterns) {
+		ctl.RecordStop(runctl.StageVerify, int64(verified), int64(len(patterns)), "patterns support-verified")
+	}
+	return nil
+}
+
+// verifyShard counts every pattern's support within one resident
+// shard: a fixed pool of workers claims pattern indexes off a shared
+// atomic counter, adding each within-shard count into the cross-shard
+// accumulators.
+func verifyShard(graphs []*graph.Graph, patterns []*core.Subgraph, supports []atomic.Int64, incomplete []atomic.Bool, workers int, ctl *runctl.Controller) {
+	pf := isomorph.NewPrefilter(graphs).Meter(ctl.Metrics(), "verify")
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cp := ctl.Checkpoint(runctl.StageVerify)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(patterns) {
+					return
+				}
+				if ctl.Stopped() {
+					incomplete[i].Store(true)
+					continue
+				}
+				if err := countOne(pf, patterns[i], &supports[i], cp, ctl); err != nil {
+					incomplete[i].Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// countOne adds one pattern's within-shard support behind a panic
+// barrier, so a pathological VF2 case degrades one pattern instead of
+// deadlocking the pool.
+func countOne(pf *isomorph.Prefilter, sg *core.Subgraph, total *atomic.Int64, cp *runctl.Checkpoint, ctl *runctl.Controller) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			ctl.Recovered(runctl.StageVerify, "shard support verification", r)
+			err = fmt.Errorf("shard: verify panic: %v", r)
+		}
+	}()
+	sup, err := pf.SupportCtl(sg.Graph, cp)
+	if err != nil {
+		return err
+	}
+	total.Add(int64(sup))
+	return nil
+}

@@ -1,0 +1,235 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"graphsig/internal/graph"
+)
+
+// Segment file layout. A segment is an immutable run of graphs:
+//
+//	8-byte magic "GSIGSEG1"
+//	repeated frames: uint32 length | uint32 crc32(payload) | payload
+//
+// — the journal's framing discipline (little-endian, IEEE CRC over the
+// payload), but with the opposite recovery policy: the journal repairs
+// a torn tail because its tail is the one record legitimately cut off
+// by a crash, while a segment is written, synced, and renamed into
+// place as a whole, so any torn or CRC-failing frame means the file is
+// damaged and the reader must refuse it rather than silently serve a
+// truncated database.
+//
+// Each payload is one graph in a self-delimiting binary form:
+//
+//	varint id, uvarint numNodes, numNodes × varint label,
+//	uvarint numEdges, numEdges × (uvarint from, uvarint to, varint label)
+//
+// Edges are stored in the graph's own edge order and replayed through
+// AddEdge, which reproduces both the edge slice and the adjacency-list
+// order — CutGraph's BFS order, and therefore mining output, depends
+// on it.
+const segmentMagic = "GSIGSEG1"
+
+// maxFramePayload bounds a single decoded frame so a corrupt length
+// field cannot ask the reader to allocate gigabytes.
+const maxFramePayload = 64 << 20
+
+// appendGraph serializes one graph onto buf.
+func appendGraph(buf []byte, g *graph.Graph) []byte {
+	buf = binary.AppendVarint(buf, int64(g.ID))
+	buf = binary.AppendUvarint(buf, uint64(g.NumNodes()))
+	for _, l := range g.Labels() {
+		buf = binary.AppendVarint(buf, int64(l))
+	}
+	buf = binary.AppendUvarint(buf, uint64(g.NumEdges()))
+	for _, e := range g.Edges() {
+		buf = binary.AppendUvarint(buf, uint64(e.From))
+		buf = binary.AppendUvarint(buf, uint64(e.To))
+		buf = binary.AppendVarint(buf, int64(e.Label))
+	}
+	return buf
+}
+
+// decodeGraph rebuilds one graph from a frame payload. Every frame must
+// be fully consumed: trailing bytes mean the payload was not written by
+// this codec.
+func decodeGraph(payload []byte) (*graph.Graph, error) {
+	r := &varintReader{buf: payload}
+	id := r.varint()
+	numNodes := r.uvarint()
+	if r.err == nil && numNodes > uint64(len(payload)) {
+		// Each node costs at least one payload byte; anything larger is
+		// a corrupt count, not a huge graph.
+		return nil, fmt.Errorf("store: node count %d exceeds payload", numNodes)
+	}
+	g := graph.New(int(numNodes), 0)
+	g.ID = int(id)
+	for i := uint64(0); i < numNodes && r.err == nil; i++ {
+		g.AddNode(graph.Label(r.varint()))
+	}
+	numEdges := r.uvarint()
+	if r.err == nil && numEdges > uint64(len(payload)) {
+		return nil, fmt.Errorf("store: edge count %d exceeds payload", numEdges)
+	}
+	for i := uint64(0); i < numEdges && r.err == nil; i++ {
+		from := int(r.uvarint())
+		to := int(r.uvarint())
+		label := graph.Label(r.varint())
+		if r.err != nil {
+			break
+		}
+		if from < 0 || from >= g.NumNodes() || to < 0 || to >= g.NumNodes() || from == to {
+			return nil, fmt.Errorf("store: edge (%d,%d) out of range", from, to)
+		}
+		if err := g.AddEdge(from, to, label); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(payload) {
+		return nil, fmt.Errorf("store: %d trailing bytes after graph record", len(payload)-r.off)
+	}
+	return g, nil
+}
+
+// varintReader decodes varints off a byte slice, latching the first
+// error so decode loops stay linear.
+type varintReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *varintReader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf[r.off:])
+	if n <= 0 {
+		r.err = fmt.Errorf("store: truncated varint at offset %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *varintReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.err = fmt.Errorf("store: truncated uvarint at offset %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// writeSegment writes graphs as one segment file at path, fsyncing
+// before returning so a crash after Build/Append completes can never
+// leave a manifest pointing at unwritten data. Returns the segment's
+// own content fingerprint.
+func writeSegment(path string, graphs []*graph.Graph) (fp string, err error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return "", fmt.Errorf("store: create segment: %w", err)
+	}
+	defer func() {
+		if f != nil {
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = fmt.Errorf("store: close segment: %w", cerr)
+			}
+		}
+	}()
+	buf := make([]byte, 0, 64*1024)
+	buf = append(buf, segmentMagic...)
+	fpr := graph.NewFingerprinter()
+	var payload []byte
+	for _, g := range graphs {
+		if g == nil {
+			return "", fmt.Errorf("store: nil graph cannot be stored")
+		}
+		payload = appendGraph(payload[:0], g)
+		var frame [8]byte
+		binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+		buf = append(buf, frame[:]...)
+		buf = append(buf, payload...)
+		fpr.Add(g)
+	}
+	if _, err := f.Write(buf); err != nil {
+		return "", fmt.Errorf("store: write segment: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return "", fmt.Errorf("store: sync segment: %w", err)
+	}
+	closeErr := f.Close()
+	f = nil
+	if closeErr != nil {
+		return "", fmt.Errorf("store: close segment: %w", closeErr)
+	}
+	return fpr.Sum(), nil
+}
+
+// readSegment loads and verifies one segment file: the magic, every
+// frame's CRC, the graph count, and the segment content fingerprint
+// recorded in the manifest. Any mismatch — including a torn tail — is
+// an error; segments are immutable, so damage is never repaired in
+// place.
+func readSegment(path string, wantCount int, wantFP string) ([]*graph.Graph, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: read segment: %w", err)
+	}
+	return decodeSegment(data, wantCount, wantFP, path)
+}
+
+// decodeSegment is readSegment minus the file I/O (shared with the
+// fuzz harness). wantCount < 0 skips the count check; wantFP == ""
+// skips the fingerprint check.
+func decodeSegment(data []byte, wantCount int, wantFP, name string) ([]*graph.Graph, error) {
+	if len(data) < len(segmentMagic) || string(data[:len(segmentMagic)]) != segmentMagic {
+		return nil, fmt.Errorf("store: %s: bad segment magic", name)
+	}
+	data = data[len(segmentMagic):]
+	var graphs []*graph.Graph
+	fpr := graph.NewFingerprinter()
+	for len(data) > 0 {
+		if len(data) < 8 {
+			return nil, fmt.Errorf("store: %s: torn frame header (%d bytes) — segment rejected: %w", name, len(data), io.ErrUnexpectedEOF)
+		}
+		length := binary.LittleEndian.Uint32(data[0:4])
+		sum := binary.LittleEndian.Uint32(data[4:8])
+		if length > maxFramePayload {
+			return nil, fmt.Errorf("store: %s: frame length %d exceeds limit", name, length)
+		}
+		if uint64(len(data)-8) < uint64(length) {
+			return nil, fmt.Errorf("store: %s: torn frame payload (want %d, have %d) — segment rejected: %w", name, length, len(data)-8, io.ErrUnexpectedEOF)
+		}
+		payload := data[8 : 8+length]
+		if crc32.ChecksumIEEE(payload) != sum {
+			return nil, fmt.Errorf("store: %s: frame %d CRC mismatch — segment rejected", name, len(graphs))
+		}
+		g, err := decodeGraph(payload)
+		if err != nil {
+			return nil, fmt.Errorf("store: %s: frame %d: %w", name, len(graphs), err)
+		}
+		graphs = append(graphs, g)
+		fpr.Add(g)
+		data = data[8+length:]
+	}
+	if wantCount >= 0 && len(graphs) != wantCount {
+		return nil, fmt.Errorf("store: %s: manifest says %d graphs, segment holds %d", name, wantCount, len(graphs))
+	}
+	if wantFP != "" && fpr.Sum() != wantFP {
+		return nil, fmt.Errorf("store: %s: segment fingerprint mismatch", name)
+	}
+	return graphs, nil
+}

@@ -1,0 +1,308 @@
+package store
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"graphsig/internal/chem"
+	"graphsig/internal/graph"
+	"graphsig/internal/obs"
+)
+
+func testDB(t *testing.T, n int) []*graph.Graph {
+	t.Helper()
+	gen := chem.NewGenerator(42)
+	db := make([]*graph.Graph, n)
+	for i := range db {
+		db[i] = gen.Molecule()
+		db[i].ID = i
+	}
+	return db
+}
+
+func sameGraph(t *testing.T, got, want *graph.Graph) {
+	t.Helper()
+	if got.ID != want.ID {
+		t.Fatalf("ID = %d, want %d", got.ID, want.ID)
+	}
+	// Structural identity including adjacency order: the fingerprint
+	// covers labels and edge order, which is exactly what mining
+	// determinism depends on.
+	if graph.Fingerprint([]*graph.Graph{got}) != graph.Fingerprint([]*graph.Graph{want}) {
+		t.Fatalf("graph %d decoded differently", want.ID)
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	db := testDB(t, 20)
+	dir := t.TempDir()
+	m, err := Build(dir, db, BuildOptions{SegmentGraphs: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Graphs != 20 || len(m.Segments) != 3 {
+		t.Fatalf("manifest: %d graphs in %d segments, want 20 in 3", m.Graphs, len(m.Segments))
+	}
+	if m.Fingerprint != graph.Fingerprint(db) {
+		t.Fatal("manifest fingerprint differs from in-memory fingerprint")
+	}
+	reg := obs.NewRegistry()
+	r, err := Open(dir, Options{CachedSegments: 2, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 20 || r.Generation() != 1 || r.Fingerprint() != m.Fingerprint {
+		t.Fatalf("reader shape: len=%d gen=%d", r.Len(), r.Generation())
+	}
+	// Random-access everything twice; with a 2-segment LRU over 3
+	// segments this forces evictions and re-loads.
+	for pass := 0; pass < 2; pass++ {
+		for i, want := range db {
+			got, err := r.Graph(i)
+			if err != nil {
+				t.Fatalf("Graph(%d): %v", i, err)
+			}
+			sameGraph(t, got, want)
+		}
+	}
+	if reg.Counter(obs.MStoreSegmentLoads).Value() <= 3 {
+		t.Fatalf("expected eviction-driven re-loads, got %d loads", reg.Counter(obs.MStoreSegmentLoads).Value())
+	}
+	if reg.Counter(obs.MStoreSegmentCacheHits).Value() == 0 {
+		t.Fatal("expected cache hits")
+	}
+	all, err := r.Graphs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if graph.Fingerprint(all) != graph.Fingerprint(db) {
+		t.Fatal("eager Graphs() differs from original database")
+	}
+	if _, err := r.Graph(20); err == nil {
+		t.Fatal("out-of-range read accepted")
+	}
+	if _, err := r.Graph(-1); err == nil {
+		t.Fatal("negative read accepted")
+	}
+}
+
+func TestStoreAppend(t *testing.T) {
+	db := testDB(t, 25)
+	dir := t.TempDir()
+	if _, err := Build(dir, db[:15], BuildOptions{SegmentGraphs: 6}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Append(dir, db[15:], BuildOptions{SegmentGraphs: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Generation != 2 {
+		t.Fatalf("generation = %d, want 2 after one append", m.Generation)
+	}
+	// The appended store's fingerprint equals the one-shot fingerprint
+	// of the whole database — the property that keeps cache keys from a
+	// full rebuild and an incremental append interchangeable.
+	if m.Fingerprint != graph.Fingerprint(db) {
+		t.Fatal("appended fingerprint differs from whole-database fingerprint")
+	}
+	r, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range db {
+		got, err := r.Graph(i)
+		if err != nil {
+			t.Fatalf("Graph(%d): %v", i, err)
+		}
+		sameGraph(t, got, want)
+	}
+	// A second Build into a populated dir must refuse.
+	if _, err := Build(dir, db, BuildOptions{}); err == nil {
+		t.Fatal("Build over an existing store accepted")
+	}
+}
+
+// TestSegmentGolden pins the on-disk byte format: a fixed two-graph
+// segment must encode to exactly these bytes. If this test breaks, the
+// format changed and existing stores on disk will not load — bump the
+// magic instead.
+func TestSegmentGolden(t *testing.T) {
+	g1 := graph.New(3, 2)
+	g1.ID = 7
+	g1.AddNode(0)
+	g1.AddNode(1)
+	g1.AddNode(2)
+	g1.MustAddEdge(0, 1, 0)
+	g1.MustAddEdge(1, 2, 1)
+	g2 := graph.New(1, 0)
+	g2.ID = -1 // negative IDs survive (varint, not uvarint)
+	g2.AddNode(5)
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.seg")
+	if _, err := writeSegment(path, []*graph.Graph{g1, g2}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = "4753494753454731" + // "GSIGSEG1"
+		"0c000000" + "0c04bfd6" + // frame 1: len 12, crc32
+		"0e" + "03" + "000204" + "02" + "000100" + "010202" + // g1: id 7, labels, edges
+		"04000000" + "c43ad562" + // frame 2: len 4, crc32
+		"01" + "01" + "0a" + "00" // g2: id -1, one node, no edges
+	if got := hex.EncodeToString(data); got != want {
+		t.Fatalf("segment bytes changed:\n got %s\nwant %s", got, want)
+	}
+	graphs, err := readSegment(path, 2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameGraph(t, graphs[0], g1)
+	sameGraph(t, graphs[1], g2)
+	if graphs[1].ID != -1 {
+		t.Fatalf("negative ID lost: %d", graphs[1].ID)
+	}
+}
+
+// TestSegmentRejectsDamage: unlike the journal, a damaged segment is
+// refused outright — torn tails included — because segments are
+// written whole and fsynced before the manifest names them.
+func TestSegmentRejectsDamage(t *testing.T) {
+	db := testDB(t, 8)
+	dir := t.TempDir()
+	if _, err := Build(dir, db, BuildOptions{SegmentGraphs: 8}); err != nil {
+		t.Fatal(err)
+	}
+	seg := filepath.Join(dir, "segment-000000.seg")
+	pristine, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	damage := map[string]func([]byte) []byte{
+		"torn tail":       func(b []byte) []byte { return b[:len(b)-3] },
+		"torn mid-header": func(b []byte) []byte { return b[:len(segmentMagic)+5] },
+		"flipped payload": func(b []byte) []byte { b[len(b)-1] ^= 0xff; return b },
+		"flipped crc":     func(b []byte) []byte { b[len(segmentMagic)+4] ^= 0xff; return b },
+		"bad magic":       func(b []byte) []byte { b[0] = 'X'; return b },
+		"oversized length": func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[len(segmentMagic):], maxFramePayload+1)
+			return b
+		},
+		"truncated empty": func(b []byte) []byte { return b[:3] },
+	}
+	for name, mutate := range damage {
+		corrupt := mutate(append([]byte(nil), pristine...))
+		if err := os.WriteFile(seg, corrupt, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		r, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatalf("%s: Open should succeed (lazy), got %v", name, err)
+		}
+		if _, err := r.Graph(0); err == nil {
+			t.Errorf("%s: damaged segment served", name)
+		}
+	}
+
+	// Wrong count and wrong fingerprint in the manifest are also refused.
+	if err := os.WriteFile(seg, pristine, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readSegment(seg, 7, ""); err == nil || !strings.Contains(err.Error(), "manifest says") {
+		t.Errorf("count mismatch not refused: %v", err)
+	}
+	if _, err := readSegment(seg, 8, "deadbeef"); err == nil || !strings.Contains(err.Error(), "fingerprint mismatch") {
+		t.Errorf("fingerprint mismatch not refused: %v", err)
+	}
+}
+
+func TestManifestValidation(t *testing.T) {
+	db := testDB(t, 10)
+	dir := t.TempDir()
+	if _, err := Build(dir, db, BuildOptions{SegmentGraphs: 5}); err != nil {
+		t.Fatal(err)
+	}
+	manifest := filepath.Join(dir, manifestName)
+	pristine, err := os.ReadFile(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, mangled := range map[string]string{
+		"not json":        "{",
+		"wrong version":   strings.Replace(string(pristine), `"version": 1`, `"version": 99`, 1),
+		"range gap":       strings.Replace(string(pristine), `"start": 5`, `"start": 6`, 1),
+		"count mismatch":  strings.Replace(string(pristine), `"graphs": 10`, `"graphs": 11`, 1),
+		"bad state":       strings.Replace(string(pristine), `"fingerprintState": "`, `"fingerprintState": "!!!`, 1),
+		"state fp drift":  strings.Replace(string(pristine), `"fingerprint": "`, `"fingerprint": "00`, 1),
+		"state n mangled": strings.Replace(string(pristine), `"graphs": 10`, `"graphs": 10, "x": 0`, 1),
+	} {
+		if err := os.WriteFile(manifest, []byte(mangled), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		switch name {
+		case "bad state", "state fp drift":
+			// These pass Open (lazy readers never touch the fold state)
+			// but must refuse Append.
+			if _, err := Append(dir, db[:1], BuildOptions{}); err == nil {
+				t.Errorf("%s: Append accepted inconsistent manifest", name)
+			}
+		case "state n mangled":
+			// Harmless extra JSON field: still opens.
+			if _, err := Open(dir, Options{}); err != nil {
+				t.Errorf("%s: %v", name, err)
+			}
+		default:
+			if _, err := Open(dir, Options{}); err == nil {
+				t.Errorf("%s: accepted", name)
+			}
+		}
+	}
+}
+
+// FuzzDecodeSegment hammers the untrusted-input path: arbitrary bytes
+// must either decode cleanly or return an error — never panic, never
+// allocate absurdly.
+func FuzzDecodeSegment(f *testing.F) {
+	// Seed corpus: a valid segment, its prefixes, and light mutations.
+	g := graph.New(2, 1)
+	g.ID = 1
+	g.AddNode(0)
+	g.AddNode(1)
+	g.MustAddEdge(0, 1, 0)
+	dir := f.TempDir()
+	path := filepath.Join(dir, "seed.seg")
+	if _, err := writeSegment(path, []*graph.Graph{g, g}); err != nil {
+		f.Fatal(err)
+	}
+	valid, err := os.ReadFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)-1])
+	f.Add(valid[:len(segmentMagic)+4])
+	f.Add([]byte(segmentMagic))
+	f.Add([]byte{})
+	mutated := append([]byte(nil), valid...)
+	mutated[len(mutated)/2] ^= 0x40
+	f.Add(mutated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		graphs, err := decodeSegment(data, -1, "", "fuzz")
+		if err == nil {
+			// Whatever decoded must re-encode to a loadable segment.
+			for _, g := range graphs {
+				if g == nil {
+					t.Fatal("decoded nil graph without error")
+				}
+			}
+		}
+	})
+}
