@@ -18,13 +18,16 @@ lint:
 
 # Native fuzz harnesses on a short fixed budget: graph text codec
 # round-trip, DFS-code minimality under node relabeling and edge-order
-# mutation, and the SMILES parser. `go test -fuzz` accepts one target
-# per invocation, hence one line each.
+# mutation, the SMILES parser, and the store's two untrusted-input
+# decoders (segment binary format, manifest JSON). `go test -fuzz`
+# accepts one target per invocation, hence one line each.
 fuzz:
 	go test ./internal/graph   -run='^$$' -fuzz=FuzzReadDB               -fuzztime=2000x
 	go test ./internal/dfscode -run='^$$' -fuzz=FuzzCanonicalInvariance  -fuzztime=500x
 	go test ./internal/dfscode -run='^$$' -fuzz=FuzzMinCodeEdgeOrder     -fuzztime=500x
 	go test ./internal/chem    -run='^$$' -fuzz=FuzzParseSMILES          -fuzztime=2000x
+	go test ./internal/store   -run='^$$' -fuzz=FuzzDecodeSegment        -fuzztime=500x
+	go test ./internal/store   -run='^$$' -fuzz=FuzzManifestJSON         -fuzztime=500x
 
 test:
 	go test -shuffle=on ./...

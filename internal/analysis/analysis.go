@@ -94,6 +94,11 @@ func All() []*Analyzer {
 		ErrWrap,
 		BoundedPool,
 		FsyncClose,
+		LockGuard,
+		AtomicMix,
+		SharedCapture,
+		KeyTaint,
+		ObsNames,
 	}
 }
 

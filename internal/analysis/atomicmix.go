@@ -1,0 +1,154 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AtomicMix reports variables and struct fields that are accessed both
+// through sync/atomic and with plain reads or writes in the same
+// package. Mixing the two silently downgrades every atomic access at
+// that address: the plain side races, and on weakly-ordered hardware
+// the atomic side stops publishing. The project's counters (jobs
+// totals, shard verification tallies, runctl budgets) are all-atomic
+// by convention; this analyzer pins the convention down.
+//
+// Accesses inside constructor functions on provably-unpublished locals
+// are exempt — zeroing or presetting a counter before the struct
+// escapes is not a race.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc: "A variable accessed via sync/atomic must never also be read " +
+		"or written plainly; the plain access races with the atomic one.",
+	Run: runAtomicMix,
+}
+
+// atomicOps are the sync/atomic package functions whose first argument
+// is the address being operated on.
+func isAtomicOpName(name string) bool {
+	for _, prefix := range []string{"Add", "Load", "Store", "Swap", "CompareAndSwap"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+func runAtomicMix(pass *Pass) error {
+	// Pass 1: every object whose address is taken by an atomic op, with
+	// the source ranges of those call arguments (accesses inside them
+	// are the atomic accesses themselves, not violations).
+	type span struct{ lo, hi token.Pos }
+	atomicObjs := map[types.Object]token.Pos{} // object -> first atomic site
+	var atomicArgSpans []span
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !isAtomicOpName(sel.Sel.Name) {
+				return true
+			}
+			pkgID, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.objOf(pkgID).(*types.PkgName)
+			if !ok || pn.Imported().Path() != "sync/atomic" {
+				return true
+			}
+			addr, ok := call.Args[0].(*ast.UnaryExpr)
+			if !ok || addr.Op != token.AND {
+				return true
+			}
+			if obj := pass.addressedObj(addr.X); obj != nil {
+				if _, seen := atomicObjs[obj]; !seen {
+					atomicObjs[obj] = call.Pos()
+				}
+				atomicArgSpans = append(atomicArgSpans, span{call.Args[0].Pos(), call.Args[0].End()})
+			}
+			return true
+		})
+	}
+	if len(atomicObjs) == 0 {
+		return nil
+	}
+	inAtomicArg := func(pos token.Pos) bool {
+		for _, s := range atomicArgSpans {
+			if pos >= s.lo && pos < s.hi {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Pass 2: plain accesses to the same objects.
+	funcBodies(pass.Files, func(fd *ast.FuncDecl) {
+		ctor := pass.constructorLocals(fd.Body)
+		handled := map[*ast.Ident]bool{} // Sel idents consumed by their selector
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			var obj types.Object
+			var pos token.Pos
+			switch v := n.(type) {
+			case *ast.SelectorExpr:
+				sel, ok := pass.TypesInfo.Selections[v]
+				if !ok || sel.Kind() != types.FieldVal {
+					return true
+				}
+				handled[v.Sel] = true
+				obj = sel.Obj()
+				pos = v.Sel.Pos()
+				if root := rootIdent(v.X); root != nil {
+					if ro := pass.objOf(root); ro != nil && ctor[ro] {
+						return true
+					}
+				}
+			case *ast.Ident:
+				if handled[v] {
+					return true
+				}
+				obj = pass.objOf(v)
+				pos = v.Pos()
+			default:
+				return true
+			}
+			if obj == nil {
+				return true
+			}
+			if _, tracked := atomicObjs[obj]; !tracked {
+				return true
+			}
+			if inAtomicArg(pos) {
+				return true
+			}
+			pass.Reportf(pos, "%s is accessed with sync/atomic elsewhere in this package; this plain access races with it", obj.Name())
+			return true
+		})
+	})
+	return nil
+}
+
+// addressedObj resolves &x's operand to the variable or field object
+// being addressed: a bare ident, or an ident-rooted field selector.
+func (p *Pass) addressedObj(e ast.Expr) types.Object {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return p.objOf(v)
+	case *ast.SelectorExpr:
+		if sel, ok := p.TypesInfo.Selections[v]; ok && sel.Kind() == types.FieldVal {
+			return sel.Obj()
+		}
+	case *ast.ParenExpr:
+		return p.addressedObj(v.X)
+	case *ast.IndexExpr:
+		// &slice[i]: per-slot atomics index a shared array; the slot
+		// has no stable object identity, skip.
+		return nil
+	}
+	return nil
+}

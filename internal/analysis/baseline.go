@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Baseline is a recorded set of accepted diagnostics. It lets a new,
+// stricter analyzer land without blocking CI on legacy findings: known
+// violations are written once with -write-baseline, suppressed on
+// later runs with -baseline, and burned down over time (this repo's
+// own policy is stricter still — in-tree violations are fixed in the
+// same PR, so the committed baseline stays empty).
+//
+// Matching is by (analyzer, file, message), never by line or column:
+// unrelated edits move lines constantly, and a baseline that decays on
+// every refactor is worse than none. File paths are stored relative to
+// the module root so the file is stable across checkouts.
+type Baseline struct {
+	entries map[baselineKey]bool
+}
+
+type baselineKey struct {
+	Analyzer string
+	File     string
+	Message  string
+}
+
+// baselineEntry is the on-disk form, a trimmed Diagnostic.
+type baselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+}
+
+// LoadBaseline reads a baseline file written by WriteBaseline.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var entries []baselineEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("parse baseline %s: %w", path, err)
+	}
+	b := &Baseline{entries: map[baselineKey]bool{}}
+	for _, e := range entries {
+		b.entries[baselineKey{e.Analyzer, filepath.ToSlash(e.File), e.Message}] = true
+	}
+	return b, nil
+}
+
+// WriteBaseline records diags at path, with file paths relativized to
+// root. Entries are sorted and deduplicated so the file diffs cleanly.
+func WriteBaseline(path, root string, diags []Diagnostic) error {
+	seen := map[baselineEntry]bool{}
+	entries := []baselineEntry{}
+	for _, d := range diags {
+		e := baselineEntry{Analyzer: d.Analyzer, File: relToRoot(root, d.File), Message: d.Message}
+		if !seen[e] {
+			seen[e] = true
+			entries = append(entries, e)
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Filter returns the diagnostics not covered by the baseline, plus the
+// number suppressed.
+func (b *Baseline) Filter(root string, diags []Diagnostic) (remaining []Diagnostic, suppressed int) {
+	for _, d := range diags {
+		key := baselineKey{d.Analyzer, relToRoot(root, d.File), d.Message}
+		if b.entries[key] {
+			suppressed++
+			continue
+		}
+		remaining = append(remaining, d)
+	}
+	return remaining, suppressed
+}
+
+func relToRoot(root, file string) string {
+	if root != "" {
+		if rel, err := filepath.Rel(root, file); err == nil && !filepath.IsAbs(rel) && rel != "" && rel[0] != '.' {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(file)
+}

@@ -1,0 +1,64 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestBaselineRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	root := filepath.Join(dir, "mod")
+	path := filepath.Join(dir, "baseline.json")
+
+	legacy := []Diagnostic{
+		{Analyzer: "lockguard", File: filepath.Join(root, "internal/jobs/jobs.go"), Line: 10, Message: "field Job.state is unguarded"},
+		{Analyzer: "keytaint", File: filepath.Join(root, "internal/core/core.go"), Line: 5, Message: "tainted key"},
+		// Duplicate key on another line collapses to one entry.
+		{Analyzer: "keytaint", File: filepath.Join(root, "internal/core/core.go"), Line: 99, Message: "tainted key"},
+	}
+	if err := WriteBaseline(path, root, legacy); err != nil {
+		t.Fatalf("WriteBaseline: %v", err)
+	}
+	b, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatalf("LoadBaseline: %v", err)
+	}
+	if len(b.entries) != 2 {
+		t.Fatalf("expected 2 deduplicated entries, got %d", len(b.entries))
+	}
+
+	now := []Diagnostic{
+		// Same finding, moved to a different line: still suppressed.
+		{Analyzer: "lockguard", File: filepath.Join(root, "internal/jobs/jobs.go"), Line: 222, Message: "field Job.state is unguarded"},
+		// Same file and analyzer, new message: reported.
+		{Analyzer: "lockguard", File: filepath.Join(root, "internal/jobs/jobs.go"), Line: 11, Message: "brand new"},
+		// Baselined message from a different file: reported.
+		{Analyzer: "keytaint", File: filepath.Join(root, "internal/shard/shard.go"), Line: 5, Message: "tainted key"},
+	}
+	remaining, suppressed := b.Filter(root, now)
+	if suppressed != 1 {
+		t.Fatalf("expected 1 suppressed, got %d", suppressed)
+	}
+	if len(remaining) != 2 {
+		t.Fatalf("expected 2 remaining, got %d: %v", len(remaining), remaining)
+	}
+	for _, d := range remaining {
+		if d.Message == "field Job.state is unguarded" {
+			t.Fatalf("baselined finding leaked through: %v", d)
+		}
+	}
+}
+
+func TestLoadBaselineRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBaseline(path); err == nil {
+		t.Fatal("expected a parse error")
+	}
+	if _, err := LoadBaseline(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("expected a read error for a missing file")
+	}
+}

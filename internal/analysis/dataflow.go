@@ -1,0 +1,624 @@
+// dataflow.go is the shared core of graphsiglint's second analyzer
+// tier. Where the first tier matches syntax (a `go` statement, a
+// time.Now call), this tier reasons about values: which mutex guards
+// are held at a program point, which expressions alias which declared
+// objects, and how those facts flow through a function body. It is
+// deliberately intra-procedural and conservative — a small, auditable
+// model that the concurrency analyzers (lockguard, atomicmix,
+// sharedcapture) and the taint analyzer (keytaint, see taint.go) build
+// on, not a whole-program alias analysis.
+//
+// The guard model: a guard is a canonical path expression rooted at a
+// declared object ("j.mu", "c.state.mu"), tracked through Lock/RLock/
+// Unlock/RUnlock calls on sync.Mutex and sync.RWMutex values. The
+// walker runs a statement-ordered abstract interpretation: branches
+// and loop bodies are analyzed with a copy of the incoming state (a
+// lock acquired inside a branch does not leak out), `defer x.Unlock()`
+// marks the guard return-safe while keeping it held, and function
+// literals are analyzed as fresh functions because they run at an
+// unknown time under an unknown lock set.
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// holdKind records how a guard is held.
+type holdKind byte
+
+const (
+	holdRead  holdKind = 'r' // RLock
+	holdWrite holdKind = 'w' // Lock
+)
+
+// guardState is the abstract lock state at one program point.
+type guardState struct {
+	// held maps canonical guard keys to how they are held.
+	held map[string]holdKind
+	// deferRelease marks guards with a pending `defer Unlock`: still
+	// held for access-checking purposes, but safe to return with.
+	deferRelease map[string]bool
+}
+
+func newGuardState() *guardState {
+	return &guardState{held: map[string]holdKind{}, deferRelease: map[string]bool{}}
+}
+
+func (st *guardState) clone() *guardState {
+	c := newGuardState()
+	for k, v := range st.held {
+		c.held[k] = v
+	}
+	for k := range st.deferRelease {
+		c.deferRelease[k] = true
+	}
+	return c
+}
+
+// holds reports whether the guard is held strongly enough: a write
+// access needs the write lock, a read is satisfied by either.
+func (st *guardState) holds(key string, write bool) bool {
+	k, ok := st.held[key]
+	if !ok {
+		return false
+	}
+	return !write || k == holdWrite
+}
+
+// leaked returns the guards held with no pending defer-release, in
+// sorted order — what a return statement would abandon.
+func (st *guardState) leaked() []string {
+	var out []string
+	for k := range st.held {
+		if !st.deferRelease[k] {
+			out = append(out, k)
+		}
+	}
+	sortStrings(out)
+	return out
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// mutexKind classifies a type as sync.Mutex, sync.RWMutex, or neither.
+// Matching is by package name, so analyzer corpora with a stand-in
+// sync package would also bind (in practice they import the real one).
+func mutexKind(t types.Type) (rw bool, ok bool) {
+	if isNamedType(t, true, "sync", "RWMutex") {
+		return true, true
+	}
+	if isNamedType(t, true, "sync", "Mutex") {
+		return false, true
+	}
+	return false, false
+}
+
+// guardKeyOf canonicalizes an ident-rooted selector path to a stable
+// key: the root object's declaration position joined with the field
+// path, so `m.mu` and a shadowed `m.mu` in another scope never
+// collide. Non-ident-rooted expressions (call results, index
+// expressions) have no stable identity and yield ok=false.
+func (p *Pass) guardKeyOf(e ast.Expr) (string, bool) {
+	var path []string
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			obj := p.objOf(v)
+			if obj == nil {
+				return "", false
+			}
+			key := strconv.Itoa(int(obj.Pos()))
+			for i := len(path) - 1; i >= 0; i-- {
+				key += "." + path[i]
+			}
+			return key, true
+		case *ast.SelectorExpr:
+			path = append(path, v.Sel.Name)
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return "", false
+		}
+	}
+}
+
+// lockMethod classifies a call as a mutex lock-state transition and
+// returns the canonical key of the receiver guard.
+type lockOp int
+
+const (
+	opNone lockOp = iota
+	opLock
+	opRLock
+	opUnlock
+	opRUnlock
+)
+
+func (p *Pass) lockCallOf(call *ast.CallExpr) (key string, op lockOp) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", opNone
+	}
+	var name string
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+		name = sel.Sel.Name
+	default:
+		return "", opNone
+	}
+	tv, ok := p.TypesInfo.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return "", opNone
+	}
+	rw, isMutex := mutexKind(tv.Type)
+	if !isMutex {
+		return "", opNone
+	}
+	if !rw && (name == "RLock" || name == "RUnlock") {
+		return "", opNone
+	}
+	k, ok := p.guardKeyOf(sel.X)
+	if !ok {
+		return "", opNone
+	}
+	switch name {
+	case "Lock":
+		return k, opLock
+	case "RLock":
+		return k, opRLock
+	case "Unlock":
+		return k, opUnlock
+	default:
+		return k, opRUnlock
+	}
+}
+
+// assumesLockHeld reports whether a function declares, by project
+// convention, that its caller already holds the relevant mutex: a name
+// ending in "Locked", or a doc comment containing "aller holds"
+// ("Caller holds mu"). Such functions are exempt from guarded-access
+// and return-leak checking — their lock discipline is the caller's.
+func assumesLockHeld(fd *ast.FuncDecl) bool {
+	if strings.HasSuffix(fd.Name.Name, "Locked") {
+		return true
+	}
+	if fd.Doc != nil && strings.Contains(fd.Doc.Text(), "aller holds") {
+		return true
+	}
+	return false
+}
+
+// constructorLocals returns the objects of local variables that are
+// provably unpublished in this function: assigned from a composite
+// literal (&T{...} or T{...}) or from a constructor-shaped call (a
+// function whose name starts with "New" or "new"). Accesses to such
+// objects need no lock — no other goroutine can hold a reference yet.
+// The moment such an object is handed to a channel, map, or another
+// goroutine the exemption is unsound in principle; in practice the
+// convention "initialize fully before publishing" is exactly what this
+// models, and publication-then-mutation is still caught in every other
+// function that receives the shared object.
+func (p *Pass) constructorLocals(body *ast.BlockStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	mark := func(lhs, rhs ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			return
+		}
+		if !isConstructorExpr(rhs) {
+			return
+		}
+		if obj := p.objOf(id); obj != nil {
+			out[obj] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if len(st.Rhs) == 1 && len(st.Lhs) >= 1 {
+				mark(st.Lhs[0], st.Rhs[0])
+			} else if len(st.Rhs) == len(st.Lhs) {
+				for i := range st.Lhs {
+					mark(st.Lhs[i], st.Rhs[i])
+				}
+			}
+		case *ast.DeclStmt:
+			if gd, ok := st.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok && len(vs.Values) == len(vs.Names) {
+						for i := range vs.Names {
+							mark(vs.Names[i], vs.Values[i])
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func isConstructorExpr(e ast.Expr) bool {
+	switch v := e.(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if v.Op == token.AND {
+			_, ok := v.X.(*ast.CompositeLit)
+			return ok
+		}
+	case *ast.CallExpr:
+		var name string
+		switch f := v.Fun.(type) {
+		case *ast.Ident:
+			name = f.Name
+		case *ast.SelectorExpr:
+			name = f.Sel.Name
+		}
+		return strings.HasPrefix(name, "New") || strings.HasPrefix(name, "new")
+	}
+	return false
+}
+
+// guardWalker runs the guard-state abstract interpretation over one
+// function body, invoking the consumer callbacks with the state at
+// each access. All callbacks are optional.
+type guardWalker struct {
+	pass *Pass
+	// onRead is invoked for every ident-or-selector reference read in
+	// an expression context, with the lock state at that point.
+	onRead func(e ast.Expr, st *guardState)
+	// onWrite is invoked for assignment targets. through=true means the
+	// write mutates contents reached via e (index assign, delete) rather
+	// than e itself.
+	onWrite func(e ast.Expr, through bool, st *guardState)
+	// onReturn is invoked at each return with the guards it would leak.
+	onReturn func(ret *ast.ReturnStmt, leaked []string)
+	// onFuncLit is invoked for each function literal encountered; the
+	// walker does not descend into it (it runs under an unknown lock
+	// set), the consumer decides whether to analyze it fresh.
+	onFuncLit func(lit *ast.FuncLit)
+	// onLock is invoked once per syntactic Lock/RLock/Unlock/RUnlock
+	// call (including deferred ones), before the state transition.
+	onLock func(call *ast.CallExpr, key string, op lockOp)
+}
+
+// walkBody analyzes one function body starting from the empty state.
+func (w *guardWalker) walkBody(body *ast.BlockStmt) {
+	st := newGuardState()
+	for _, s := range body.List {
+		w.walkStmt(s, st)
+	}
+}
+
+func (w *guardWalker) walkStmt(s ast.Stmt, st *guardState) {
+	switch v := s.(type) {
+	case nil:
+	case *ast.ExprStmt:
+		if call, ok := v.X.(*ast.CallExpr); ok {
+			if key, op := w.pass.lockCallOf(call); op != opNone {
+				if w.onLock != nil {
+					w.onLock(call, key, op)
+				}
+				w.applyLockOp(st, key, op)
+				return
+			}
+		}
+		w.visitExpr(v.X, st)
+	case *ast.AssignStmt:
+		for _, r := range v.Rhs {
+			w.visitExpr(r, st)
+		}
+		for _, l := range v.Lhs {
+			w.walkWriteTarget(l, st)
+		}
+	case *ast.IncDecStmt:
+		w.walkWriteTarget(v.X, st)
+	case *ast.DeferStmt:
+		w.walkDefer(v, st)
+	case *ast.GoStmt:
+		w.visitExpr(v.Call, st)
+	case *ast.ReturnStmt:
+		for _, r := range v.Results {
+			w.visitExpr(r, st)
+		}
+		if w.onReturn != nil {
+			w.onReturn(v, st.leaked())
+		}
+	case *ast.IfStmt:
+		w.walkStmt(v.Init, st)
+		w.visitExpr(v.Cond, st)
+		w.walkBlock(v.Body, st.clone())
+		if v.Else != nil {
+			w.walkStmt(v.Else, st.clone())
+		}
+	case *ast.ForStmt:
+		w.walkStmt(v.Init, st)
+		if v.Cond != nil {
+			w.visitExpr(v.Cond, st)
+		}
+		body := st.clone()
+		w.walkBlock(v.Body, body)
+		w.walkStmt(v.Post, body)
+	case *ast.RangeStmt:
+		w.visitExpr(v.X, st)
+		body := st.clone()
+		if v.Key != nil {
+			w.walkWriteTarget(v.Key, body)
+		}
+		if v.Value != nil {
+			w.walkWriteTarget(v.Value, body)
+		}
+		w.walkBlock(v.Body, body)
+	case *ast.SwitchStmt:
+		w.walkStmt(v.Init, st)
+		if v.Tag != nil {
+			w.visitExpr(v.Tag, st)
+		}
+		for _, c := range v.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					w.visitExpr(e, st)
+				}
+				w.walkStmts(cc.Body, st.clone())
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		w.walkStmt(v.Init, st)
+		w.walkStmt(v.Assign, st)
+		for _, c := range v.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.walkStmts(cc.Body, st.clone())
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range v.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				branch := st.clone()
+				w.walkStmt(cc.Comm, branch)
+				w.walkStmts(cc.Body, branch)
+			}
+		}
+	case *ast.BlockStmt:
+		w.walkBlock(v, st)
+	case *ast.LabeledStmt:
+		w.walkStmt(v.Stmt, st)
+	case *ast.SendStmt:
+		w.visitExpr(v.Chan, st)
+		w.visitExpr(v.Value, st)
+	case *ast.DeclStmt:
+		if gd, ok := v.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, val := range vs.Values {
+						w.visitExpr(val, st)
+					}
+				}
+			}
+		}
+	}
+}
+
+func (w *guardWalker) walkBlock(b *ast.BlockStmt, st *guardState) {
+	w.walkStmts(b.List, st)
+}
+
+func (w *guardWalker) walkStmts(list []ast.Stmt, st *guardState) {
+	for _, s := range list {
+		w.walkStmt(s, st)
+	}
+}
+
+func (w *guardWalker) applyLockOp(st *guardState, key string, op lockOp) {
+	switch op {
+	case opLock:
+		st.held[key] = holdWrite
+	case opRLock:
+		st.held[key] = holdRead
+	case opUnlock, opRUnlock:
+		delete(st.held, key)
+		delete(st.deferRelease, key)
+	}
+}
+
+// walkDefer handles `defer x.Unlock()` (guard becomes return-safe) and
+// deferred closures that contain an unlock (same effect, scanned
+// shallowly). Other deferred calls just visit their arguments.
+func (w *guardWalker) walkDefer(d *ast.DeferStmt, st *guardState) {
+	if key, op := w.pass.lockCallOf(d.Call); op == opUnlock || op == opRUnlock {
+		if w.onLock != nil {
+			w.onLock(d.Call, key, op)
+		}
+		st.deferRelease[key] = true
+		return
+	}
+	if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if key, op := w.pass.lockCallOf(call); op == opUnlock || op == opRUnlock {
+					if w.onLock != nil {
+						w.onLock(call, key, op)
+					}
+					st.deferRelease[key] = true
+				}
+			}
+			return true
+		})
+		if w.onFuncLit != nil {
+			w.onFuncLit(lit)
+		}
+		return
+	}
+	w.visitExpr(d.Call, st)
+}
+
+// walkWriteTarget classifies one assignment target and reports it.
+func (w *guardWalker) walkWriteTarget(l ast.Expr, st *guardState) {
+	switch t := l.(type) {
+	case *ast.Ident:
+		if t.Name == "_" {
+			return
+		}
+		if w.onWrite != nil {
+			w.onWrite(t, false, st)
+		}
+	case *ast.SelectorExpr:
+		if w.onWrite != nil {
+			w.onWrite(t, false, st)
+		}
+		w.visitExpr(t.X, st)
+	case *ast.IndexExpr:
+		// m[k] = v mutates the container reached through t.X.
+		if w.onWrite != nil {
+			w.onWrite(t.X, true, st)
+		}
+		w.visitExpr(t.Index, st)
+	case *ast.StarExpr:
+		if w.onWrite != nil {
+			w.onWrite(t.X, true, st)
+		}
+	case *ast.ParenExpr:
+		w.walkWriteTarget(t.X, st)
+	default:
+		w.visitExpr(l, st)
+	}
+}
+
+// visitExpr reports reads within one expression, routing function
+// literals to onFuncLit without descending and recognizing built-in
+// container mutators (delete) as through-writes.
+func (w *guardWalker) visitExpr(e ast.Expr, st *guardState) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			if w.onFuncLit != nil {
+				w.onFuncLit(v)
+			}
+			return false
+		case *ast.CallExpr:
+			if id, ok := v.Fun.(*ast.Ident); ok {
+				if b, isB := w.pass.objOf(id).(*types.Builtin); isB && b.Name() == "delete" && len(v.Args) == 2 {
+					if w.onWrite != nil {
+						w.onWrite(v.Args[0], true, st)
+					}
+					w.visitExpr(v.Args[1], st)
+					return false
+				}
+			}
+		case *ast.SelectorExpr:
+			if w.onRead != nil {
+				w.onRead(v, st)
+			}
+			// Keep descending: x in x.f is itself a read.
+		case *ast.Ident:
+			if w.onRead != nil {
+				w.onRead(v, st)
+			}
+		}
+		return true
+	})
+}
+
+// structFieldOf resolves a selector to (named struct type, field)
+// when it selects a struct field through an ident-rooted base; the
+// base's canonical key prefix is returned so guard keys for sibling
+// mutex fields can be formed.
+func (p *Pass) structFieldOf(sel *ast.SelectorExpr) (named *types.Named, field *types.Var, baseKey string, ok bool) {
+	selection, found := p.TypesInfo.Selections[sel]
+	if !found || selection.Kind() != types.FieldVal {
+		return nil, nil, "", false
+	}
+	f, isVar := selection.Obj().(*types.Var)
+	if !isVar || !f.IsField() {
+		return nil, nil, "", false
+	}
+	t := selection.Recv()
+	if ptr, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	n, isNamed := t.(*types.Named)
+	if !isNamed {
+		return nil, nil, "", false
+	}
+	key, keyOK := p.guardKeyOf(sel.X)
+	if !keyOK {
+		return nil, nil, "", false
+	}
+	return n, f, key, true
+}
+
+// mutexFields lists the direct sync.Mutex / sync.RWMutex fields of a
+// named struct type (embedded mutexes included by their type name).
+func mutexFields(n *types.Named) []*types.Var {
+	s, ok := n.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	var out []*types.Var
+	for i := 0; i < s.NumFields(); i++ {
+		f := s.Field(i)
+		if _, isMutex := mutexKind(f.Type()); isMutex {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// structHasMutex reports whether a type is (or points to) a named
+// struct with a direct or embedded-one-level mutex field — the types
+// whose values must never be copied.
+func structHasMutex(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		_ = ptr
+		return false // a pointer copy shares the mutex; fine
+	}
+	s, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < s.NumFields(); i++ {
+		f := s.Field(i)
+		if _, isMutex := mutexKind(f.Type()); isMutex {
+			return true
+		}
+		// One level of embedded/nested struct: a struct holding a
+		// struct holding a mutex is equally uncopyable.
+		if inner, ok := f.Type().Underlying().(*types.Struct); ok {
+			for k := 0; k < inner.NumFields(); k++ {
+				if _, isMutex := mutexKind(inner.Field(k).Type()); isMutex {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// funcBodies yields every function declaration and its body in the
+// package, in file order. Function literals are not included — each
+// consumer decides how to treat closures.
+func funcBodies(files []*ast.File, visit func(fd *ast.FuncDecl)) {
+	for _, f := range files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				visit(fd)
+			}
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"go/parser"
 	"go/token"
 	"os"
+	"path"
 	"path/filepath"
 	"regexp"
 	"sort"
@@ -83,7 +84,10 @@ func loadTestdata(t *testing.T, names ...string) map[string]*Package {
 	imp := newExportImporter(fset, exports)
 	out := map[string]*Package{}
 	for _, pp := range parsed {
-		pkg, err := checkPackage(fset, imp, pp.name, pp.name, pp.dir, pp.paths)
+		// Nested corpus dirs ("keytaint/core") keep the full path as
+		// their import path — scope matching sees path.Base — while the
+		// package name must be a bare identifier.
+		pkg, err := checkPackage(fset, imp, pp.name, path.Base(pp.name), pp.dir, pp.paths)
 		if err != nil {
 			t.Fatalf("typecheck testdata package %s: %v", pp.name, err)
 		}
@@ -219,6 +223,47 @@ func TestErrWrapGolden(t *testing.T) {
 func TestBoundedPoolGolden(t *testing.T) {
 	pkgs := loadTestdata(t, "boundedpool")
 	runGolden(t, BoundedPool, pkgs["boundedpool"])
+}
+
+// TestFsyncCloseShardScope: the shard package's vector-cache files are
+// in the durability scope.
+func TestFsyncCloseShardScope(t *testing.T) {
+	pkgs := loadTestdata(t, "shard")
+	runGolden(t, FsyncClose, pkgs["shard"])
+}
+
+func TestLockGuardGolden(t *testing.T) {
+	pkgs := loadTestdata(t, "lockguard")
+	runGolden(t, LockGuard, pkgs["lockguard"])
+}
+
+func TestAtomicMixGolden(t *testing.T) {
+	pkgs := loadTestdata(t, "atomicmix")
+	runGolden(t, AtomicMix, pkgs["atomicmix"])
+}
+
+func TestSharedCaptureGolden(t *testing.T) {
+	pkgs := loadTestdata(t, "runctl", "sharedcapture")
+	runGolden(t, SharedCapture, pkgs["sharedcapture"])
+}
+
+func TestKeyTaintGolden(t *testing.T) {
+	pkgs := loadTestdata(t, "keytaint/journal", "keytaint/core", "keytaint/jobs")
+	runGolden(t, KeyTaint, pkgs["keytaint/core"])
+	runGolden(t, KeyTaint, pkgs["keytaint/jobs"])
+}
+
+// TestKeyTaintScopeExcludesOtherPackages: identical taint flows outside
+// the determinism scope produce no diagnostics.
+func TestKeyTaintScopeExcludesOtherPackages(t *testing.T) {
+	pkgs := loadTestdata(t, "outside")
+	runGolden(t, KeyTaint, pkgs["outside"])
+}
+
+func TestObsNamesGolden(t *testing.T) {
+	pkgs := loadTestdata(t, "obs", "obsnames")
+	runGolden(t, ObsNames, pkgs["obs"])
+	runGolden(t, ObsNames, pkgs["obsnames"])
 }
 
 func TestByName(t *testing.T) {

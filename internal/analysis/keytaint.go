@@ -1,0 +1,460 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// KeyTaint generalizes maporder from a syntactic check into a small
+// taint analysis: values derived from map iteration order or from the
+// wall clock are tracked through assignments, appends, and package-
+// local call chains, and reported when they reach a determinism-
+// critical sink without passing a recognized barrier.
+//
+// Taint kinds: order (range over a map — key, value, and anything built
+// from them) and clock (time.Now / time.Since / time.Until).
+//
+// Barriers clear order taint: calls into the sort or slices packages,
+// and calls to functions whose name contains "Sort" or "Canonical" —
+// the project's convention for canonicalization helpers.
+//
+// Sinks:
+//   - arguments (and receivers) of calls whose name contains "Key" or
+//     "Fingerprint" — cache keys, dedup keys, database fingerprints
+//     (order and clock taint both break them);
+//   - journal record construction — journal.Event composite literals
+//     and Append calls on journal types (order taint only: replay must
+//     fold identically, but AtMs timestamps are wall-clock by design);
+//   - values stored or appended into a Subgraphs field, the answer set
+//     that must be byte-identical across runs (order taint);
+//   - return values of functions whose own name contains Key or
+//     Fingerprint.
+//
+// The analysis is interprocedural within one package: functions whose
+// returns are tainted from sources in their own body (a helper
+// returning time.Now().UnixNano(), say) taint their call sites.
+var KeyTaint = &Analyzer{
+	Name: "keytaint",
+	Doc: "Map-iteration-order- and wall-clock-derived values must not " +
+		"reach cache keys, fingerprints, journal records, or emitted " +
+		"Subgraphs without a sort/canonicalization barrier.",
+	Run: runKeyTaint,
+}
+
+type taintKind uint8
+
+const (
+	taintOrder taintKind = 1 << iota
+	taintClock
+)
+
+func (t taintKind) describe() string {
+	switch {
+	case t&taintOrder != 0 && t&taintClock != 0:
+		return "map-iteration-order- and wall-clock-derived"
+	case t&taintOrder != 0:
+		return "map-iteration-order-derived"
+	default:
+		return "wall-clock-derived"
+	}
+}
+
+func runKeyTaint(pass *Pass) error {
+	if !pass.inKeyTaintScope() {
+		return nil
+	}
+	// Fixpoint over package-local function summaries: which functions
+	// return tainted values from sources in their own bodies.
+	sums := map[types.Object]taintKind{}
+	for round := 0; round < 3; round++ {
+		changed := false
+		funcBodies(pass.Files, func(fd *ast.FuncDecl) {
+			tw := newTaintWalk(pass, sums, nil)
+			tw.run(fd)
+			if obj := pass.objOf(fd.Name); obj != nil && tw.returnTaint&^sums[obj] != 0 {
+				sums[obj] |= tw.returnTaint
+				changed = true
+			}
+		})
+		if !changed {
+			break
+		}
+	}
+	funcBodies(pass.Files, func(fd *ast.FuncDecl) {
+		newTaintWalk(pass, sums, pass).run(fd)
+	})
+	return nil
+}
+
+// taintWalk carries one in-order traversal of a function body. When
+// report is nil the walk only computes taint (summary rounds).
+type taintWalk struct {
+	pass        *Pass
+	sums        map[types.Object]taintKind
+	report      *Pass // nil: collect only
+	tainted     map[types.Object]taintKind
+	returnTaint taintKind
+	fnName      string
+	// pendingAnswer records order-tainted stores into Subgraphs fields;
+	// a later sort barrier on the field retracts the report, anything
+	// still pending at function end is emitted.
+	pendingAnswer map[types.Object]token.Pos
+}
+
+func newTaintWalk(pass *Pass, sums map[types.Object]taintKind, report *Pass) *taintWalk {
+	return &taintWalk{pass: pass, sums: sums, report: report, tainted: map[types.Object]taintKind{}}
+}
+
+func (tw *taintWalk) run(fd *ast.FuncDecl) {
+	tw.fnName = fd.Name.Name
+	// Two silent passes let taint flow around loop back-edges; the
+	// reporting pass runs on the stabilized state.
+	reporting := tw.report
+	tw.report = nil
+	tw.pass1(fd.Body)
+	tw.pass1(fd.Body)
+	tw.report = reporting
+	tw.returnTaint = 0
+	tw.pendingAnswer = map[types.Object]token.Pos{}
+	tw.pass1(fd.Body)
+	if tw.report != nil {
+		for _, pos := range tw.pendingAnswer {
+			tw.report.Reportf(pos, "map-iteration-order-derived values accumulate in Subgraphs with no sort/canonicalization barrier before the function ends; the emitted answer set must be deterministic")
+		}
+	}
+}
+
+func (tw *taintWalk) pass1(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.RangeStmt:
+			tw.rangeTaint(v)
+		case *ast.AssignStmt:
+			tw.assign(v)
+		case *ast.ExprStmt:
+			if call, ok := v.X.(*ast.CallExpr); ok {
+				tw.applyBarrier(call)
+			}
+		case *ast.CallExpr:
+			tw.checkCallSink(v)
+		case *ast.CompositeLit:
+			tw.checkJournalLit(v)
+		case *ast.ReturnStmt:
+			for _, r := range v.Results {
+				t := tw.exprTaint(r)
+				tw.returnTaint |= t
+				if t != 0 && tw.report != nil && (strings.Contains(tw.fnName, "Key") || strings.Contains(tw.fnName, "Fingerprint")) {
+					tw.report.Reportf(r.Pos(), "%s value returned from %s, which produces a determinism-critical key", t.describe(), tw.fnName)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// rangeTaint marks loop variables of a map range as order-tainted, and
+// propagates the taint of the ranged value otherwise.
+func (tw *taintWalk) rangeTaint(rng *ast.RangeStmt) {
+	var t taintKind
+	if tv, ok := tw.pass.TypesInfo.Types[rng.X]; ok && tv.Type != nil {
+		if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+			t = taintOrder
+		}
+	}
+	t |= tw.exprTaint(rng.X)
+	if t == 0 {
+		return
+	}
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := tw.pass.objOf(id); obj != nil {
+				tw.tainted[obj] |= t
+			}
+		}
+	}
+}
+
+func (tw *taintWalk) assign(st *ast.AssignStmt) {
+	var rhs taintKind
+	for _, r := range st.Rhs {
+		rhs |= tw.exprTaint(r)
+	}
+	if st.Tok != token.ASSIGN && st.Tok != token.DEFINE {
+		// Compound assignment: the target keeps its own taint too.
+		for _, l := range st.Lhs {
+			rhs |= tw.exprTaint(l)
+		}
+	}
+	for _, l := range st.Lhs {
+		tw.assignTo(l, rhs)
+	}
+}
+
+func (tw *taintWalk) assignTo(l ast.Expr, t taintKind) {
+	switch v := l.(type) {
+	case *ast.Ident:
+		if v.Name == "_" {
+			return
+		}
+		if obj := tw.pass.objOf(v); obj != nil {
+			if t == 0 {
+				delete(tw.tainted, obj)
+			} else {
+				tw.tainted[obj] |= t
+			}
+		}
+	case *ast.SelectorExpr:
+		tw.checkSubgraphsSink(v, t)
+		if sel, ok := tw.pass.TypesInfo.Selections[v]; ok && sel.Kind() == types.FieldVal && t != 0 {
+			tw.tainted[sel.Obj()] |= t
+			// The enclosing struct now carries the taint too: passing
+			// it whole to a sink passes the tainted field along.
+			if root := rootIdent(v.X); root != nil {
+				if obj := tw.pass.objOf(root); obj != nil {
+					tw.tainted[obj] |= t
+				}
+			}
+		}
+	case *ast.IndexExpr:
+		if tv, ok := tw.pass.TypesInfo.Types[v.X]; ok && tv.Type != nil {
+			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+				// Storing under a tainted key into a map erases order
+				// sensitivity: the map is unordered regardless.
+				return
+			}
+		}
+		if t != 0 {
+			if root := rootIdent(v.X); root != nil {
+				if obj := tw.pass.objOf(root); obj != nil {
+					tw.tainted[obj] |= t
+				}
+			}
+		}
+	case *ast.ParenExpr:
+		tw.assignTo(v.X, t)
+	}
+}
+
+// exprTaint computes the taint of an expression from the idents it
+// mentions and the calls it makes.
+func (tw *taintWalk) exprTaint(e ast.Expr) taintKind {
+	if e == nil {
+		return 0
+	}
+	var t taintKind
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.Ident:
+			if obj := tw.pass.objOf(v); obj != nil {
+				t |= tw.tainted[obj]
+			}
+		case *ast.CallExpr:
+			t |= tw.callTaint(v)
+			return false
+		}
+		return true
+	})
+	return t
+}
+
+// callTaint is the taint of a call expression's result.
+func (tw *taintWalk) callTaint(call *ast.CallExpr) taintKind {
+	var t taintKind
+	// Argument (and receiver) taint flows through by default.
+	for _, a := range call.Args {
+		t |= tw.exprTaint(a)
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		t |= tw.exprTaint(sel.X)
+	}
+	name, obj := tw.calleeOf(call)
+	if tw.isClockCall(call) {
+		t |= taintClock
+	}
+	if obj != nil {
+		t |= tw.sums[obj]
+	}
+	if isSortBarrierName(name) || tw.isSortPkgCall(call) {
+		t &^= taintOrder
+	}
+	return t
+}
+
+func (tw *taintWalk) calleeOf(call *ast.CallExpr) (string, types.Object) {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		return f.Name, tw.pass.objOf(f)
+	case *ast.SelectorExpr:
+		return f.Sel.Name, tw.pass.objOf(f.Sel)
+	}
+	return "", nil
+}
+
+func (tw *taintWalk) isClockCall(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Now", "Since", "Until":
+	default:
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := tw.pass.objOf(id).(*types.PkgName)
+	return ok && pn.Imported().Path() == "time"
+}
+
+// isSortPkgCall reports calls into the sort or slices packages.
+func (tw *taintWalk) isSortPkgCall(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := tw.pass.objOf(id).(*types.PkgName)
+	if !ok {
+		return false
+	}
+	p := pn.Imported().Path()
+	return p == "sort" || p == "slices"
+}
+
+func isSortBarrierName(name string) bool {
+	return strings.Contains(name, "Sort") || strings.Contains(strings.ToLower(name), "canonical")
+}
+
+// applyBarrier clears order taint from the arguments of an in-place
+// sorting statement: sort.Slice(keys, ...) leaves keys deterministic.
+func (tw *taintWalk) applyBarrier(call *ast.CallExpr) {
+	name, _ := tw.calleeOf(call)
+	if !isSortBarrierName(name) && !tw.isSortPkgCall(call) {
+		return
+	}
+	for _, a := range call.Args {
+		if root := rootIdent(a); root != nil {
+			if obj := tw.pass.objOf(root); obj != nil {
+				tw.tainted[obj] &^= taintOrder
+			}
+		}
+		// sort.Strings(r.Subgraphs): the field itself is now ordered.
+		e := a
+		if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+			e = u.X
+		}
+		if sel, ok := e.(*ast.SelectorExpr); ok {
+			if s, ok := tw.pass.TypesInfo.Selections[sel]; ok && s.Kind() == types.FieldVal {
+				tw.tainted[s.Obj()] &^= taintOrder
+				if tw.pendingAnswer != nil {
+					delete(tw.pendingAnswer, s.Obj())
+				}
+			}
+		}
+	}
+}
+
+// checkCallSink reports tainted values flowing into key/fingerprint
+// constructors and journal appends.
+func (tw *taintWalk) checkCallSink(call *ast.CallExpr) {
+	if tw.report == nil {
+		return
+	}
+	name, _ := tw.calleeOf(call)
+	if name == "" {
+		return
+	}
+	keySink := (strings.Contains(name, "Key") || strings.Contains(name, "Fingerprint")) && !isSortBarrierName(name)
+	journalSink := name == "Append" && tw.isJournalReceiver(call)
+	if !keySink && !journalSink {
+		return
+	}
+	mask := taintOrder | taintClock
+	what := "key/fingerprint constructor " + name
+	if journalSink {
+		mask = taintOrder // timestamps in journal records are by design
+		what = "journal append"
+	}
+	for _, a := range call.Args {
+		if journalSink {
+			if _, isLit := a.(*ast.CompositeLit); isLit {
+				continue // checkJournalLit reports per field
+			}
+		}
+		if t := tw.exprTaint(a) & mask; t != 0 {
+			tw.report.Reportf(a.Pos(), "%s value reaches %s without a sort/canonicalization barrier", t.describe(), what)
+		}
+	}
+	if keySink {
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if t := tw.exprTaint(sel.X) & mask; t != 0 {
+				tw.report.Reportf(sel.X.Pos(), "%s receiver reaches %s without a sort/canonicalization barrier", t.describe(), what)
+			}
+		}
+	}
+}
+
+func (tw *taintWalk) isJournalReceiver(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	tv, ok := tw.pass.TypesInfo.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if ptr, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	return isNamed && named.Obj().Pkg() != nil && named.Obj().Pkg().Name() == "journal"
+}
+
+// checkJournalLit reports order-tainted fields in journal.Event-style
+// composite literals.
+func (tw *taintWalk) checkJournalLit(lit *ast.CompositeLit) {
+	if tw.report == nil {
+		return
+	}
+	tv, ok := tw.pass.TypesInfo.Types[lit]
+	if !ok || tv.Type == nil {
+		return
+	}
+	named, isNamed := tv.Type.(*types.Named)
+	if !isNamed || named.Obj().Pkg() == nil || named.Obj().Pkg().Name() != "journal" {
+		return
+	}
+	for _, el := range lit.Elts {
+		val := el
+		if kv, isKV := el.(*ast.KeyValueExpr); isKV {
+			val = kv.Value
+		}
+		if t := tw.exprTaint(val) & taintOrder; t != 0 {
+			tw.report.Reportf(val.Pos(), "%s value stored in a journal record; replay order would not be reproducible", t.describe())
+		}
+	}
+}
+
+// checkSubgraphsSink records order-tainted values assigned or appended
+// into a Subgraphs field — the emitted answer set. The report is
+// deferred to function end so the assemble-then-sort idiom stays clean.
+func (tw *taintWalk) checkSubgraphsSink(sel *ast.SelectorExpr, t taintKind) {
+	if tw.report == nil || sel.Sel.Name != "Subgraphs" || t&taintOrder == 0 {
+		return
+	}
+	s, ok := tw.pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return
+	}
+	if _, seen := tw.pendingAnswer[s.Obj()]; !seen {
+		tw.pendingAnswer[s.Obj()] = sel.Sel.Pos()
+	}
+}

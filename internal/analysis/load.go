@@ -72,6 +72,12 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 			targets = append(targets, lp)
 		}
 	}
+	// `go list` reports an empty match with a warning and exit 0; an
+	// analyzer run over zero packages would pass vacuously, so surface
+	// it as an error instead.
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("patterns %v matched no packages", patterns)
+	}
 	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
 
 	fset := token.NewFileSet()

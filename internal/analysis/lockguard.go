@@ -1,0 +1,249 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockGuard enforces the project's mutex discipline on the dataflow
+// tier (dataflow.go): once any function in a package writes a struct
+// field while holding a sibling mutex field of the same struct, that
+// field is declared guarded, and every other access must hold the
+// mutex too (writes need the write lock; reads accept RLock). The
+// analyzer also reports return paths that abandon a held lock and
+// mutex-bearing structs copied by value.
+//
+// Escape hatches mirror the codebase's conventions rather than adding
+// new ones: functions named *Locked or doc-commented "Caller holds"
+// assume the caller's lock; locals built by a composite literal or a
+// New*/new* constructor are unpublished and need no lock yet.
+var LockGuard = &Analyzer{
+	Name: "lockguard",
+	Doc: "Fields written under a struct's mutex must always be accessed " +
+		"under it; locks must be released on every return path; " +
+		"mutex-bearing structs must not be copied by value.",
+	Run: runLockGuard,
+}
+
+func runLockGuard(pass *Pass) error {
+	reportValueCopies(pass)
+
+	guarded := inferGuardedFields(pass)
+	if len(guarded) > 0 {
+		checkGuardedAccesses(pass, guarded)
+	}
+	checkLockRelease(pass)
+	return nil
+}
+
+// --- check 1: mutex-bearing structs copied by value -------------------
+
+func reportValueCopies(pass *Pass) {
+	flagType := func(pos token.Pos, t types.Type, what string) {
+		if _, isMutex := mutexKind(t); isMutex {
+			pass.Reportf(pos, "%s copies a mutex by value; pass *%s instead", what, t.String())
+			return
+		}
+		if structHasMutex(t) {
+			pass.Reportf(pos, "%s copies %s, which contains a mutex; the copy's lock guards nothing", what, t.String())
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.FuncDecl:
+				if v.Recv != nil && len(v.Recv.List) == 1 {
+					rt := pass.TypesInfo.Types[v.Recv.List[0].Type].Type
+					if rt != nil {
+						if _, isPtr := rt.Underlying().(*types.Pointer); !isPtr {
+							flagType(v.Recv.List[0].Type.Pos(), rt, "value receiver of "+v.Name.Name)
+						}
+					}
+				}
+				if v.Type.Params != nil {
+					for _, p := range v.Type.Params.List {
+						pt := pass.TypesInfo.Types[p.Type].Type
+						if pt != nil {
+							flagType(p.Type.Pos(), pt, "parameter of "+v.Name.Name)
+						}
+					}
+				}
+			case *ast.AssignStmt:
+				for _, r := range v.Rhs {
+					if star, ok := r.(*ast.StarExpr); ok {
+						if tv, ok := pass.TypesInfo.Types[star]; ok && tv.Type != nil {
+							flagType(star.Pos(), tv.Type, "dereference")
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// --- check 2: guarded-field consistency -------------------------------
+
+// guardedFields maps a struct field object to the name of the sibling
+// mutex field observed guarding its writes.
+type guardedFields map[*types.Var]string
+
+// inferGuardedFields runs the guard walker over every function body
+// (closures included, each from an empty lock state) and records every
+// field written while a same-struct mutex field is held.
+func inferGuardedFields(pass *Pass) guardedFields {
+	guarded := guardedFields{}
+	var walkFrom func(body *ast.BlockStmt)
+	walkFrom = func(body *ast.BlockStmt) {
+		w := &guardWalker{
+			pass: pass,
+			onWrite: func(e ast.Expr, through bool, st *guardState) {
+				sel, ok := e.(*ast.SelectorExpr)
+				if !ok {
+					return
+				}
+				named, field, baseKey, ok := pass.structFieldOf(sel)
+				if !ok || field.Pkg() != pass.Pkg {
+					return
+				}
+				for _, mf := range mutexFields(named) {
+					if field == mf {
+						continue
+					}
+					if st.holds(baseKey+"."+mf.Name(), true) {
+						guarded[field] = mf.Name()
+					}
+				}
+			},
+			onFuncLit: func(lit *ast.FuncLit) { walkFrom(lit.Body) },
+		}
+		w.walkBody(body)
+	}
+	funcBodies(pass.Files, func(fd *ast.FuncDecl) { walkFrom(fd.Body) })
+	return guarded
+}
+
+// checkGuardedAccesses re-walks every function and reports accesses to
+// guarded fields made without holding the guarding mutex.
+func checkGuardedAccesses(pass *Pass, guarded guardedFields) {
+	funcBodies(pass.Files, func(fd *ast.FuncDecl) {
+		if assumesLockHeld(fd) {
+			return
+		}
+		ctor := pass.constructorLocals(fd.Body)
+
+		check := func(sel *ast.SelectorExpr, write bool, st *guardState) {
+			named, field, baseKey, ok := pass.structFieldOf(sel)
+			if !ok {
+				return
+			}
+			muName, isGuarded := guarded[field]
+			if !isGuarded {
+				return
+			}
+			if root := rootIdent(sel.X); root != nil {
+				if obj := pass.objOf(root); obj != nil && ctor[obj] {
+					return
+				}
+			}
+			if st.holds(baseKey+"."+muName, write) {
+				return
+			}
+			verb := "read"
+			if write {
+				verb = "written"
+			}
+			pass.Reportf(sel.Sel.Pos(), "field %s.%s is guarded by %s.%s elsewhere but %s here without holding it",
+				named.Obj().Name(), field.Name(), named.Obj().Name(), muName, verb)
+		}
+
+		var walkFrom func(body *ast.BlockStmt)
+		walkFrom = func(body *ast.BlockStmt) {
+			w := &guardWalker{
+				pass: pass,
+				onWrite: func(e ast.Expr, through bool, st *guardState) {
+					if sel, ok := e.(*ast.SelectorExpr); ok {
+						check(sel, true, st)
+					}
+				},
+				onRead: func(e ast.Expr, st *guardState) {
+					if sel, ok := e.(*ast.SelectorExpr); ok {
+						check(sel, false, st)
+					}
+				},
+				onFuncLit: func(lit *ast.FuncLit) { walkFrom(lit.Body) },
+			}
+			w.walkBody(body)
+		}
+		walkFrom(fd.Body)
+	})
+}
+
+// --- check 3: Lock without Unlock on a return path --------------------
+
+func checkLockRelease(pass *Pass) {
+	funcBodies(pass.Files, func(fd *ast.FuncDecl) {
+		if assumesLockHeld(fd) {
+			// *Locked helpers may also acquire nothing; the convention
+			// says lock lifetime is the caller's business.
+			return
+		}
+		var analyze func(body *ast.BlockStmt)
+		analyze = func(body *ast.BlockStmt) {
+			type leak struct {
+				ret  *ast.ReturnStmt
+				keys []string
+			}
+			var leaks []leak
+			lockPos := map[string]token.Pos{} // first Lock site per key
+			lockName := map[string]string{}   // key -> rendered guard expr
+			releases := map[string]int{}      // Unlock/RUnlock count per key
+
+			w := &guardWalker{
+				pass: pass,
+				onLock: func(call *ast.CallExpr, key string, op lockOp) {
+					switch op {
+					case opLock, opRLock:
+						if _, seen := lockPos[key]; !seen {
+							lockPos[key] = call.Pos()
+						}
+						if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+							lockName[key] = types.ExprString(sel.X)
+						}
+					case opUnlock, opRUnlock:
+						releases[key]++
+					}
+				},
+				onReturn: func(ret *ast.ReturnStmt, leaked []string) {
+					if len(leaked) > 0 {
+						leaks = append(leaks, leak{ret, leaked})
+					}
+				},
+				onFuncLit: func(lit *ast.FuncLit) { analyze(lit.Body) },
+			}
+			w.walkBody(body)
+
+			blatant := map[string]bool{}
+			for key, pos := range lockPos {
+				if releases[key] == 0 {
+					blatant[key] = true
+					pass.Reportf(pos, "%s is locked but never unlocked in this function", lockName[key])
+				}
+			}
+			for _, l := range leaks {
+				for _, key := range l.keys {
+					if blatant[key] {
+						continue
+					}
+					name := lockName[key]
+					if name == "" {
+						continue // lock acquired outside what we walked
+					}
+					pass.Reportf(l.ret.Pos(), "return while holding %s with no Unlock or defer on this path", name)
+				}
+			}
+		}
+		analyze(fd.Body)
+	})
+}

@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// ObsNames pins down the metric-name registry contract from both
+// sides. Inside the obs package, every exported M* string constant
+// must follow the naming scheme graphsig_<subsystem>_<what>[_<unit>]
+// (lowercase, underscore-separated). Everywhere else, the name passed
+// to Registry.Counter / Gauge / Histogram must BE one of those
+// constants — a string literal or locally-built name would mint a
+// metric the catalog doesn't know, silently splitting its time series
+// from the documented one — and the constant's suffix must match the
+// instrument: counters end in _total, histograms in _seconds, gauges
+// in neither.
+var ObsNames = &Analyzer{
+	Name: "obsnames",
+	Doc: "Metric names must be obs.M* catalog constants matching the " +
+		"graphsig_* naming convention, with the suffix agreeing with " +
+		"the instrument type.",
+	Run: runObsNames,
+}
+
+var metricNameRe = regexp.MustCompile(`^graphsig(_[a-z0-9]+)+$`)
+
+func runObsNames(pass *Pass) error {
+	if pass.Pkg.Name() == "obs" {
+		checkCatalog(pass)
+		return nil
+	}
+	checkCallSites(pass)
+	return nil
+}
+
+// checkCatalog validates the M* constants declared in the obs package
+// itself.
+func checkCatalog(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if !strings.HasPrefix(name.Name, "M") {
+						continue
+					}
+					c, ok := pass.objOf(name).(*types.Const)
+					if !ok || c.Val().Kind() != constant.String {
+						continue
+					}
+					val := constant.StringVal(c.Val())
+					if !metricNameRe.MatchString(val) {
+						pass.Reportf(name.Pos(), "metric constant %s = %q does not match the naming convention graphsig_<subsystem>_<what>[_<unit>]", name.Name, val)
+					}
+				}
+			}
+		}
+	}
+}
+
+// checkCallSites validates Registry.Counter/Gauge/Histogram arguments
+// in every consuming package.
+func checkCallSites(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			method := sel.Sel.Name
+			switch method {
+			case "Counter", "Gauge", "Histogram":
+			default:
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[sel.X]
+			if !ok || tv.Type == nil || !isNamedType(tv.Type, true, "obs", "Registry") {
+				return true
+			}
+			nameArg := call.Args[0]
+			c := pass.constOf(nameArg)
+			if c == nil || c.Pkg() == nil || c.Pkg().Name() != "obs" {
+				pass.Reportf(nameArg.Pos(), "metric name passed to Registry.%s must be a named constant from the obs catalog (internal/obs/names.go), not a locally-built string", method)
+				return true
+			}
+			if c.Val().Kind() != constant.String {
+				return true
+			}
+			val := constant.StringVal(c.Val())
+			switch method {
+			case "Counter":
+				if !strings.HasSuffix(val, "_total") {
+					pass.Reportf(nameArg.Pos(), "counter name %s = %q must end in _total", c.Name(), val)
+				}
+			case "Histogram":
+				if !strings.HasSuffix(val, "_seconds") {
+					pass.Reportf(nameArg.Pos(), "histogram name %s = %q must end in _seconds", c.Name(), val)
+				}
+			case "Gauge":
+				if strings.HasSuffix(val, "_total") || strings.HasSuffix(val, "_seconds") {
+					pass.Reportf(nameArg.Pos(), "gauge name %s = %q must not carry a counter or histogram suffix", c.Name(), val)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// constOf resolves an expression to the constant object it names, if
+// any: a bare ident or a pkg.Name selector.
+func (p *Pass) constOf(e ast.Expr) *types.Const {
+	switch v := e.(type) {
+	case *ast.Ident:
+		c, _ := p.objOf(v).(*types.Const)
+		return c
+	case *ast.SelectorExpr:
+		c, _ := p.objOf(v.Sel).(*types.Const)
+		return c
+	case *ast.ParenExpr:
+		return p.constOf(v.X)
+	}
+	return nil
+}

@@ -51,6 +51,26 @@ var spawnScope = map[string]bool{
 var fsyncScope = map[string]bool{
 	"journal": true,
 	"store":   true,
+	// The shard coordinator persists per-shard vectorization caches;
+	// a dropped Sync/Close there silently invalidates the cache's
+	// content-fingerprint contract.
+	"shard": true,
+}
+
+// keytaintScope lists the packages where map-iteration-order or
+// wall-clock taint can corrupt a determinism contract: the canonical-
+// code and fingerprint producers, the mining pipeline that emits
+// answer sets, and the caching/journaling layers keyed on them.
+var keytaintScope = map[string]bool{
+	"dfscode": true,
+	"graph":   true,
+	"feature": true,
+	"fvmine":  true,
+	"core":    true,
+	"jobs":    true,
+	"shard":   true,
+	"store":   true,
+	"journal": true,
 }
 
 // inDeterministicScope reports whether the file is part of a
@@ -88,6 +108,10 @@ func (p *Pass) inSpawnScope() bool {
 
 func (p *Pass) inFsyncScope() bool {
 	return fsyncScope[path.Base(p.ImportPath)]
+}
+
+func (p *Pass) inKeyTaintScope() bool {
+	return keytaintScope[path.Base(p.ImportPath)]
 }
 
 // isNamedType reports whether t (after pointer indirection when deref is

@@ -1,0 +1,206 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SharedCapture inspects goroutines spawned inside loops — plain `go`
+// statements, runctl.Spawn launches, and the bounded-pool pattern,
+// which all fan one closure out per iteration — and reports unsynchronized
+// shared state between the iterations:
+//
+//   - a write (assignment, ++/--, append-reassign, map store or delete)
+//     to a variable declared outside the loop, unless it happens under
+//     a held mutex inside the goroutine;
+//   - a read of an outside-the-loop variable that the loop body itself
+//     reassigns, so the goroutine observes whichever iteration ran last.
+//
+// Deliberate conventions stay clean: per-slot slice writes
+// (`out[i] = r` where each iteration owns index i) are the project's
+// standard way to collect results deterministically, loop iteration
+// variables are per-iteration since Go 1.22, and sync/atomic calls are
+// not plain writes.
+var SharedCapture = &Analyzer{
+	Name: "sharedcapture",
+	Doc: "Goroutines spawned in loops must not write shared variables " +
+		"or read loop-reassigned ones without synchronization.",
+	Run: runSharedCapture,
+}
+
+func runSharedCapture(pass *Pass) error {
+	funcBodies(pass.Files, func(fd *ast.FuncDecl) {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch loop := n.(type) {
+			case *ast.ForStmt:
+				body = loop.Body
+			case *ast.RangeStmt:
+				body = loop.Body
+			default:
+				return true
+			}
+			for _, lit := range spawnedLits(pass, body) {
+				checkSpawnedLit(pass, n, body, lit)
+			}
+			return true
+		})
+	})
+	return nil
+}
+
+// spawnedLits finds the function literals launched as goroutines
+// directly in a loop body: `go func(){...}()`, `go func(){...}` wrapped
+// in a bounded-pool acquire, and `runctl.Spawn(name, onPanic, func(){...})`.
+// Nested loops are handled by their own enclosing walk.
+func spawnedLits(pass *Pass, body *ast.BlockStmt) []*ast.FuncLit {
+	var lits []*ast.FuncLit
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.GoStmt:
+			if lit, ok := v.Call.Fun.(*ast.FuncLit); ok {
+				lits = append(lits, lit)
+			}
+		case *ast.CallExpr:
+			if sel, ok := v.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Spawn" {
+				if id, ok := sel.X.(*ast.Ident); ok {
+					if pn, ok := pass.objOf(id).(*types.PkgName); ok && pn.Imported().Name() == "runctl" {
+						for _, arg := range v.Args {
+							if lit, ok := arg.(*ast.FuncLit); ok {
+								lits = append(lits, lit)
+							}
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return lits
+}
+
+// hasSliceIndexStep reports whether the access path of e steps through
+// a slice or array index (out[i].field): the disjoint-slot collection
+// pattern, where each iteration owns its index.
+func hasSliceIndexStep(pass *Pass, e ast.Expr) bool {
+	for {
+		switch v := e.(type) {
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			if tv, ok := pass.TypesInfo.Types[v.X]; ok && tv.Type != nil {
+				switch tv.Type.Underlying().(type) {
+				case *types.Slice, *types.Array:
+					return true
+				}
+			}
+			e = v.X
+		default:
+			return false
+		}
+	}
+}
+
+func checkSpawnedLit(pass *Pass, loop ast.Node, body *ast.BlockStmt, lit *ast.FuncLit) {
+	outside := func(obj types.Object) bool {
+		if obj == nil || obj.Pkg() != pass.Pkg {
+			return false
+		}
+		if _, isVar := obj.(*types.Var); !isVar {
+			return false
+		}
+		return obj.Pos() < loop.Pos() || obj.Pos() >= loop.End()
+	}
+
+	// Variables the loop body reassigns outside the spawned literal:
+	// reading one of those inside the goroutine is a race with the next
+	// iteration.
+	loopAssigned := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok && fl == lit {
+			return false
+		}
+		recordTarget := func(e ast.Expr) {
+			if id, ok := e.(*ast.Ident); ok {
+				if obj := pass.objOf(id); outside(obj) {
+					loopAssigned[obj] = true
+				}
+			}
+		}
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			for _, l := range v.Lhs {
+				recordTarget(l)
+			}
+		case *ast.IncDecStmt:
+			recordTarget(v.X)
+		}
+		return true
+	})
+
+	reported := map[types.Object]bool{}
+	reportWrite := func(id *ast.Ident, obj types.Object) {
+		if reported[obj] {
+			return
+		}
+		reported[obj] = true
+		pass.Reportf(id.Pos(), "goroutine spawned in a loop writes %s, which is shared across iterations, without synchronization", obj.Name())
+	}
+
+	var walkFrom func(b *ast.BlockStmt)
+	walkFrom = func(b *ast.BlockStmt) {
+		w := &guardWalker{
+			pass: pass,
+			onWrite: func(e ast.Expr, through bool, st *guardState) {
+				if len(st.held) > 0 {
+					return // locked inside the goroutine: synchronized
+				}
+				root := rootIdent(e)
+				if root == nil {
+					return
+				}
+				obj := pass.objOf(root)
+				if !outside(obj) {
+					return
+				}
+				if through {
+					// Through-writes mutate the container: per-slot
+					// slice/array writes are the sanctioned disjoint
+					// pattern, map stores/deletes and pointer-target
+					// writes are races.
+					if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Type != nil {
+						switch tv.Type.Underlying().(type) {
+						case *types.Map, *types.Pointer:
+							reportWrite(root, obj)
+						}
+					}
+					return
+				}
+				if hasSliceIndexStep(pass, e) {
+					// out[i].field = x — still the disjoint-slot shape.
+					return
+				}
+				reportWrite(root, obj)
+			},
+			onRead: func(e ast.Expr, st *guardState) {
+				id, ok := e.(*ast.Ident)
+				if !ok {
+					return
+				}
+				obj := pass.objOf(id)
+				if !outside(obj) || !loopAssigned[obj] || reported[obj] {
+					return
+				}
+				reported[obj] = true
+				pass.Reportf(id.Pos(), "goroutine spawned in a loop reads %s, which the loop reassigns each iteration; pass it as a parameter", obj.Name())
+			},
+			onFuncLit: func(inner *ast.FuncLit) { walkFrom(inner.Body) },
+		}
+		w.walkBody(b)
+	}
+	walkFrom(lit.Body)
+}

@@ -1,0 +1,55 @@
+// Corpus for the atomicmix analyzer: the same variable or field must
+// not be accessed both through sync/atomic and plainly.
+package atomicmix
+
+import "sync/atomic"
+
+type stats struct {
+	hits  int64
+	total int64 // never touched atomically
+}
+
+func newStats() *stats { return &stats{} }
+
+func (s *stats) record() {
+	atomic.AddInt64(&s.hits, 1)
+}
+
+// Positive: plain read of an atomically-updated field.
+func (s *stats) snapshot() int64 {
+	return s.hits // want "accessed with sync/atomic"
+}
+
+// Positive: plain write to an atomically-updated field.
+func (s *stats) reset() {
+	s.hits = 0 // want "accessed with sync/atomic"
+}
+
+// Negative: atomic accesses on both sides.
+func (s *stats) load() int64 { return atomic.LoadInt64(&s.hits) }
+
+// Negative: presetting an unpublished constructor-local.
+func preset() *stats {
+	s := &stats{}
+	s.hits = 5
+	return s
+}
+
+// Negative: presetting via a named constructor.
+func presetNamed() *stats {
+	s := newStats()
+	s.hits = 7
+	return s
+}
+
+// Negative: a field with no atomic accesses mixes nothing.
+func (s *stats) bumpTotal() { s.total++ }
+
+var gauge int64
+
+func setGauge(v int64) { atomic.StoreInt64(&gauge, v) }
+
+// Positive: plain access to an atomically-written package variable.
+func readGauge() int64 {
+	return gauge // want "accessed with sync/atomic"
+}

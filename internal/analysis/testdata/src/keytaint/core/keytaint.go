@@ -1,0 +1,117 @@
+// Corpus for the keytaint analyzer, in a package named core so the
+// determinism scope binds: map-iteration-order and wall-clock taint
+// flowing into keys, fingerprints, and emitted Subgraphs.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Result mirrors the mining result: Subgraphs is the emitted answer set.
+type Result struct {
+	Subgraphs []string
+}
+
+// cacheKeyOf is a key constructor (name contains "Key").
+func cacheKeyOf(parts []string) string {
+	out := ""
+	for _, p := range parts {
+		out += p + "|"
+	}
+	return out
+}
+
+// Positive: unsorted map keys reach a key constructor.
+func assemble(m map[string]int) string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return cacheKeyOf(keys) // want "map-iteration-order-derived"
+}
+
+// Negative: sorting is the barrier.
+func assembleSorted(m map[string]int) string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return cacheKeyOf(keys)
+}
+
+// Negative: a project canonicalization helper is a barrier too.
+func canonicalize(parts []string) []string {
+	sort.Strings(parts)
+	return parts
+}
+
+func assembleCanonical(m map[string]int) string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return cacheKeyOf(canonicalize(keys))
+}
+
+// Positive: the wall clock reaches a key constructor.
+func withStamp(base string) string {
+	stamp := fmt.Sprintf("%d", time.Now().UnixNano())
+	return cacheKeyOf([]string{base, stamp}) // want "wall-clock-derived"
+}
+
+// nowPart is a package-local helper whose return is clock-tainted; the
+// summary fixpoint must carry that to its call sites.
+func nowPart() string {
+	return fmt.Sprintf("%d", time.Now().UnixNano())
+}
+
+// Positive: clock taint through an interprocedural summary.
+func viaHelper(base string) string {
+	return cacheKeyOf([]string{base, nowPart()}) // want "wall-clock-derived"
+}
+
+// Positive: a key-producing function returning a tainted value.
+func FingerprintOf(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k
+	}
+	return s // want "returned from FingerprintOf"
+}
+
+// Positive: answer set accumulated in map order, never sorted.
+func emit(m map[string]string) Result {
+	var r Result
+	for _, v := range m {
+		r.Subgraphs = append(r.Subgraphs, v) // want "accumulate in Subgraphs"
+	}
+	return r
+}
+
+// Negative: assemble-then-sort is the sanctioned idiom.
+func emitSorted(m map[string]string) Result {
+	var r Result
+	for _, v := range m {
+		r.Subgraphs = append(r.Subgraphs, v)
+	}
+	sort.Strings(r.Subgraphs)
+	return r
+}
+
+// Negative: values from a slice range carry no order taint.
+func emitFromSlice(in []string) Result {
+	var r Result
+	for _, v := range in {
+		r.Subgraphs = append(r.Subgraphs, v)
+	}
+	return r
+}
+
+// Negative: timing metrics that never reach a key are fine.
+func timed() time.Duration {
+	t0 := time.Now()
+	return time.Since(t0)
+}

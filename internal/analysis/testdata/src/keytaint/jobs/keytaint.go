@@ -1,0 +1,44 @@
+// Corpus for keytaint's journal-record sink, in a package named jobs
+// like the real journal writer.
+package jobs
+
+import (
+	"sort"
+	"time"
+
+	"keytaint/journal"
+)
+
+// Positive: map-ordered keys folded into a journal record would replay
+// differently than they were written.
+func record(j *journal.Journal, seen map[string]bool) {
+	var keys []string
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	j.Append(journal.Event{Type: "submitted", Keys: keys}) // want "journal record"
+}
+
+// Negative: sorted keys are deterministic.
+func recordSorted(j *journal.Journal, seen map[string]bool) {
+	var keys []string
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	j.Append(journal.Event{Type: "submitted", Keys: keys})
+}
+
+// Negative: timestamps in journal records are wall-clock by design.
+func stamp(j *journal.Journal) {
+	j.Append(journal.Event{Type: "started", AtMs: time.Now().UnixMilli()})
+}
+
+// Positive: a tainted variable passed to Append directly.
+func recordVar(j *journal.Journal, seen map[string]bool) {
+	var ev journal.Event
+	for k := range seen {
+		ev.Keys = append(ev.Keys, k)
+	}
+	j.Append(ev) // want "journal append"
+}

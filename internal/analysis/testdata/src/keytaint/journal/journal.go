@@ -1,0 +1,16 @@
+// Stand-in journal package for the keytaint corpus: matched by package
+// name, like the real write-ahead log.
+package journal
+
+// Event mirrors the real journal record shape: Keys must fold
+// deterministically on replay, AtMs is wall-clock by design.
+type Event struct {
+	Type string
+	Keys []string
+	AtMs int64
+}
+
+// Journal is the append sink.
+type Journal struct{}
+
+func (j *Journal) Append(ev Event) error { return nil }

@@ -1,0 +1,144 @@
+// Corpus for the lockguard analyzer: guarded-field consistency,
+// lock-release on every return path, and mutex copies by value.
+package lockguard
+
+import "sync"
+
+type counter struct {
+	mu   sync.Mutex
+	n    int
+	name string // never written under mu: unguarded
+}
+
+func newCounter() *counter { return &counter{} }
+
+// inc establishes counter.n as guarded by counter.mu.
+func (c *counter) inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// Positive: guarded field read without the lock.
+func (c *counter) peek() int {
+	return c.n // want "guarded by counter.mu"
+}
+
+// Positive: guarded field written without the lock.
+func (c *counter) reset() {
+	c.n = 0 // want "guarded by counter.mu"
+}
+
+// Negative: deferred unlock keeps the guard held through the return.
+func (c *counter) get() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Negative: a field never written under the mutex has no guard.
+func (c *counter) label() string { return c.name }
+
+// Negative: constructor-locals are unpublished, no lock needed.
+func fresh() *counter {
+	c := &counter{}
+	c.n = 41
+	d := newCounter()
+	d.n = d.n + 1
+	return d
+}
+
+// Negative: the Locked suffix means the caller holds the mutex.
+func (c *counter) bumpLocked() { c.n++ }
+
+// drain resets the counter. Caller holds mu.
+func (c *counter) drain() { c.n = 0 }
+
+type table struct {
+	mu sync.RWMutex
+	m  map[string]int
+}
+
+// set establishes table.m as guarded (map assignment is a write
+// through the field).
+func (t *table) set(k string, v int) {
+	t.mu.Lock()
+	t.m[k] = v
+	t.mu.Unlock()
+}
+
+// Negative: reads are satisfied by the read lock.
+func (t *table) get(k string) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.m[k]
+}
+
+// Positive: delete mutates the map under only the read lock.
+func (t *table) del(k string) {
+	t.mu.RLock()
+	delete(t.m, k) // want "guarded by table.mu"
+	t.mu.RUnlock()
+}
+
+// Positive: an early return abandons the held lock.
+func (c *counter) tryBump(ok bool) bool {
+	c.mu.Lock()
+	if !ok {
+		return false // want "return while holding c.mu"
+	}
+	c.n++
+	c.mu.Unlock()
+	return true
+}
+
+// Positive: locked, never unlocked.
+func (c *counter) leak() {
+	c.mu.Lock() // want "never unlocked"
+	c.n++
+}
+
+// Negative: branch unlocks before its return, tail unlocks after.
+func (c *counter) branchy(x bool) int {
+	c.mu.Lock()
+	if x {
+		c.mu.Unlock()
+		return 0
+	}
+	n := c.n
+	c.mu.Unlock()
+	return n
+}
+
+// Negative: unlock inside a deferred closure still releases.
+func (c *counter) deferred() int {
+	c.mu.Lock()
+	defer func() {
+		c.mu.Unlock()
+	}()
+	return c.n
+}
+
+// Positive: a value receiver copies the mutex (and the unlocked field
+// read inside is flagged on its own line).
+func (c counter) badValue() int { // want "value receiver of badValue copies"
+	return c.n // want "guarded by counter.mu"
+}
+
+// Positive: a mutex-bearing struct parameter is a copy.
+func consume(c counter) { _ = c.name } // want "parameter of consume copies"
+
+// Positive: a bare mutex parameter is a copy.
+func take(mu sync.Mutex) { _ = mu } // want "copies a mutex by value"
+
+// Positive: dereferencing copies the struct and its mutex.
+func snapshot(c *counter) counter {
+	cp := *c // want "dereference copies"
+	return cp
+}
+
+// Negative: pointers share the mutex; mutex-free structs copy freely.
+type plain struct{ a, b int }
+
+func (p plain) sum() int    { return p.a + p.b }
+func borrow(c *counter) int { return c.get() }

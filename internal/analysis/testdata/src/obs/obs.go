@@ -1,0 +1,34 @@
+// Stand-in obs package for the obsnames corpus: the Registry API
+// surface plus a metric catalog with deliberate convention violations.
+// Matched by package name, like the real internal/obs.
+package obs
+
+type Registry struct{}
+type Counter struct{}
+type Gauge struct{}
+type Histogram struct{}
+
+func (r *Registry) Counter(name string, labels ...string) *Counter { return nil }
+func (r *Registry) Gauge(name string, labels ...string) *Gauge     { return nil }
+func (r *Registry) Histogram(name string, buckets []float64, labels ...string) *Histogram {
+	return nil
+}
+
+const (
+	// Negatives: well-formed catalog names.
+	MGoodTotal   = "graphsig_jobs_done_total"
+	MGoodSeconds = "graphsig_run_duration_seconds"
+	MGoodGauge   = "graphsig_queue_depth"
+
+	// Positives: convention violations in the catalog itself.
+	MBadPrefix = "jobs_done_total"               // want "does not match the naming convention"
+	MBadCase   = "graphsig_Jobs_total"           // want "does not match the naming convention"
+	MBadSep    = "graphsig_jobs__double"         // want "does not match the naming convention"
+	MBadDash   = "graphsig_jobs-done_total"      // want "does not match the naming convention"
+
+	// Legal name, wrong instrument — caught at the call site, not here.
+	MMisusedTotal = "graphsig_oops_total"
+
+	// Not an M* metric constant: exempt from the catalog rule.
+	version = "v1.0-RC"
+)

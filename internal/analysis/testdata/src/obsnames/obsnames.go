@@ -1,0 +1,34 @@
+// Corpus for the obsnames call-site rules: every metric name handed to
+// the Registry must be an obs catalog constant with the suffix
+// matching the instrument.
+package obsnames
+
+import "obs"
+
+const localName = "graphsig_local_total"
+
+func register(r *obs.Registry) {
+	// Negatives: catalog constants with the right suffixes.
+	r.Counter(obs.MGoodTotal, "label")
+	r.Gauge(obs.MGoodGauge)
+	r.Histogram(obs.MGoodSeconds, []float64{0.1, 1, 10}, "stage")
+
+	// Positive: ad-hoc literal mints an uncataloged time series.
+	r.Counter("graphsig_adhoc_total") // want "must be a named constant"
+
+	// Positive: a local constant is not the catalog.
+	r.Counter(localName) // want "must be a named constant"
+
+	// Positives: catalog constants used with the wrong instrument.
+	r.Counter(obs.MGoodGauge)          // want "must end in _total"
+	r.Histogram(obs.MGoodTotal, nil)   // want "must end in _seconds"
+	r.Gauge(obs.MMisusedTotal)         // want "must not carry"
+	r.Gauge(obs.MGoodSeconds)          // want "must not carry"
+}
+
+// Negative: methods named Counter on non-Registry types are unrelated.
+type other struct{}
+
+func (other) Counter(name string) {}
+
+func unrelated(o other) { o.Counter("anything goes") }

@@ -1,0 +1,66 @@
+// Corpus extending the fsyncclose durability scope to the shard
+// package: the per-shard vectorization cache files carry the same
+// "named means fully on disk" contract as segments and manifests.
+package shard
+
+import (
+	"errors"
+	"os"
+)
+
+// Positive: a vector-cache writer that drops its fsync — the cache
+// fingerprint can name a file whose bytes never reached disk.
+func writeVecCache(path string, payload []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	_, err = f.Write(payload)
+	f.Sync()        // want "discarded (*os.File).Sync error"
+	defer f.Close() // want "defer discards the Close error on a writable file"
+	return err
+}
+
+// Positive: blanked Close on the cache temp file before rename.
+func commitVecCache(dir string, payload []byte) error {
+	f, err := os.CreateTemp(dir, "veccache-*")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(payload); err != nil {
+		f.Close() // want "discarded Close error on a writable file"
+		return err
+	}
+	_ = f.Sync() // want "blank-assigned (*os.File).Sync error"
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(f.Name(), dir+"/veccache.bin")
+}
+
+// Negative: the sanctioned pattern propagates every error.
+func writeVecCacheDurably(path string, payload []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(payload); err != nil {
+		return errors.Join(err, f.Close())
+	}
+	if err := f.Sync(); err != nil {
+		return errors.Join(err, f.Close())
+	}
+	return f.Close()
+}
+
+// Negative: read-only cache loads lose nothing on Close.
+func readVecCache(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, 128)
+	n, err := f.Read(buf)
+	return buf[:n], err
+}

@@ -1,0 +1,136 @@
+// Corpus for the sharedcapture analyzer: goroutines spawned in loops
+// sharing state across iterations without synchronization.
+package sharedcapture
+
+import (
+	"runctl"
+	"sync"
+	"sync/atomic"
+)
+
+func use(int) {}
+
+// Positive: append-reassignment of a shared slice from each iteration.
+func gather(items []int) []int {
+	var out []int
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out = append(out, it*2) // want "writes out"
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// Positive: concurrent map stores.
+func index(keys []string) map[string]int {
+	m := map[string]int{}
+	for i, k := range keys {
+		go func() {
+			m[k] = i // want "writes m"
+		}()
+	}
+	return m
+}
+
+// Positive: the loop reassigns cur; the goroutine reads a moving target.
+func stale(items []int) {
+	var cur int
+	var wg sync.WaitGroup
+	for _, it := range items {
+		cur = it
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			use(cur) // want "reads cur"
+		}()
+	}
+	wg.Wait()
+}
+
+// Positive: runctl.Spawn is a spawn site like `go`.
+func spawnLoop(items []int) {
+	n := 0
+	for range items {
+		runctl.Spawn("worker", nil, func() {
+			n++ // want "writes n"
+		})
+	}
+	use(n)
+}
+
+// Negative: per-slot slice writes — each iteration owns its index.
+func collect(items []int) []int {
+	out := make([]int, len(items))
+	var wg sync.WaitGroup
+	for i, it := range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[i] = it * 2
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// Negative: writes under a mutex held inside the goroutine.
+func guarded(items []int) int {
+	var mu sync.Mutex
+	sum := 0
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			sum += it
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return sum
+}
+
+// Negative: atomic adds are synchronization.
+func counted(items []int) int64 {
+	var n int64
+	var wg sync.WaitGroup
+	for range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			atomic.AddInt64(&n, 1)
+		}()
+	}
+	wg.Wait()
+	return n
+}
+
+// Negative: Go 1.22 loop variables are per-iteration.
+func perIteration(items []int) {
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			use(it)
+		}()
+	}
+	wg.Wait()
+}
+
+// Negative: a single goroutine outside any loop has no iteration race.
+func single() int {
+	n := 0
+	done := make(chan struct{})
+	go func() {
+		n = 1
+		close(done)
+	}()
+	<-done
+	return n
+}

@@ -316,15 +316,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, resp)
 		return
 	}
+	// reader is nil on this path, so database() is just a locked read
+	// of the in-memory corpus — it cannot fail.
+	db, _ := s.database()
 	atoms, bonds := 0, 0
-	for _, g := range s.db {
+	for _, g := range db {
 		atoms += g.NumNodes()
 		bonds += g.NumEdges()
 	}
-	resp.Graphs = len(s.db)
-	if len(s.db) > 0 {
-		resp.AvgAtoms = float64(atoms) / float64(len(s.db))
-		resp.AvgBonds = float64(bonds) / float64(len(s.db))
+	resp.Graphs = len(db)
+	if len(db) > 0 {
+		resp.AvgAtoms = float64(atoms) / float64(len(db))
+		resp.AvgBonds = float64(bonds) / float64(len(db))
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -411,6 +414,11 @@ func mineConfig(req mineRequest) core.Config {
 // Configure the Job* fields before the first call.
 func (s *Server) Jobs() *jobs.Manager {
 	s.jobsOnce.Do(func() {
+		// Snapshot the corpus under mu: a concurrent request may be
+		// materializing it in database() right now.
+		s.mu.Lock()
+		db := s.db
+		s.mu.Unlock()
 		exec := s.mineFn
 		var fp string
 		var gen int64
@@ -454,7 +462,7 @@ func (s *Server) Jobs() *jobs.Manager {
 			}
 		}
 		s.jobsMgr = jobs.NewManager(jobs.Options{
-			DB:              s.db,
+			DB:              db,
 			DBFingerprint:   fp,
 			Generation:      gen,
 			Workers:         s.JobWorkers,

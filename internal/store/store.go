@@ -253,6 +253,14 @@ func readManifest(dir string) (*Manifest, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: read manifest: %w", err)
 	}
+	return decodeManifest(data)
+}
+
+// decodeManifest parses and validates manifest bytes. It is the pure
+// half of readManifest, split out so the untrusted-input path can be
+// fuzzed without touching the filesystem: arbitrary bytes must either
+// yield a tiling-consistent manifest or an error, never a panic.
+func decodeManifest(data []byte) (*Manifest, error) {
 	var m Manifest
 	if err := json.Unmarshal(data, &m); err != nil {
 		return nil, fmt.Errorf("store: decode manifest: %w", err)

@@ -3,6 +3,7 @@ package store
 import (
 	"encoding/binary"
 	"encoding/hex"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -303,6 +304,66 @@ func FuzzDecodeSegment(f *testing.F) {
 					t.Fatal("decoded nil graph without error")
 				}
 			}
+		}
+	})
+}
+
+// FuzzManifestJSON hammers the other untrusted-input surface: the
+// manifest decoder. Arbitrary bytes must either produce a manifest
+// whose segment ranges tile, or an error — never a panic. Accepted
+// manifests must also survive a marshal/decode round trip unchanged
+// in the fields the Reader depends on.
+func FuzzManifestJSON(f *testing.F) {
+	dir := f.TempDir()
+	db := make([]*graph.Graph, 6)
+	gen := chem.NewGenerator(7)
+	for i := range db {
+		db[i] = gen.Molecule()
+		db[i].ID = i
+	}
+	if _, err := Build(dir, db, BuildOptions{SegmentGraphs: 2}); err != nil {
+		f.Fatal(err)
+	}
+	valid, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"version":1}`))
+	f.Add([]byte(`{"version":1,"graphs":2,"segments":[{"file":"a","start":0,"count":2}]}`))
+	f.Add([]byte(`{"version":1,"graphs":2,"segments":[{"file":"a","start":1,"count":1}]}`))
+	f.Add([]byte(`{"version":1,"graphs":-1,"segments":[{"file":"a","start":0,"count":-1}]}`))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := decodeManifest(data)
+		if err != nil {
+			return
+		}
+		covered := 0
+		for _, s := range m.Segments {
+			if s.Start != covered || s.Count < 0 {
+				t.Fatalf("accepted non-tiling segments: %+v", m.Segments)
+			}
+			covered += s.Count
+		}
+		if covered != m.Graphs {
+			t.Fatalf("accepted manifest claiming %d graphs over %d covered", m.Graphs, covered)
+		}
+		re, err := json.Marshal(m)
+		if err != nil {
+			t.Fatalf("re-marshal accepted manifest: %v", err)
+		}
+		m2, err := decodeManifest(re)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if m2.Version != m.Version || m2.Generation != m.Generation ||
+			m2.Graphs != m.Graphs || m2.Fingerprint != m.Fingerprint ||
+			len(m2.Segments) != len(m.Segments) {
+			t.Fatalf("round trip changed manifest: %+v vs %+v", m, m2)
 		}
 	})
 }
