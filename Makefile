@@ -17,17 +17,21 @@ lint:
 	go run ./cmd/graphsiglint ./...
 
 # Native fuzz harnesses on a short fixed budget: graph text codec
-# round-trip, DFS-code minimality under node relabeling and edge-order
-# mutation, the SMILES parser, and the store's two untrusted-input
-# decoders (segment binary format, manifest JSON). `go test -fuzz`
-# accepts one target per invocation, hence one line each.
+# round-trip, the CSR-vs-reference representation differentials (build/
+# codec round-trip and VF2 verdict/count/order agreement), DFS-code
+# minimality under node relabeling and edge-order mutation, the SMILES
+# parser, and the store's two untrusted-input decoders (segment binary
+# format, manifest JSON). `go test -fuzz` accepts one target per
+# invocation, hence one line each.
 fuzz:
-	go test ./internal/graph   -run='^$$' -fuzz=FuzzReadDB               -fuzztime=2000x
-	go test ./internal/dfscode -run='^$$' -fuzz=FuzzCanonicalInvariance  -fuzztime=500x
-	go test ./internal/dfscode -run='^$$' -fuzz=FuzzMinCodeEdgeOrder     -fuzztime=500x
-	go test ./internal/chem    -run='^$$' -fuzz=FuzzParseSMILES          -fuzztime=2000x
-	go test ./internal/store   -run='^$$' -fuzz=FuzzDecodeSegment        -fuzztime=500x
-	go test ./internal/store   -run='^$$' -fuzz=FuzzManifestJSON         -fuzztime=500x
+	go test ./internal/graph    -run='^$$' -fuzz=FuzzReadDB               -fuzztime=2000x
+	go test ./internal/graph    -run='^$$' -fuzz=FuzzCSRRoundTrip         -fuzztime=500x
+	go test ./internal/isomorph -run='^$$' -fuzz=FuzzVF2Differential      -fuzztime=2000x
+	go test ./internal/dfscode  -run='^$$' -fuzz=FuzzCanonicalInvariance  -fuzztime=500x
+	go test ./internal/dfscode  -run='^$$' -fuzz=FuzzMinCodeEdgeOrder     -fuzztime=500x
+	go test ./internal/chem     -run='^$$' -fuzz=FuzzParseSMILES          -fuzztime=2000x
+	go test ./internal/store    -run='^$$' -fuzz=FuzzDecodeSegment        -fuzztime=500x
+	go test ./internal/store    -run='^$$' -fuzz=FuzzManifestJSON         -fuzztime=500x
 
 test:
 	go test -shuffle=on ./...
@@ -61,9 +65,9 @@ bench-json:
 	go run ./cmd/benchjson -runs 3 -out BENCH_graphsig.json
 
 # Same workload as bench-json, gated: fails when a fresh run is more
-# than 2x slower per run than the committed baseline. CI runs this
-# non-blocking; refresh the baseline with `make bench-json` after
-# intentional performance changes.
+# than 2x slower per run — or allocates more than 2x as much — as the
+# committed baseline. CI runs this blocking; refresh the baseline with
+# `make bench-json` after intentional performance changes.
 bench-smoke:
 	go run ./cmd/benchjson -runs 1 -out - -baseline BENCH_graphsig.json -max-regression 2
 

@@ -48,6 +48,8 @@ type benchJSON struct {
 	Radius        int                  `json:"radius"`
 	Parallelism   int                  `json:"parallelism"`
 	ElapsedSec    float64              `json:"elapsedSeconds"`
+	AllocsPerRun  float64              `json:"allocsPerRun"`
+	AllocMBPerRun float64              `json:"allocMBPerRun"`
 	Patterns      int                  `json:"patterns"`
 	WindowHits    int64                `json:"windowCacheHits"`
 	WindowMisses  int64                `json:"windowCacheMisses"`
@@ -82,6 +84,8 @@ func main() {
 	reg := obs.NewRegistry()
 	cfg.Metrics = reg
 
+	var msBefore runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
 	t0 := time.Now()
 	patterns := 0
 	for i := 0; i < *runs; i++ {
@@ -92,6 +96,8 @@ func main() {
 		patterns = len(res.Subgraphs)
 	}
 	elapsed := time.Since(t0)
+	var msAfter runtime.MemStats
+	runtime.ReadMemStats(&msAfter)
 
 	effParallel := *parallelism
 	if effParallel <= 0 {
@@ -105,6 +111,8 @@ func main() {
 		Radius:        *radius,
 		Parallelism:   effParallel,
 		ElapsedSec:    elapsed.Seconds(),
+		AllocsPerRun:  float64(msAfter.Mallocs-msBefore.Mallocs) / float64(*runs),
+		AllocMBPerRun: float64(msAfter.TotalAlloc-msBefore.TotalAlloc) / float64(*runs) / (1 << 20),
 		Patterns:      patterns,
 		WindowHits:    snap.CounterValue(obs.MWindowCacheHits),
 		WindowMisses:  snap.CounterValue(obs.MWindowCacheMisses),
@@ -184,5 +192,15 @@ func checkRegression(path string, fresh benchJSON, maxRegression float64) {
 	log.Printf("%.3fs/run vs baseline %.3fs/run (%.2fx, limit %.2fx)", freshPer, basePer, ratio, maxRegression)
 	if ratio > maxRegression {
 		log.Fatalf("performance regression: %.2fx exceeds the %.2fx limit", ratio, maxRegression)
+	}
+	// Allocation churn is gated at the same multiple; baselines written
+	// before the field existed decode to 0 and skip the check.
+	if base.AllocsPerRun > 0 && fresh.AllocsPerRun > 0 {
+		aRatio := fresh.AllocsPerRun / base.AllocsPerRun
+		log.Printf("%.0f allocs/run vs baseline %.0f allocs/run (%.2fx, limit %.2fx)",
+			fresh.AllocsPerRun, base.AllocsPerRun, aRatio, maxRegression)
+		if aRatio > maxRegression {
+			log.Fatalf("allocation regression: %.2fx exceeds the %.2fx limit", aRatio, maxRegression)
+		}
 	}
 }

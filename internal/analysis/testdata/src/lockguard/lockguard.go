@@ -2,7 +2,10 @@
 // lock-release on every return path, and mutex copies by value.
 package lockguard
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 type counter struct {
 	mu   sync.Mutex
@@ -142,3 +145,89 @@ type plain struct{ a, b int }
 
 func (p plain) sum() int    { return p.a + p.b }
 func borrow(c *counter) int { return c.get() }
+
+// An arena recycles scratch buffers: the freelist is mutex-guarded,
+// the sync.Pool overflow is internally synchronized and never written
+// through the field, so no guard is inferred for it.
+type arena struct {
+	mu       sync.Mutex
+	freelist [][]int32
+	overflow sync.Pool
+}
+
+// put establishes arena.freelist as guarded by arena.mu.
+func (a *arena) put(buf []int32) {
+	a.mu.Lock()
+	a.freelist = append(a.freelist, buf)
+	a.mu.Unlock()
+}
+
+// Negative: pool method calls are not field writes; overflow stays
+// unguarded and needs no lock.
+func (a *arena) spill(buf []int32) {
+	a.overflow.Put(&buf)
+}
+
+// Negative: the freelist is drained under a deferred unlock, and
+// falling through to the pool is a plain method call.
+func (a *arena) take() []int32 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if n := len(a.freelist); n > 0 {
+		buf := a.freelist[n-1]
+		a.freelist = a.freelist[:n-1]
+		return buf
+	}
+	p, _ := a.overflow.Get().(*[]int32)
+	if p != nil {
+		return *p
+	}
+	return nil
+}
+
+// Positive: reading the guarded freelist without the lock.
+func (a *arena) size() int {
+	return len(a.freelist) // want "guarded by arena.mu"
+}
+
+// Positive: dropping the freelist without the lock.
+func (a *arena) clear() {
+	a.freelist = nil // want "guarded by arena.mu"
+}
+
+// A lazily frozen snapshot mirrors the CSR freeze pattern: the builder
+// side is mutex-guarded; the snapshot is published through an
+// atomic.Pointer and read lock-free.
+type frozen struct {
+	mu    sync.Mutex
+	dirty []int
+	snap  atomic.Pointer[[]int]
+}
+
+// add establishes frozen.dirty as guarded; Store is a method call,
+// not a write through snap, so snap acquires no guard here.
+func (f *frozen) add(v int) {
+	f.mu.Lock()
+	f.dirty = append(f.dirty, v)
+	f.snap.Store(nil)
+	f.mu.Unlock()
+}
+
+// Negative: the atomic fast path needs no lock; the slow path rebuilds
+// under a deferred unlock.
+func (f *frozen) view() []int {
+	if p := f.snap.Load(); p != nil {
+		return *p
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s := append([]int(nil), f.dirty...)
+	f.snap.Store(&s)
+	return s
+}
+
+// Positive: appending to the builder side without the lock races with
+// a concurrent freeze — both the write and the RHS read are flagged.
+func (f *frozen) addFast(v int) {
+	f.dirty = append(f.dirty, v) // want "guarded by frozen.mu" "guarded by frozen.mu"
+}

@@ -134,3 +134,39 @@ func single() int {
 	<-done
 	return n
 }
+
+// Positive: one scratch arena acquired outside the loop and appended to
+// by every worker — the classic pooled-buffer misuse the CSR matcher's
+// per-worker arenas exist to avoid.
+func sharedArena(items []int) {
+	pool := sync.Pool{New: func() any { return new([]int) }}
+	scratch := pool.Get().(*[]int)
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			*scratch = append(*scratch, it) // want "writes scratch"
+		}()
+	}
+	wg.Wait()
+	pool.Put(scratch)
+}
+
+// Negative: each worker draws its own arena from the pool and returns
+// it; the pool itself is only read (method calls), never reassigned.
+func pooledPerWorker(items []int) {
+	pool := sync.Pool{New: func() any { return new([]int) }}
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := pool.Get().(*[]int)
+			*buf = append((*buf)[:0], it)
+			use((*buf)[0])
+			pool.Put(buf)
+		}()
+	}
+	wg.Wait()
+}

@@ -13,7 +13,7 @@ package dfscode
 
 import (
 	"fmt"
-	"strings"
+	"strconv"
 
 	"graphsig/internal/graph"
 )
@@ -150,25 +150,26 @@ func (c Code) RightmostPath() []int {
 	if len(c) == 0 {
 		return nil
 	}
-	// Walk forward edges backwards from the rightmost vertex.
+	// Walk forward edges backwards from the rightmost vertex. Parents
+	// live in a dense slice indexed by DFS index (-1 = root).
 	rm := -1
-	parent := map[int]int{}
+	for _, e := range c {
+		if e.Forward() && e.J > rm {
+			rm = e.J
+		}
+	}
+	parent := make([]int, rm+1)
+	for i := range parent {
+		parent[i] = -1
+	}
 	for _, e := range c {
 		if e.Forward() {
 			parent[e.J] = e.I
-			if e.J > rm {
-				rm = e.J
-			}
 		}
 	}
-	var rev []int
-	for v := rm; ; {
+	rev := make([]int, 0, rm+1)
+	for v := rm; v >= 0; v = parent[v] {
 		rev = append(rev, v)
-		p, ok := parent[v]
-		if !ok {
-			break
-		}
-		v = p
 	}
 	// Reverse into root-first order.
 	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
@@ -178,13 +179,25 @@ func (c Code) RightmostPath() []int {
 }
 
 // String renders the code compactly, e.g. "(0,1,C,-,O)(1,2,O,=,C)" with
-// numeric labels.
+// numeric labels. The rendering doubles as the canonical pattern key, so
+// it is built with strconv appends rather than fmt — canonicalization
+// sits on the miners' candidate-dedup hot path.
 func (c Code) String() string {
-	var b strings.Builder
+	buf := make([]byte, 0, 20*len(c))
 	for _, e := range c {
-		fmt.Fprintf(&b, "(%d,%d,%d,%d,%d)", e.I, e.J, int(e.LI), int(e.LE), int(e.LJ))
+		buf = append(buf, '(')
+		buf = strconv.AppendInt(buf, int64(e.I), 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(e.J), 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(e.LI), 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(e.LE), 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(e.LJ), 10)
+		buf = append(buf, ')')
 	}
-	return b.String()
+	return string(buf)
 }
 
 // embedding maps DFS indices of a partial code to nodes of a host graph.
@@ -196,37 +209,27 @@ type embedding struct {
 }
 
 func (e *embedding) extend(hostFrom, hostTo int, discovers bool, g *graph.Graph, edgeID int) *embedding {
-	ne := &embedding{
-		nodes:   append(append([]int(nil), e.nodes...), nil...),
-		used:    append([]bool(nil), e.used...),
-		inverse: append([]int(nil), e.inverse...),
-	}
+	// nodes and inverse share one backing allocation: extend runs once
+	// per surviving embedding per code entry and dominated the
+	// canonicalizer's allocation profile as three separate copies.
+	nn := len(e.nodes)
 	if discovers {
-		ne.nodes = append(ne.nodes, hostTo)
-		ne.inverse[hostTo] = len(ne.nodes)
+		nn++
+	}
+	buf := make([]int, nn+len(e.inverse))
+	ne := &embedding{
+		nodes:   buf[:nn:nn],
+		used:    append([]bool(nil), e.used...),
+		inverse: buf[nn:],
+	}
+	copy(ne.nodes, e.nodes)
+	copy(ne.inverse, e.inverse)
+	if discovers {
+		ne.nodes[nn-1] = hostTo
+		ne.inverse[hostTo] = nn
 	}
 	ne.used[edgeID] = true
 	return ne
-}
-
-// edgeIndex gives each undirected host edge a dense id for used-edge sets.
-type edgeIndex struct {
-	ids map[[2]int]int
-}
-
-func newEdgeIndex(g *graph.Graph) *edgeIndex {
-	idx := &edgeIndex{ids: make(map[[2]int]int, g.NumEdges())}
-	for i, e := range g.Edges() {
-		idx.ids[[2]int{e.From, e.To}] = i
-	}
-	return idx
-}
-
-func (idx *edgeIndex) id(u, v int) int {
-	if u > v {
-		u, v = v, u
-	}
-	return idx.ids[[2]int{u, v}]
 }
 
 // MinimumCode computes the canonical minimum DFS code of a connected
@@ -261,7 +264,10 @@ func buildMinimum(g *graph.Graph, reference Code) (Code, bool) {
 		// single-node patterns specially.
 		return Code{}, len(reference) == 0
 	}
-	idx := newEdgeIndex(g)
+	// All adjacency below runs on the frozen CSR view: row slices for
+	// neighbor walks, the parallel EdgeIDs array for used-edge sets
+	// (replacing the old per-call (u,v)->id map).
+	gc := g.CSR()
 	var code Code
 	var embs []*embedding
 
@@ -283,7 +289,7 @@ func buildMinimum(g *graph.Graph, reference Code) (Code, bool) {
 		}
 	}
 	code = append(code, best)
-	for _, e := range g.Edges() {
+	for ei, e := range g.Edges() {
 		for _, dir := range [2][2]int{{e.From, e.To}, {e.To, e.From}} {
 			if g.NodeLabel(dir[0]) == best.LI && e.Label == best.LE && g.NodeLabel(dir[1]) == best.LJ {
 				emb := &embedding{
@@ -293,7 +299,7 @@ func buildMinimum(g *graph.Graph, reference Code) (Code, bool) {
 				}
 				emb.inverse[dir[0]] = 1
 				emb.inverse[dir[1]] = 2
-				emb.used[idx.id(dir[0], dir[1])] = true
+				emb.used[ei] = true
 				embs = append(embs, emb)
 			}
 		}
@@ -317,32 +323,34 @@ func buildMinimum(g *graph.Graph, reference Code) (Code, bool) {
 		for _, emb := range embs {
 			// Backward: from rightmost vertex to rightmost-path vertices.
 			hostRM := emb.nodes[rmv]
-			g.Neighbors(hostRM, func(u int, l graph.Label) {
-				if emb.used[idx.id(hostRM, u)] {
-					return
+			for i := gc.RowStart[hostRM]; i < gc.RowStart[hostRM+1]; i++ {
+				u, l := int(gc.Nbr[i]), gc.EdgeLabels[i]
+				if emb.used[gc.EdgeIDs[i]] {
+					continue
 				}
 				pi := emb.inverse[u]
 				if pi == 0 {
-					return
+					continue
 				}
 				pIdx := pi - 1
 				if !onPath(rmPath, pIdx) {
-					return
+					continue
 				}
-				consider(ext{ec: EdgeCode{I: rmv, J: pIdx, LI: g.NodeLabel(hostRM), LE: l, LJ: g.NodeLabel(u)}})
-			})
+				consider(ext{ec: EdgeCode{I: rmv, J: pIdx, LI: gc.NodeLabels[hostRM], LE: l, LJ: gc.NodeLabels[u]}})
+			}
 			// Forward: from rightmost-path vertices to undiscovered nodes.
 			for _, pv := range rmPath {
 				hostV := emb.nodes[pv]
-				g.Neighbors(hostV, func(u int, l graph.Label) {
+				for i := gc.RowStart[hostV]; i < gc.RowStart[hostV+1]; i++ {
+					u, l := int(gc.Nbr[i]), gc.EdgeLabels[i]
 					if emb.inverse[u] != 0 {
-						return
+						continue
 					}
 					consider(ext{
-						ec:        EdgeCode{I: pv, J: len(emb.nodes), LI: g.NodeLabel(hostV), LE: l, LJ: g.NodeLabel(u)},
+						ec:        EdgeCode{I: pv, J: len(emb.nodes), LI: gc.NodeLabels[hostV], LE: l, LJ: gc.NodeLabels[u]},
 						discovers: true,
 					})
-				})
+				}
 			}
 		}
 		if bestExt == nil {
@@ -359,17 +367,25 @@ func buildMinimum(g *graph.Graph, reference Code) (Code, bool) {
 		for _, emb := range embs {
 			if bestExt.ec.Forward() {
 				hostV := emb.nodes[bestExt.ec.I]
-				g.Neighbors(hostV, func(u int, l graph.Label) {
-					if emb.inverse[u] != 0 || l != bestExt.ec.LE || g.NodeLabel(u) != bestExt.ec.LJ {
-						return
+				for i := gc.RowStart[hostV]; i < gc.RowStart[hostV+1]; i++ {
+					u, l := int(gc.Nbr[i]), gc.EdgeLabels[i]
+					if emb.inverse[u] != 0 || l != bestExt.ec.LE || gc.NodeLabels[u] != bestExt.ec.LJ {
+						continue
 					}
-					next = append(next, emb.extend(hostV, u, true, g, idx.id(hostV, u)))
-				})
+					next = append(next, emb.extend(hostV, u, true, g, int(gc.EdgeIDs[i])))
+				}
 			} else {
 				hostV := emb.nodes[bestExt.ec.I]
 				hostU := emb.nodes[bestExt.ec.J]
-				if !emb.used[idx.id(hostV, hostU)] && g.EdgeLabel(hostV, hostU) == bestExt.ec.LE {
-					next = append(next, emb.extend(hostV, hostU, false, g, idx.id(hostV, hostU)))
+				// One row scan yields the connecting edge's label and id.
+				for i := gc.RowStart[hostV]; i < gc.RowStart[hostV+1]; i++ {
+					if int(gc.Nbr[i]) != hostU {
+						continue
+					}
+					if !emb.used[gc.EdgeIDs[i]] && gc.EdgeLabels[i] == bestExt.ec.LE {
+						next = append(next, emb.extend(hostV, hostU, false, g, int(gc.EdgeIDs[i])))
+					}
+					break
 				}
 			}
 		}

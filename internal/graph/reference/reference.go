@@ -1,0 +1,228 @@
+// Package reference preserves the pre-CSR graph representation — the
+// pointer-rich slice-of-slices adjacency that internal/graph used before
+// the flat compressed-sparse-row refactor — as a differential-testing
+// oracle. It is imported only by tests and fuzz harnesses: the
+// representation-invariance suite drives this implementation and the CSR
+// one with identical inputs and requires identical observations
+// (adjacency iteration order, VF2 verdicts and embedding counts, and
+// byte-identical end-to-end mining answers).
+//
+// The code is deliberately a frozen copy, not a shim over the live
+// package: sharing helpers with the implementation under test would
+// let a representation bug cancel itself out.
+package reference
+
+import (
+	"fmt"
+
+	"graphsig/internal/graph"
+)
+
+// halfEdge is an adjacency entry: the neighbor and the edge label.
+type halfEdge struct {
+	to    int
+	label graph.Label
+}
+
+// Graph is the old adjacency-list representation of a labeled
+// undirected simple graph.
+type Graph struct {
+	ID int
+
+	labels []graph.Label
+	adj    [][]halfEdge
+	edges  []graph.Edge
+}
+
+// New returns an empty graph with capacity hints for n nodes and m edges.
+func New(n, m int) *Graph {
+	return &Graph{
+		labels: make([]graph.Label, 0, n),
+		adj:    make([][]halfEdge, 0, n),
+		edges:  make([]graph.Edge, 0, m),
+	}
+}
+
+// FromGraph converts a CSR graph by replaying its nodes and edges in
+// insertion order, reproducing the old representation's adjacency state
+// for the same construction sequence.
+func FromGraph(g *graph.Graph) *Graph {
+	r := New(g.NumNodes(), g.NumEdges())
+	r.ID = g.ID
+	for _, l := range g.Labels() {
+		r.AddNode(l)
+	}
+	for _, e := range g.Edges() {
+		r.MustAddEdge(e.From, e.To, e.Label)
+	}
+	return r
+}
+
+// ToGraph converts back to the live representation by the same replay.
+func (g *Graph) ToGraph() *graph.Graph {
+	out := graph.New(g.NumNodes(), g.NumEdges())
+	out.ID = g.ID
+	for _, l := range g.labels {
+		out.AddNode(l)
+	}
+	for _, e := range g.edges {
+		out.MustAddEdge(e.From, e.To, e.Label)
+	}
+	return out
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.labels) }
+
+// NumEdges returns the number of edges.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// AddNode appends a node with the given label and returns its id.
+func (g *Graph) AddNode(l graph.Label) int {
+	g.labels = append(g.labels, l)
+	g.adj = append(g.adj, nil)
+	return len(g.labels) - 1
+}
+
+// NodeLabel returns the label of node v.
+func (g *Graph) NodeLabel(v int) graph.Label { return g.labels[v] }
+
+// AddEdge inserts an undirected edge (u, v) with label l, as the old
+// implementation did: panic on out-of-range or self loops, error on
+// duplicates.
+func (g *Graph) AddEdge(u, v int, l graph.Label) error {
+	if u == v {
+		panic("reference: self loop")
+	}
+	if u < 0 || u >= len(g.labels) || v < 0 || v >= len(g.labels) {
+		panic(fmt.Sprintf("reference: edge (%d,%d) out of range [0,%d)", u, v, len(g.labels)))
+	}
+	if g.HasEdge(u, v) {
+		return fmt.Errorf("reference: duplicate edge (%d,%d)", u, v)
+	}
+	if u > v {
+		u, v = v, u
+	}
+	g.adj[u] = append(g.adj[u], halfEdge{to: v, label: l})
+	g.adj[v] = append(g.adj[v], halfEdge{to: u, label: l})
+	g.edges = append(g.edges, graph.Edge{From: u, To: v, Label: l})
+	return nil
+}
+
+// MustAddEdge is AddEdge that panics on duplicates.
+func (g *Graph) MustAddEdge(u, v int, l graph.Label) {
+	if err := g.AddEdge(u, v, l); err != nil {
+		panic(err)
+	}
+}
+
+// HasEdge reports whether an edge between u and v exists.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || u >= len(g.adj) {
+		return false
+	}
+	for _, h := range g.adj[u] {
+		if h.to == v {
+			return true
+		}
+	}
+	return false
+}
+
+// EdgeLabel returns the label of edge (u, v), or NoLabel if absent.
+func (g *Graph) EdgeLabel(u, v int) graph.Label {
+	if u < 0 || u >= len(g.adj) {
+		return graph.NoLabel
+	}
+	for _, h := range g.adj[u] {
+		if h.to == v {
+			return h.label
+		}
+	}
+	return graph.NoLabel
+}
+
+// Degree returns the degree of node v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// Neighbors calls fn for each neighbor of v with the neighbor id and the
+// connecting edge label. Iteration order is insertion order.
+func (g *Graph) Neighbors(v int, fn func(u int, l graph.Label)) {
+	for _, h := range g.adj[v] {
+		fn(h.to, h.label)
+	}
+}
+
+// Edges returns the edge list. The caller must not mutate it.
+func (g *Graph) Edges() []graph.Edge { return g.edges }
+
+// Labels returns the node label slice. The caller must not mutate it.
+func (g *Graph) Labels() []graph.Label { return g.labels }
+
+// IsConnected reports whether g is connected.
+func (g *Graph) IsConnected() bool {
+	n := g.NumNodes()
+	if n <= 1 {
+		return true
+	}
+	seen := make([]bool, n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, h := range g.adj[v] {
+			if !seen[h.to] {
+				seen[h.to] = true
+				count++
+				stack = append(stack, h.to)
+			}
+		}
+	}
+	return count == n
+}
+
+// InducedSubgraph returns the subgraph induced by the given node ids, in
+// the given order.
+func (g *Graph) InducedSubgraph(nodes []int) *Graph {
+	index := make(map[int]int, len(nodes))
+	sub := New(len(nodes), 0)
+	sub.ID = g.ID
+	for i, v := range nodes {
+		index[v] = i
+		sub.AddNode(g.labels[v])
+	}
+	for _, e := range g.edges {
+		fi, okF := index[e.From]
+		ti, okT := index[e.To]
+		if okF && okT {
+			sub.MustAddEdge(fi, ti, e.Label)
+		}
+	}
+	return sub
+}
+
+// CutGraph returns the ball of the given radius around center, exactly
+// as the old implementation cut it (FIFO queue with per-entry depths).
+func (g *Graph) CutGraph(center, radius int) *Graph {
+	type qe struct{ v, d int }
+	seen := map[int]bool{center: true}
+	order := []int{center}
+	queue := []qe{{center, 0}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur.d == radius {
+			continue
+		}
+		for _, h := range g.adj[cur.v] {
+			if !seen[h.to] {
+				seen[h.to] = true
+				order = append(order, h.to)
+				queue = append(queue, qe{h.to, cur.d + 1})
+			}
+		}
+	}
+	return g.InducedSubgraph(order)
+}

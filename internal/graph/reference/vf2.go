@@ -1,0 +1,183 @@
+// The pre-arena VF2 implementation, frozen as the matching oracle: the
+// allocation-per-call recursive search over the adjacency-list Graph,
+// exactly as internal/isomorph ran it before the CSR rewrite (minus the
+// run-controller plumbing, which the oracle does not need). The
+// differential fuzz harness requires verdict and embedding-count
+// agreement between this code and the rewritten matcher on arbitrary
+// pattern/target pairs.
+package reference
+
+import "graphsig/internal/graph"
+
+// state carries the mutable search state of one VF2 run.
+type state struct {
+	pattern, target *Graph
+	core            []int
+	used            []bool
+	order           []int
+	limit           int
+	count           int
+	emit            func(mapping []int) bool
+}
+
+// SubgraphIsomorphic reports whether pattern occurs in target (labeled
+// subgraph monomorphism with injective node mapping).
+func SubgraphIsomorphic(pattern, target *Graph) bool {
+	found := false
+	enumerate(pattern, target, 1, func([]int) bool {
+		found = true
+		return false
+	})
+	return found
+}
+
+// CountEmbeddings returns the number of distinct embeddings of pattern
+// in target, up to max (0 = unbounded).
+func CountEmbeddings(pattern, target *Graph, max int) int {
+	n := 0
+	enumerate(pattern, target, max, func([]int) bool {
+		n++
+		return max == 0 || n < max
+	})
+	return n
+}
+
+// ForEachEmbedding calls fn with every embedding of pattern in target
+// until fn returns false. The mapping slice is reused across calls.
+func ForEachEmbedding(pattern, target *Graph, fn func(mapping []int) bool) {
+	enumerate(pattern, target, 0, fn)
+}
+
+// Support counts the number of graphs in db that contain pattern.
+func Support(pattern *Graph, db []*Graph) int {
+	n := 0
+	for _, g := range db {
+		if SubgraphIsomorphic(pattern, g) {
+			n++
+		}
+	}
+	return n
+}
+
+func enumerate(pattern, target *Graph, limit int, emit func([]int) bool) {
+	np := pattern.NumNodes()
+	if np == 0 {
+		emit(nil)
+		return
+	}
+	if np > target.NumNodes() || pattern.NumEdges() > target.NumEdges() {
+		return
+	}
+	s := &state{
+		pattern: pattern,
+		target:  target,
+		core:    make([]int, np),
+		used:    make([]bool, target.NumNodes()),
+		order:   connectedOrder(pattern),
+		limit:   limit,
+		emit:    emit,
+	}
+	for i := range s.core {
+		s.core[i] = -1
+	}
+	s.match(0)
+}
+
+// connectedOrder returns pattern nodes in BFS-over-components order.
+func connectedOrder(g *Graph) []int {
+	n := g.NumNodes()
+	order := make([]int, 0, n)
+	seen := make([]bool, n)
+	for start := 0; start < n; start++ {
+		if seen[start] {
+			continue
+		}
+		seen[start] = true
+		queue := []int{start}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			order = append(order, v)
+			g.Neighbors(v, func(u int, _ graph.Label) {
+				if !seen[u] {
+					seen[u] = true
+					queue = append(queue, u)
+				}
+			})
+		}
+	}
+	return order
+}
+
+// match extends the mapping with the depth-th pattern node in order.
+func (s *state) match(depth int) bool {
+	if depth == len(s.order) {
+		s.count++
+		if !s.emit(s.core) {
+			return false
+		}
+		return s.limit == 0 || s.count < s.limit
+	}
+	pv := s.order[depth]
+	pl := s.pattern.NodeLabel(pv)
+
+	var candidates []int
+	anchored := false
+	s.pattern.Neighbors(pv, func(pu int, _ graph.Label) {
+		if anchored {
+			return
+		}
+		if tv := s.core[pu]; tv >= 0 {
+			anchored = true
+			candidates = candidates[:0]
+			s.target.Neighbors(tv, func(tu int, _ graph.Label) {
+				candidates = append(candidates, tu)
+			})
+		}
+	})
+	if !anchored {
+		for tv := 0; tv < s.target.NumNodes(); tv++ {
+			candidates = append(candidates, tv)
+		}
+	}
+
+	for _, tv := range candidates {
+		if s.used[tv] || s.target.NodeLabel(tv) != pl {
+			continue
+		}
+		if s.target.Degree(tv) < s.pattern.Degree(pv) {
+			continue
+		}
+		if !s.feasible(pv, tv) {
+			continue
+		}
+		s.core[pv] = tv
+		s.used[tv] = true
+		ok := s.match(depth + 1)
+		s.core[pv] = -1
+		s.used[tv] = false
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// feasible checks that mapping pv -> tv preserves every pattern edge to
+// an already-mapped neighbor, with matching edge labels.
+func (s *state) feasible(pv, tv int) bool {
+	ok := true
+	s.pattern.Neighbors(pv, func(pu int, l graph.Label) {
+		if !ok {
+			return
+		}
+		tu := s.core[pu]
+		if tu < 0 {
+			return
+		}
+		if s.target.EdgeLabel(tv, tu) != l {
+			ok = false
+		}
+	})
+	return ok
+}

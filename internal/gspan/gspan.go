@@ -157,7 +157,6 @@ func (st *embeddingState) hostIndex(host int) int {
 
 type miner struct {
 	db       []*graph.Graph
-	edgeIDs  []map[[2]int]int
 	opt      Options
 	cp       *runctl.Checkpoint
 	patterns []Pattern
@@ -181,14 +180,6 @@ func Mine(db []*graph.Graph, opt Options) Result {
 	// canceled context truncates before any work.
 	if err := m.cp.Force(); err != nil {
 		return Result{Truncated: true, StopReason: runctl.ReasonOf(err)}
-	}
-	m.edgeIDs = make([]map[[2]int]int, len(db))
-	for i, g := range db {
-		ids := make(map[[2]int]int, g.NumEdges())
-		for j, e := range g.Edges() {
-			ids[[2]int{e.From, e.To}] = j
-		}
-		m.edgeIDs[i] = ids
 	}
 
 	if opt.IncludeSingleNodes {
@@ -233,7 +224,7 @@ func Mine(db []*graph.Graph, opt Options) Result {
 		var projs []*projection
 		for gid := range s.gids {
 			g := db[gid]
-			for _, e := range g.Edges() {
+			for eid, e := range g.Edges() {
 				for _, dir := range [2][2]int{{e.From, e.To}, {e.To, e.From}} {
 					if g.NodeLabel(dir[0]) != s.code.LI || e.Label != s.code.LE || g.NodeLabel(dir[1]) != s.code.LJ {
 						continue
@@ -242,7 +233,7 @@ func Mine(db []*graph.Graph, opt Options) Result {
 						gid:      gid,
 						hostFrom: dir[0],
 						hostTo:   dir[1],
-						eid:      m.edgeIDs[gid][normPair(dir[0], dir[1])],
+						eid:      eid,
 					})
 				}
 			}
@@ -251,13 +242,6 @@ func Mine(db []*graph.Graph, opt Options) Result {
 	}
 
 	return Result{Patterns: m.patterns, Truncated: m.stop, StopReason: m.stopWhy, Stats: m.stats}
-}
-
-func normPair(u, v int) [2]int {
-	if u > v {
-		u, v = v, u
-	}
-	return [2]int{u, v}
 }
 
 func (m *miner) mineSingleNodes() {
@@ -342,33 +326,35 @@ func (m *miner) grow(code dfscode.Code, projs []*projection) {
 	exts := make(map[dfscode.EdgeCode][]*projection)
 	var st embeddingState
 	for _, p := range projs {
-		g := m.db[p.gid]
+		gc := m.db[p.gid].CSR()
 		unroll(code, p, &st)
 		hostRM := st.nodes[rmv]
-		// Backward extensions from the rightmost vertex.
-		g.Neighbors(hostRM, func(u int, l graph.Label) {
-			eid := m.edgeIDs[p.gid][normPair(hostRM, u)]
+		// Backward extensions from the rightmost vertex. Host adjacency
+		// is walked as raw CSR rows, whose per-entry edge ids replace
+		// the old per-graph (u,v)->eid lookup maps.
+		for i := gc.RowStart[hostRM]; i < gc.RowStart[hostRM+1]; i++ {
+			u, l, eid := int(gc.Nbr[i]), gc.EdgeLabels[i], int(gc.EdgeIDs[i])
 			if st.usedEdge(eid) {
-				return
+				continue
 			}
 			pIdx := st.hostIndex(u)
 			if pIdx < 0 || !onPath(rmPath, pIdx) || pIdx == rmv {
-				return
+				continue
 			}
-			ec := dfscode.EdgeCode{I: rmv, J: pIdx, LI: g.NodeLabel(hostRM), LE: l, LJ: g.NodeLabel(u)}
+			ec := dfscode.EdgeCode{I: rmv, J: pIdx, LI: gc.NodeLabels[hostRM], LE: l, LJ: gc.NodeLabels[u]}
 			exts[ec] = append(exts[ec], &projection{gid: p.gid, hostFrom: hostRM, hostTo: u, eid: eid, prev: p})
-		})
+		}
 		// Forward extensions from rightmost-path vertices.
 		for _, pv := range rmPath {
 			hostV := st.nodes[pv]
-			g.Neighbors(hostV, func(u int, l graph.Label) {
+			for i := gc.RowStart[hostV]; i < gc.RowStart[hostV+1]; i++ {
+				u, l, eid := int(gc.Nbr[i]), gc.EdgeLabels[i], int(gc.EdgeIDs[i])
 				if st.hostIndex(u) >= 0 {
-					return
+					continue
 				}
-				eid := m.edgeIDs[p.gid][normPair(hostV, u)]
-				ec := dfscode.EdgeCode{I: pv, J: len(st.nodes), LI: g.NodeLabel(hostV), LE: l, LJ: g.NodeLabel(u)}
+				ec := dfscode.EdgeCode{I: pv, J: len(st.nodes), LI: gc.NodeLabels[hostV], LE: l, LJ: gc.NodeLabels[u]}
 				exts[ec] = append(exts[ec], &projection{gid: p.gid, hostFrom: hostV, hostTo: u, eid: eid, prev: p})
-			})
+			}
 		}
 	}
 

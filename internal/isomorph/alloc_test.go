@@ -1,0 +1,47 @@
+package isomorph_test
+
+// Steady-state allocation contract of the arena'd VF2: once the pooled
+// match state is warm and the graphs are frozen, the existence and
+// count entry points must not touch the heap. This is what makes the
+// group-mine support loops scale — the pre-CSR matcher allocated its
+// full search state on every call.
+
+import (
+	"testing"
+
+	"graphsig/internal/chem"
+	"graphsig/internal/graph"
+	"graphsig/internal/isomorph"
+)
+
+func TestVF2SteadyStateZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation defeats sync.Pool; alloc counts are meaningless under -race")
+	}
+	gen := chem.NewGenerator(11)
+	pattern := chem.SbCore().Freeze()
+	targets := make([]*graph.Graph, 8)
+	for i := range targets {
+		targets[i] = gen.Molecule().Freeze()
+	}
+	// Warm the pool and force the lazy CSR builds outside the
+	// measurement window.
+	for _, tg := range targets {
+		isomorph.SubgraphIsomorphic(pattern, tg)
+		isomorph.CountEmbeddings(pattern, tg, 0)
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		for _, tg := range targets {
+			isomorph.SubgraphIsomorphic(pattern, tg)
+		}
+	}); allocs != 0 {
+		t.Errorf("SubgraphIsomorphic: %v allocs per run over %d frozen targets; want 0", allocs, len(targets))
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		for _, tg := range targets {
+			isomorph.CountEmbeddings(pattern, tg, 0)
+		}
+	}); allocs != 0 {
+		t.Errorf("CountEmbeddings: %v allocs per run over %d frozen targets; want 0", allocs, len(targets))
+	}
+}

@@ -24,25 +24,30 @@ type Summary struct {
 	edges map[[3]int]int
 }
 
-// Summarize computes g's Summary. Cost is O(nodes + edges) plus the
-// per-label sorts; summaries are immutable afterwards and safe to share
-// across goroutines.
+// Summarize computes g's Summary from its frozen CSR view: degrees are
+// rowStart deltas and labels come straight from the flat label arrays.
+// Cost is O(nodes + edges) plus the per-label sorts; summaries are
+// immutable afterwards and safe to share across goroutines.
 func Summarize(g *graph.Graph) *Summary {
+	c := g.CSR()
 	s := &Summary{
-		numNodes: g.NumNodes(),
+		numNodes: len(c.NodeLabels),
 		numEdges: g.NumEdges(),
 		degrees:  make(map[graph.Label][]int),
 		edges:    make(map[[3]int]int),
 	}
-	for v := 0; v < g.NumNodes(); v++ {
-		l := g.NodeLabel(v)
-		s.degrees[l] = append(s.degrees[l], g.Degree(v))
+	for v, l := range c.NodeLabels {
+		s.degrees[l] = append(s.degrees[l], int(c.RowStart[v+1]-c.RowStart[v]))
 	}
 	for _, seq := range s.degrees {
 		sort.Sort(sort.Reverse(sort.IntSlice(seq)))
 	}
 	for _, e := range g.Edges() {
-		s.edges[edgeKey(g, e)]++
+		la, lb := int(c.NodeLabels[e.From]), int(c.NodeLabels[e.To])
+		if la > lb {
+			la, lb = lb, la
+		}
+		s.edges[[3]int{la, lb, int(e.Label)}]++
 	}
 	return s
 }

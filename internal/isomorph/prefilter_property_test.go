@@ -1,0 +1,117 @@
+package isomorph_test
+
+// Property tests for the summary prefilter over the CSR core.
+// Soundness — a summary reject implies VF2 would also say no — is the
+// load-bearing property: an unsound prefilter silently drops supporting
+// graphs and corrupts p-values. The rejection-rate floor keeps the
+// prefilter useful: a regression that makes CanContain vacuously true
+// stays sound but would send every pair back into exponential search.
+
+import (
+	"math/rand"
+	"testing"
+
+	"graphsig/internal/chem"
+	"graphsig/internal/graph"
+	"graphsig/internal/isomorph"
+)
+
+// randomLabeledGraph grows a connected random graph: a spanning tree
+// plus extra edges, labels drawn from a small alphabet so collisions
+// (and therefore real containments) actually happen.
+func randomLabeledGraph(rng *rand.Rand, nodes, extraEdges int) *graph.Graph {
+	g := graph.New(nodes, nodes-1+extraEdges)
+	for v := 0; v < nodes; v++ {
+		g.AddNode(graph.Label(rng.Intn(3)))
+	}
+	for v := 1; v < nodes; v++ {
+		g.MustAddEdge(rng.Intn(v), v, graph.Label(rng.Intn(2)))
+	}
+	for i := 0; i < extraEdges; i++ {
+		u, v := rng.Intn(nodes), rng.Intn(nodes)
+		if u != v {
+			_ = g.AddEdge(u, v, graph.Label(rng.Intn(2)))
+		}
+	}
+	return g
+}
+
+// TestPrefilterSoundness checks CanContain never rejects a pair VF2
+// accepts, over a randomized pattern/target corpus plus guaranteed-
+// positive pairs (a graph against its own supergraph).
+func TestPrefilterSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	accepted := 0
+	for trial := 0; trial < 2000; trial++ {
+		pattern := randomLabeledGraph(rng, 2+rng.Intn(4), rng.Intn(2))
+		target := randomLabeledGraph(rng, 3+rng.Intn(8), rng.Intn(4))
+		if trial%4 == 0 {
+			// Force positives: embed the pattern verbatim in the target.
+			base := target.NumNodes()
+			for v := 0; v < pattern.NumNodes(); v++ {
+				target.AddNode(pattern.NodeLabel(v))
+			}
+			for _, e := range pattern.Edges() {
+				target.MustAddEdge(base+e.From, base+e.To, e.Label)
+			}
+			target.MustAddEdge(0, base, 0)
+		}
+		match := isomorph.SubgraphIsomorphic(pattern, target)
+		pass := isomorph.Summarize(target).CanContain(isomorph.Summarize(pattern))
+		if match && !pass {
+			t.Fatalf("unsound reject: VF2 accepts but summary rejects\npattern %s\ntarget %s", pattern, target)
+		}
+		if match {
+			accepted++
+		}
+	}
+	if accepted < 100 {
+		t.Fatalf("only %d VF2-positive pairs in 2000 trials; soundness check is near-vacuous", accepted)
+	}
+}
+
+// TestPrefilterRejectionFloor pins the prefilter's selectivity on a
+// Fig-10-shaped workload: planted-core patterns and cut windows screened
+// against generator molecules. At least half of the true negatives must
+// be rejected on summaries alone — the measured rate is far higher, so
+// the floor only catches wholesale regressions.
+func TestPrefilterRejectionFloor(t *testing.T) {
+	gen := chem.NewGenerator(5)
+	db := make([]*graph.Graph, 60)
+	for i := range db {
+		db[i] = gen.Molecule()
+	}
+	var patterns []*graph.Graph
+	patterns = append(patterns, chem.SbCore())
+	other := chem.NewGenerator(6)
+	for i := 0; i < 12; i++ {
+		m := other.Molecule()
+		patterns = append(patterns, m.CutGraph(i%m.NumNodes(), 2))
+	}
+
+	sums := make([]*isomorph.Summary, len(db))
+	for i, g := range db {
+		sums[i] = isomorph.Summarize(g)
+	}
+	negatives, rejected := 0, 0
+	for _, p := range patterns {
+		ps := isomorph.Summarize(p)
+		for i, g := range db {
+			if isomorph.SubgraphIsomorphic(p, g) {
+				continue
+			}
+			negatives++
+			if !sums[i].CanContain(ps) {
+				rejected++
+			}
+		}
+	}
+	if negatives == 0 {
+		t.Fatal("every pattern matched every molecule; rejection rate undefined")
+	}
+	rate := float64(rejected) / float64(negatives)
+	t.Logf("prefilter rejected %d of %d true negatives (%.1f%%)", rejected, negatives, 100*rate)
+	if rate < 0.5 {
+		t.Errorf("rejection rate %.2f below floor 0.50: prefilter lost its selectivity", rate)
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package isomorph_test
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package isomorph_test
+
+// The race detector instruments sync.Pool and every allocation site,
+// so AllocsPerRun counts are meaningless under -race; the zero-alloc
+// contract tests skip themselves.
+const raceEnabled = true

@@ -10,25 +10,50 @@
 // semantics used by gSpan/FSG support counting: every pattern edge must be
 // present in the target, but the target may have extra edges between
 // mapped nodes.
+//
+// The matcher runs directly on the graphs' frozen CSR views: the hot
+// loops index flat rowStart/neighbor/edge-label arrays, candidate "used"
+// sets are bitsets, and all mutable search state lives in a
+// sync.Pool-backed scratch arena reused across calls, so steady-state
+// matching performs zero heap allocations. The search-tree shape —
+// matching order, anchor choice, candidate iteration order, and the
+// per-node checkpoint charge — is byte-identical to the pre-CSR
+// implementation preserved in internal/graph/reference, which the
+// differential fuzz harness enforces.
 package isomorph
 
 import (
+	"sync"
+
 	"graphsig/internal/graph"
 	"graphsig/internal/runctl"
 )
 
-// state carries the mutable search state of one VF2 run.
-type state struct {
-	pattern, target *graph.Graph
-	// core maps pattern node -> target node (-1 when unmapped).
+// matchState is one VF2 run's scratch arena: the CSR views of both
+// graphs plus every mutable array the search needs. States are pooled
+// and fully reset (sized to the current pair, contents reinitialized)
+// on acquisition, so a recycled state never leaks a previous search's
+// mapping.
+type matchState struct {
+	p, t graph.CSRView
+	// core maps pattern node -> target node (-1 when unmapped). It is
+	// also the mapping slice handed to emit, so its element type stays
+	// int for API compatibility.
 	core []int
-	// used marks target nodes already claimed by the mapping.
-	used []bool
+	// used marks target nodes already claimed by the mapping, one bit
+	// per node.
+	used bitset
 	// order is the matching order of pattern nodes (connected order).
-	order []int
-	// candBufs holds one reusable candidate buffer per search depth, so
-	// the hot match loop allocates nothing after warm-up.
-	candBufs [][]int
+	// orderKey remembers which pattern it was computed for — the first
+	// element of the pattern CSR's RowStart, whose backing array is
+	// immutable and unique per frozen graph — so Support-style loops
+	// running one pattern against a whole database skip the BFS on
+	// every call after the first.
+	order    []int32
+	orderKey *int32
+	// seen/queue are connectedOrder's BFS scratch.
+	seen  bitset
+	queue []int32
 	// limit, if > 0, bounds the number of embeddings enumerated.
 	limit int
 	count int
@@ -38,8 +63,85 @@ type state struct {
 	// long-running caller should pass one.
 	cp  *runctl.Checkpoint
 	err error
-	// emit receives each complete mapping; return false to stop.
+	// emit receives each complete mapping; return false to stop. A nil
+	// emit means existence/count-only mode, which keeps the hottest
+	// entry points (SubgraphIsomorphic, CountEmbeddings) free of
+	// closure allocations.
 	emit func(mapping []int) bool
+}
+
+// bitset is a fixed-capacity bit vector over dense node ids.
+type bitset []uint64
+
+func (b bitset) set(i int32)      { b[i>>6] |= 1 << (uint(i) & 63) }
+func (b bitset) clear(i int32)    { b[i>>6] &^= 1 << (uint(i) & 63) }
+func (b bitset) has(i int32) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// grown returns b resized to hold n bits with every bit zero.
+func (b bitset) grown(n int) bitset {
+	words := (n + 63) / 64
+	if cap(b) < words {
+		return make(bitset, words)
+	}
+	b = b[:words]
+	for i := range b {
+		b[i] = 0
+	}
+	return b
+}
+
+// statePool recycles match states across calls. One Get/Put pair per
+// VF2 invocation; a worker hammering Support over a database reuses the
+// same arena for every graph, so the steady-state match loop allocates
+// nothing.
+var statePool = sync.Pool{New: func() any { return new(matchState) }}
+
+// acquireState readies a pooled state for the given pair. It returns
+// nil when the search is statically impossible or trivially satisfied
+// (np == 0), with the trivial verdict in matched. Callers running under
+// a run controller set s.cp before match; the search charges one
+// checkpoint step per search-tree node.
+func acquireState(pattern, target *graph.Graph, limit int, emit func([]int) bool) (s *matchState, matched bool) {
+	np := pattern.NumNodes()
+	if np == 0 {
+		if emit != nil {
+			emit(nil)
+		}
+		return nil, true
+	}
+	if np > target.NumNodes() || pattern.NumEdges() > target.NumEdges() {
+		return nil, false
+	}
+	s = statePool.Get().(*matchState)
+	s.p, s.t = pattern.CSR(), target.CSR()
+	if cap(s.core) < np {
+		s.core = make([]int, np)
+	}
+	s.core = s.core[:np]
+	for i := range s.core {
+		s.core[i] = -1
+	}
+	s.used = s.used.grown(target.NumNodes())
+	if s.orderKey != &s.p.RowStart[0] {
+		s.connectedOrder()
+		s.orderKey = &s.p.RowStart[0]
+	}
+	s.limit = limit
+	s.count = 0
+	s.cp = nil
+	s.err = nil
+	s.emit = emit
+	return s, false
+}
+
+// release returns a state to the pool. Views and callbacks are dropped
+// so a pooled state never pins a graph or a caller's closure; the
+// scratch arrays stay for reuse.
+func (s *matchState) release() {
+	s.p, s.t = graph.CSRView{}, graph.CSRView{}
+	s.cp = nil
+	s.emit = nil
+	statePool.Put(s)
 }
 
 // SubgraphIsomorphic reports whether pattern occurs in target (labeled
@@ -55,11 +157,14 @@ func SubgraphIsomorphic(pattern, target *graph.Graph) bool {
 // non-nil error the boolean is meaningless (the search was cut short,
 // not exhausted).
 func SubgraphIsomorphicCtl(pattern, target *graph.Graph, cp *runctl.Checkpoint) (bool, error) {
-	found := false
-	err := enumerateCtl(pattern, target, 1, cp, func([]int) bool {
-		found = true
-		return false
-	})
+	s, trivial := acquireState(pattern, target, 1, nil)
+	if s == nil {
+		return trivial, nil
+	}
+	s.cp = cp
+	s.match(0)
+	found, err := s.count > 0, s.err
+	s.release()
 	return found, err
 }
 
@@ -78,11 +183,16 @@ func FindEmbedding(pattern, target *graph.Graph) []int {
 // target, up to max (pass 0 for unbounded). Distinct means distinct
 // injective node mappings; automorphic images count separately.
 func CountEmbeddings(pattern, target *graph.Graph, max int) int {
-	n := 0
-	enumerate(pattern, target, max, func([]int) bool {
-		n++
-		return max == 0 || n < max
-	})
+	s, trivial := acquireState(pattern, target, max, nil)
+	if s == nil {
+		if trivial {
+			return 1
+		}
+		return 0
+	}
+	s.match(0)
+	n := s.count
+	s.release()
 	return n
 }
 
@@ -150,140 +260,144 @@ func enumerate(pattern, target *graph.Graph, limit int, emit func([]int) bool) {
 }
 
 func enumerateCtl(pattern, target *graph.Graph, limit int, cp *runctl.Checkpoint, emit func([]int) bool) error {
-	np := pattern.NumNodes()
-	if np == 0 {
-		emit(nil)
+	s, _ := acquireState(pattern, target, limit, emit)
+	if s == nil {
 		return nil
 	}
-	if np > target.NumNodes() || pattern.NumEdges() > target.NumEdges() {
-		return nil
-	}
-	s := &state{
-		pattern:  pattern,
-		target:   target,
-		core:     make([]int, np),
-		used:     make([]bool, target.NumNodes()),
-		order:    connectedOrder(pattern),
-		candBufs: make([][]int, np),
-		limit:    limit,
-		cp:       cp,
-		emit:     emit,
-	}
-	for i := range s.core {
-		s.core[i] = -1
-	}
+	s.cp = cp
 	s.match(0)
-	return s.err
+	err := s.err
+	s.release()
+	return err
 }
 
-// connectedOrder returns pattern nodes in an order where each node after
-// the first is adjacent to an earlier node when possible (BFS over
-// components), which keeps the VF2 frontier connected and pruning strong.
-func connectedOrder(g *graph.Graph) []int {
-	n := g.NumNodes()
-	order := make([]int, 0, n)
-	seen := make([]bool, n)
+// connectedOrder fills s.order with pattern nodes so that each node
+// after the first is adjacent to an earlier node when possible (BFS
+// over components), which keeps the VF2 frontier connected and pruning
+// strong. All scratch comes from the arena.
+func (s *matchState) connectedOrder() {
+	n := len(s.p.NodeLabels)
+	if cap(s.order) < n {
+		s.order = make([]int32, 0, n)
+	}
+	s.order = s.order[:0]
+	s.seen = s.seen.grown(n)
+	s.queue = s.queue[:0]
 	for start := 0; start < n; start++ {
-		if seen[start] {
+		if s.seen.has(int32(start)) {
 			continue
 		}
-		seen[start] = true
-		queue := []int{start}
-		for len(queue) > 0 {
-			v := queue[0]
-			queue = queue[1:]
-			order = append(order, v)
-			g.Neighbors(v, func(u int, _ graph.Label) {
-				if !seen[u] {
-					seen[u] = true
-					queue = append(queue, u)
+		s.seen.set(int32(start))
+		s.queue = append(s.queue, int32(start))
+		for len(s.queue) > 0 {
+			v := s.queue[0]
+			s.queue = s.queue[1:]
+			s.order = append(s.order, v)
+			for i := s.p.RowStart[v]; i < s.p.RowStart[v+1]; i++ {
+				u := s.p.Nbr[i]
+				if !s.seen.has(u) {
+					s.seen.set(u)
+					s.queue = append(s.queue, u)
 				}
-			})
+			}
 		}
+		s.queue = s.queue[:0]
 	}
-	return order
 }
 
 // match extends the mapping with the depth-th pattern node in order.
 // It returns false when enumeration should stop entirely.
-func (s *state) match(depth int) bool {
+func (s *matchState) match(depth int) bool {
 	if err := s.cp.Step(); err != nil {
 		s.err = err
 		return false
 	}
 	if depth == len(s.order) {
 		s.count++
-		if !s.emit(s.core) {
+		if s.emit != nil && !s.emit(s.core) {
 			return false
 		}
 		return s.limit == 0 || s.count < s.limit
 	}
 	pv := s.order[depth]
-	pl := s.pattern.NodeLabel(pv)
+	pl := s.p.NodeLabels[pv]
+	pDeg := s.p.RowStart[pv+1] - s.p.RowStart[pv]
 
-	// Candidate targets: neighbors of an already-mapped pattern
+	// Candidate targets: neighbors of the first already-mapped pattern
 	// neighbor when one exists (cheap frontier restriction), otherwise
-	// all unused target nodes. The buffer is reused per depth.
-	candidates := s.candBufs[depth][:0]
-	anchored := false
-	s.pattern.Neighbors(pv, func(pu int, _ graph.Label) {
-		if anchored {
-			return
-		}
-		if tv := s.core[pu]; tv >= 0 {
-			anchored = true
-			candidates = candidates[:0]
-			s.target.Neighbors(tv, func(tu int, _ graph.Label) {
-				candidates = append(candidates, tu)
-			})
-		}
-	})
-	if !anchored {
-		for tv := 0; tv < s.target.NumNodes(); tv++ {
-			candidates = append(candidates, tv)
+	// all unused target nodes. Rows are iterated in place — the CSR is
+	// immutable during the search, so no candidate buffer is needed.
+	anchor := int32(-1)
+	for i := s.p.RowStart[pv]; i < s.p.RowStart[pv+1]; i++ {
+		if tv := s.core[s.p.Nbr[i]]; tv >= 0 {
+			anchor = int32(tv)
+			break
 		}
 	}
-	s.candBufs[depth] = candidates
-
-	for _, tv := range candidates {
-		if s.used[tv] || s.target.NodeLabel(tv) != pl {
-			continue
+	// The cheap screens (used, node label, degree) run inline in the
+	// candidate loops; tryCandidate only pays the call overhead for
+	// survivors that reach the edge-feasibility check.
+	if anchor >= 0 {
+		for i := s.t.RowStart[anchor]; i < s.t.RowStart[anchor+1]; i++ {
+			tv := s.t.Nbr[i]
+			if s.used.has(tv) || s.t.NodeLabels[tv] != pl || s.t.RowStart[tv+1]-s.t.RowStart[tv] < pDeg {
+				continue
+			}
+			if !s.tryCandidate(pv, tv, depth) {
+				return false
+			}
 		}
-		if s.target.Degree(tv) < s.pattern.Degree(pv) {
-			continue
-		}
-		if !s.feasible(pv, tv) {
-			continue
-		}
-		s.core[pv] = tv
-		s.used[tv] = true
-		ok := s.match(depth + 1)
-		s.core[pv] = -1
-		s.used[tv] = false
-		if !ok {
-			return false
+	} else {
+		for tv := int32(0); tv < int32(len(s.t.NodeLabels)); tv++ {
+			if s.used.has(tv) || s.t.NodeLabels[tv] != pl || s.t.RowStart[tv+1]-s.t.RowStart[tv] < pDeg {
+				continue
+			}
+			if !s.tryCandidate(pv, tv, depth) {
+				return false
+			}
 		}
 	}
 	return true
 }
 
-// feasible checks that mapping pv -> tv preserves every pattern edge to
-// an already-mapped neighbor, with matching edge labels.
-func (s *state) feasible(pv, tv int) bool {
-	ok := true
-	s.pattern.Neighbors(pv, func(pu int, l graph.Label) {
-		if !ok {
-			return
-		}
-		tu := s.core[pu]
-		if tu < 0 {
-			return
-		}
-		if s.target.EdgeLabel(tv, tu) != l {
-			ok = false
-		}
-	})
+// tryCandidate checks edge feasibility of tv for pattern node pv and
+// recurses on success. It returns false when enumeration should stop
+// entirely.
+func (s *matchState) tryCandidate(pv, tv int32, depth int) bool {
+	if !s.feasible(pv, tv) {
+		return true
+	}
+	s.core[pv] = int(tv)
+	s.used.set(tv)
+	ok := s.match(depth + 1)
+	s.core[pv] = -1
+	s.used.clear(tv)
 	return ok
+}
+
+// feasible checks that mapping pv -> tv preserves every pattern edge to
+// an already-mapped neighbor, with matching edge labels. The target
+// edge lookup is a scan of tv's CSR row — the same cost shape as the
+// old adjacency-list scan, on flat arrays.
+func (s *matchState) feasible(pv, tv int32) bool {
+	for i := s.p.RowStart[pv]; i < s.p.RowStart[pv+1]; i++ {
+		tu := s.core[s.p.Nbr[i]]
+		if tu < 0 {
+			continue
+		}
+		l := s.p.EdgeLabels[i]
+		found := false
+		for j := s.t.RowStart[tv]; j < s.t.RowStart[tv+1]; j++ {
+			if int(s.t.Nbr[j]) == tu {
+				found = s.t.EdgeLabels[j] == l
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
 }
 
 // Support counts the number of graphs in db that contain pattern. This is

@@ -1,0 +1,80 @@
+package isomorph_test
+
+// Differential fuzzing of the arena'd CSR VF2 against the frozen
+// pre-CSR matcher in internal/graph/reference: for arbitrary (size-
+// capped) pattern/target pairs, both implementations must return the
+// same containment verdict and the same embedding count. The search
+// order is part of the contract (budget checkpoints charge per search-
+// tree node), so count equality — not just verdict equality — matters.
+
+import (
+	"testing"
+
+	"graphsig/internal/graph"
+	"graphsig/internal/graph/reference"
+	"graphsig/internal/isomorph"
+)
+
+// buildFuzzGraph interprets a byte script as a labeled graph, capped at
+// maxNodes nodes (embedding counts are exponential in pattern size, so
+// the caps keep worst-case fuzz inputs cheap).
+func buildFuzzGraph(data []byte, maxNodes int) *graph.Graph {
+	g := graph.New(0, 0)
+	for i := 0; i+2 < len(data); i += 3 {
+		op, a, b := data[i], data[i+1], data[i+2]
+		n := g.NumNodes()
+		switch {
+		case op%3 == 0 && n < maxNodes:
+			g.AddNode(graph.Label(a % 4))
+		case n >= 2 && g.NumEdges() < 3*maxNodes:
+			u, v := int(a)%n, int(b)%n
+			if u == v {
+				continue
+			}
+			// Duplicate edges are rejected by AddEdge; ignore the error.
+			_ = g.AddEdge(u, v, graph.Label(op%3))
+		}
+	}
+	return g
+}
+
+func FuzzVF2Differential(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 0, 2, 0, 1, 0, 1}, []byte{0, 1, 0, 0, 2, 0, 0, 1, 0, 1, 0, 1, 1, 1, 2})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 1, 0, 1, 1, 1, 2}, []byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0, 1, 1, 1, 2, 2, 0, 2})
+	f.Add([]byte{}, []byte{0, 3, 0})
+	f.Fuzz(func(t *testing.T, pdata, tdata []byte) {
+		pattern := buildFuzzGraph(pdata, 6)
+		target := buildFuzzGraph(tdata, 12)
+		refPattern := reference.FromGraph(pattern)
+		refTarget := reference.FromGraph(target)
+
+		if got, want := isomorph.SubgraphIsomorphic(pattern, target), reference.SubgraphIsomorphic(refPattern, refTarget); got != want {
+			t.Fatalf("verdict: csr=%v reference=%v (pattern %s, target %s)", got, want, pattern, target)
+		}
+		// Exact embedding counts, unbounded and under a limit.
+		if got, want := isomorph.CountEmbeddings(pattern, target, 0), reference.CountEmbeddings(refPattern, refTarget, 0); got != want {
+			t.Fatalf("count: csr=%d reference=%d (pattern %s, target %s)", got, want, pattern, target)
+		}
+		if got, want := isomorph.CountEmbeddings(pattern, target, 3), reference.CountEmbeddings(refPattern, refTarget, 3); got != want {
+			t.Fatalf("count(limit 3): csr=%d reference=%d", got, want)
+		}
+		// Embedding emission order must agree entry for entry.
+		var seqCSR, seqRef []int
+		isomorph.ForEachEmbedding(pattern, target, func(m []int) bool {
+			seqCSR = append(seqCSR, m...)
+			return len(seqCSR) < 4096
+		})
+		reference.ForEachEmbedding(refPattern, refTarget, func(m []int) bool {
+			seqRef = append(seqRef, m...)
+			return len(seqRef) < 4096
+		})
+		if len(seqCSR) != len(seqRef) {
+			t.Fatalf("embedding streams: %d vs %d mapped nodes", len(seqCSR), len(seqRef))
+		}
+		for i := range seqCSR {
+			if seqCSR[i] != seqRef[i] {
+				t.Fatalf("embedding streams diverge at position %d: %d vs %d", i, seqCSR[i], seqRef[i])
+			}
+		}
+	})
+}

@@ -78,20 +78,23 @@ func FeatureMasses(g *graph.Graph, start int, fs *feature.Set, cfg Config) []flo
 	// edge-type feature when the endpoint pair is in the set, otherwise
 	// the atom feature of the node stepped onto (v).
 	total := 0.0
-	for u := 0; u < g.NumNodes(); u++ {
-		if p[u] == 0 || g.Degree(u) == 0 {
+	c := g.CSR()
+	for u := 0; u < len(c.NodeLabels); u++ {
+		deg := c.RowStart[u+1] - c.RowStart[u]
+		if p[u] == 0 || deg == 0 {
 			continue
 		}
-		out := p[u] * (1 - cfg.Alpha) / float64(g.Degree(u))
-		g.Neighbors(u, func(v int, bond graph.Label) {
-			lu, lv := g.NodeLabel(u), g.NodeLabel(v)
+		out := p[u] * (1 - cfg.Alpha) / float64(deg)
+		lu := c.NodeLabels[u]
+		for i := c.RowStart[u]; i < c.RowStart[u+1]; i++ {
+			lv, bond := c.NodeLabels[c.Nbr[i]], c.EdgeLabels[i]
 			if fi, ok := fs.EdgeFeature(lu, lv, bond); ok {
 				masses[fi] += out
 			} else if fi, ok := fs.AtomFeature(lv); ok {
 				masses[fi] += out
 			}
 			total += out
-		})
+		}
 	}
 	// Normalize to a distribution over features (the paper's "continuous
 	// distribution of features ... in the range [0,1]").
@@ -109,6 +112,7 @@ func FeatureMasses(g *graph.Graph, start int, fs *feature.Set, cfg Config) []flo
 // receive vanishing mass.
 func stationary(g *graph.Graph, start int, cfg Config) []float64 {
 	n := g.NumNodes()
+	c := g.CSR()
 	p := make([]float64, n)
 	next := make([]float64, n)
 	p[start] = 1
@@ -121,16 +125,16 @@ func stationary(g *graph.Graph, start int, cfg Config) []float64 {
 			if p[u] == 0 {
 				continue
 			}
-			deg := g.Degree(u)
+			deg := c.RowStart[u+1] - c.RowStart[u]
 			if deg == 0 {
 				// Dangling mass restarts.
 				next[start] += (1 - cfg.Alpha) * p[u]
 				continue
 			}
 			share := (1 - cfg.Alpha) * p[u] / float64(deg)
-			g.Neighbors(u, func(v int, _ graph.Label) {
-				next[v] += share
-			})
+			for i := c.RowStart[u]; i < c.RowStart[u+1]; i++ {
+				next[c.Nbr[i]] += share
+			}
 		}
 		delta := 0.0
 		for i := range p {

@@ -95,7 +95,9 @@ func decodeGraph(payload []byte) (*graph.Graph, error) {
 	if r.off != len(payload) {
 		return nil, fmt.Errorf("store: %d trailing bytes after graph record", len(payload)-r.off)
 	}
-	return g, nil
+	// Decoded graphs are read-only from here on; freezing builds the CSR
+	// once on the decode goroutine instead of lazily under mining load.
+	return g.Freeze(), nil
 }
 
 // varintReader decodes varints off a byte slice, latching the first
