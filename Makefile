@@ -29,6 +29,7 @@ fuzz:
 	go test ./internal/isomorph -run='^$$' -fuzz=FuzzVF2Differential      -fuzztime=2000x
 	go test ./internal/dfscode  -run='^$$' -fuzz=FuzzCanonicalInvariance  -fuzztime=500x
 	go test ./internal/dfscode  -run='^$$' -fuzz=FuzzMinCodeEdgeOrder     -fuzztime=500x
+	go test ./internal/gspan    -run='^$$' -fuzz=FuzzClosedEquivalence    -fuzztime=500x
 	go test ./internal/chem     -run='^$$' -fuzz=FuzzParseSMILES          -fuzztime=2000x
 	go test ./internal/store    -run='^$$' -fuzz=FuzzDecodeSegment        -fuzztime=500x
 	go test ./internal/store    -run='^$$' -fuzz=FuzzManifestJSON         -fuzztime=500x

@@ -55,6 +55,15 @@ type benchJSON struct {
 	WindowMisses  int64                `json:"windowCacheMisses"`
 	PrefilterHit  int64                `json:"prefilterRejects"`
 	PrefilterMiss int64                `json:"prefilterPasses"`
+	// Closed-pattern mining counters: patterns suppressed at emission,
+	// DFS subtrees cut by equivalent-occurrence detection, containment
+	// pairs the maximality sweeps examined, and how many reached VF2.
+	// Together they make the closed-mine's effect on the O(n²) sweep
+	// visible in CI, not just in wall time.
+	ClosedPrunes    int64 `json:"closedPrunes"`
+	EquivOccHits    int64 `json:"equivOccurrenceHits"`
+	MaximalPairs    int64 `json:"maximalSweepPairs"`
+	MaximalVF2Calls int64 `json:"maximalVF2Calls"`
 	Stages        map[string]stageJSON `json:"stages"`
 	StageOrder    []string             `json:"stageOrder"`
 	GeneratedUnix int64                `json:"generatedUnix"`
@@ -118,7 +127,12 @@ func main() {
 		WindowMisses:  snap.CounterValue(obs.MWindowCacheMisses),
 		PrefilterHit:  sumSites(snap, obs.MPrefilterRejects),
 		PrefilterMiss: sumSites(snap, obs.MPrefilterPasses),
-		Stages:        map[string]stageJSON{},
+		ClosedPrunes:  sumLabel(snap, obs.MClosedPrunes, "miner"),
+		EquivOccHits:  sumLabel(snap, obs.MEquivOccurrences, "miner"),
+		MaximalPairs:  sumSites(snap, obs.MMaximalPairs),
+		MaximalVF2Calls: snap.CounterValue(obs.MPrefilterPasses,
+			"site", "maximal"),
+		Stages: map[string]stageJSON{},
 		StageOrder:    snap.LabelValues(obs.MStageStarted, "stage"),
 		GeneratedUnix: t0.Unix(),
 	}
@@ -158,9 +172,14 @@ func main() {
 // sumSites totals a labelled counter across its "site" label values
 // (maximal-filter and verify prefilters report separately).
 func sumSites(snap obs.Snapshot, name string) int64 {
+	return sumLabel(snap, name, "site")
+}
+
+// sumLabel totals a counter across every value of one label.
+func sumLabel(snap obs.Snapshot, name, label string) int64 {
 	var total int64
-	for _, site := range snap.LabelValues(name, "site") {
-		total += snap.CounterValue(name, "site", site)
+	for _, v := range snap.LabelValues(name, label) {
+		total += snap.CounterValue(name, label, v)
 	}
 	return total
 }
@@ -201,6 +220,16 @@ func checkRegression(path string, fresh benchJSON, maxRegression float64) {
 			fresh.AllocsPerRun, base.AllocsPerRun, aRatio, maxRegression)
 		if aRatio > maxRegression {
 			log.Fatalf("allocation regression: %.2fx exceeds the %.2fx limit", aRatio, maxRegression)
+		}
+	}
+	// Closed-pattern pruning must stay engaged: a baseline that recorded
+	// prunes against a fresh run with none means the miners silently fell
+	// back to sweeping the full frequent set — a regression wall time
+	// alone can hide on small workloads.
+	if base.ClosedPrunes > 0 {
+		log.Printf("%d closed prunes vs baseline %d", fresh.ClosedPrunes, base.ClosedPrunes)
+		if fresh.ClosedPrunes == 0 {
+			log.Fatal("closed-pattern pruning inactive: baseline recorded prunes, fresh run has none")
 		}
 	}
 }

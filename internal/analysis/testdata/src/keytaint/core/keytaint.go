@@ -115,3 +115,46 @@ func timed() time.Duration {
 	t0 := time.Now()
 	return time.Since(t0)
 }
+
+// Positive: a fingerprint assembled while ranging an occurrence map —
+// the per-pattern TID-list shape the closed miners track. Both sinks
+// fire on one line: the tainted argument reaching cacheKeyOf, and the
+// tainted return from a function whose own name marks it key-producing.
+func occurrenceKey(occ map[string][]int) string {
+	var parts []string
+	for pat := range occ {
+		parts = append(parts, fmt.Sprintf("%s:%d", pat, len(occ[pat])))
+	}
+	return cacheKeyOf(parts) // want "reaches key/fingerprint constructor cacheKeyOf" "returned from occurrenceKey"
+}
+
+// Negative: the same walk with a sort barrier before keying.
+func occurrenceKeySorted(occ map[string][]int) string {
+	var parts []string
+	for pat := range occ {
+		parts = append(parts, fmt.Sprintf("%s:%d", pat, len(occ[pat])))
+	}
+	sort.Strings(parts)
+	return cacheKeyOf(parts)
+}
+
+// Negative: an existential closure check over the occurrence map — a
+// bool cannot carry iteration order, which is exactly why the miners'
+// non-closed flags are safe to compute this way.
+func nonClosed(occ map[string][]int, support int) bool {
+	for _, tids := range occ {
+		if len(tids) == support {
+			return true
+		}
+	}
+	return false
+}
+
+// Positive: embedding lists flushed into the answer set in map order.
+func emitEmbeddings(byPattern map[string][]string) Result {
+	var r Result
+	for _, embs := range byPattern {
+		r.Subgraphs = append(r.Subgraphs, embs...) // want "accumulate in Subgraphs"
+	}
+	return r
+}

@@ -153,6 +153,62 @@ func sharedArena(items []int) {
 	pool.Put(scratch)
 }
 
+// embeddings is the miners' flat embedding-list shape: a parallel gid
+// list plus one arena slice holding fixed-stride node tuples.
+type embeddings struct {
+	gids []int
+	flat []int
+}
+
+// Positive: every worker extends one shared embedding list — the
+// append-race the per-worker arenas in the CSR matcher exist to avoid.
+func harvest(hosts [][]int) embeddings {
+	var embs embeddings
+	var wg sync.WaitGroup
+	for gid, nodes := range hosts {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			embs.flat = append(embs.flat, nodes...) // want "writes embs"
+		}()
+		use(gid)
+	}
+	wg.Wait()
+	return embs
+}
+
+// Negative: one embedding list per gid slot, each iteration owning its
+// index; the lists are merged after the join.
+func harvestPerSlot(hosts [][]int) []embeddings {
+	lists := make([]embeddings, len(hosts))
+	var wg sync.WaitGroup
+	for gid, nodes := range hosts {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lists[gid] = embeddings{gids: []int{gid}, flat: nodes}
+		}()
+	}
+	wg.Wait()
+	return lists
+}
+
+// Positive: a shared occurrence map keyed by pattern, stored to from
+// every worker without synchronization.
+func occurrences(patterns []string) map[string][]int {
+	occ := map[string][]int{}
+	var wg sync.WaitGroup
+	for i, p := range patterns {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			occ[p] = append(occ[p], i) // want "writes occ"
+		}()
+	}
+	wg.Wait()
+	return occ
+}
+
 // Negative: each worker draws its own arena from the pool and returns
 // it; the pool itself is only read (method calls), never reassigned.
 func pooledPerWorker(items []int) {

@@ -820,12 +820,24 @@ func mineMaximalIsolated(windows []*graph.Graph, minSup int, cfg Config, ctl *ru
 }
 
 func mineMaximal(windows []*graph.Graph, minSup int, cfg Config, ctl *runctl.Controller) []groupPattern {
+	// Only maximal patterns survive this stage, and a non-closed pattern
+	// is never maximal (its closure witness is an equal-support — hence
+	// frequent — strict super-pattern), so both miners run in closed-only
+	// mode: non-closed patterns are suppressed at emission and whole DFS
+	// subtrees prune on equivalent occurrences, leaving the O(n²)
+	// containment sweep a near-trivial filter over an already-closed
+	// list. The final maximal set is byte-identical to mining everything
+	// first. Pruned subtrees charge nothing: the miner-step budget is
+	// drawn once per explored state, and pruning deterministically
+	// removes states, so budget trips stay reproducible at a fixed
+	// configuration.
 	switch cfg.Miner {
 	case MinerGSpan:
 		r := gspan.Mine(windows, gspan.Options{
 			MinSupport: minSup,
 			MaxEdges:   cfg.MaxPatternEdges,
 			Ctl:        ctl,
+			ClosedOnly: true,
 		})
 		// The maximality filter observes the controller too: after a trip
 		// it returns only the prefix already decided maximal instead of
@@ -841,6 +853,7 @@ func mineMaximal(windows []*graph.Graph, minSup int, cfg Config, ctl *runctl.Con
 			MinSupport: minSup,
 			MaxEdges:   cfg.MaxPatternEdges,
 			Ctl:        ctl,
+			ClosedOnly: true,
 		})
 		var out []groupPattern
 		for _, p := range r.Patterns {

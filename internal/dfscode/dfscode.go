@@ -14,6 +14,7 @@ package dfscode
 import (
 	"fmt"
 	"strconv"
+	"sync"
 
 	"graphsig/internal/graph"
 )
@@ -144,6 +145,32 @@ func (c Code) Graph() *graph.Graph {
 	return g
 }
 
+// RightmostVertex returns the DFS index of the rightmost vertex — the
+// most recently discovered one — without materializing the rightmost
+// path. Forward edges discover vertices in index order, so this is
+// always NumNodes()-1 (-1 for the empty code). The closed miner's
+// early-termination rule needs exactly this index: backward extensions
+// anywhere in a pattern's DFS subtree can only attach at the current
+// rightmost vertex, which is either this vertex or one not yet
+// discovered, so an internal edge avoiding it can never be added by a
+// descendant.
+func (c Code) RightmostVertex() int {
+	return c.NumNodes() - 1
+}
+
+// HasEdge reports whether the code contains an edge between DFS indices
+// i and j, in either orientation. It is the pattern-adjacency oracle
+// for closure checks that walk host CSR rows without materializing the
+// pattern graph; codes are small, so the linear scan is the fast path.
+func (c Code) HasEdge(i, j int) bool {
+	for _, e := range c {
+		if (e.I == i && e.J == j) || (e.I == j && e.J == i) {
+			return true
+		}
+	}
+	return false
+}
+
 // RightmostPath returns the DFS indices on the rightmost path, from the
 // root (index 0) to the rightmost (most recently discovered) vertex.
 func (c Code) RightmostPath() []int {
@@ -208,22 +235,92 @@ type embedding struct {
 	inverse []int
 }
 
-func (e *embedding) extend(hostFrom, hostTo int, discovers bool, g *graph.Graph, edgeID int) *embedding {
-	// nodes and inverse share one backing allocation: extend runs once
-	// per surviving embedding per code entry and dominated the
-	// canonicalizer's allocation profile as three separate copies.
+// embArena bump-allocates embedding buffers in large chunks. One
+// generation of embeddings dies wholesale when the next replaces it, so
+// buildMinimum keeps two arenas and swap-resets the dead one — the
+// canonicalizer sits on the miners' candidate-dedup hot path, and
+// per-embedding make calls dominated its allocation profile.
+type embArena struct {
+	structs []embedding
+	ints    []int
+	bools   []bool
+}
+
+func (a *embArena) emb() *embedding {
+	if len(a.structs) == cap(a.structs) {
+		a.structs = make([]embedding, 0, grown(cap(a.structs), 1, 16))
+	}
+	a.structs = a.structs[:len(a.structs)+1]
+	return &a.structs[len(a.structs)-1]
+}
+
+func (a *embArena) intSlice(n int) []int {
+	if len(a.ints)+n > cap(a.ints) {
+		a.ints = make([]int, 0, grown(cap(a.ints), n, 128))
+	}
+	s := a.ints[len(a.ints) : len(a.ints)+n : len(a.ints)+n]
+	a.ints = a.ints[:len(a.ints)+n]
+	return s
+}
+
+func (a *embArena) boolSlice(n int) []bool {
+	if len(a.bools)+n > cap(a.bools) {
+		a.bools = make([]bool, 0, grown(cap(a.bools), n, 128))
+	}
+	s := a.bools[len(a.bools) : len(a.bools)+n : len(a.bools)+n]
+	a.bools = a.bools[:len(a.bools)+n]
+	return s
+}
+
+// reset abandons the arena's contents; chunks superseded by growth are
+// left to the collector, the newest one is reused.
+func (a *embArena) reset() {
+	a.structs = a.structs[:0]
+	a.ints = a.ints[:0]
+	a.bools = a.bools[:0]
+}
+
+// grown doubles a chunk capacity, bounded below by the requested count
+// and a type-specific floor sized for typical pattern graphs.
+func grown(c, n, floor int) int {
+	c *= 2
+	if c < n {
+		c = n
+	}
+	if c < floor {
+		c = floor
+	}
+	return c
+}
+
+// minState carries buildMinimum's working set — the two embedding
+// arenas and the generation slices — across calls via a pool, so
+// canonicalizing a stream of candidates (the miners' dedup loop)
+// settles into zero steady-state allocation.
+type minState struct {
+	curA, nextA embArena
+	embs, next  []*embedding
+}
+
+var minPool = sync.Pool{New: func() any { return new(minState) }}
+
+// extend clones e into arena a with hostTo appended when the chosen
+// extension discovers a new vertex, and edgeID marked used. Every
+// buffer is fully overwritten by the copies, so stale arena contents
+// never leak through.
+func (e *embedding) extend(hostTo int, discovers bool, edgeID int, a *embArena) *embedding {
 	nn := len(e.nodes)
 	if discovers {
 		nn++
 	}
-	buf := make([]int, nn+len(e.inverse))
-	ne := &embedding{
-		nodes:   buf[:nn:nn],
-		used:    append([]bool(nil), e.used...),
-		inverse: buf[nn:],
-	}
+	buf := a.intSlice(nn + len(e.inverse))
+	ne := a.emb()
+	ne.nodes = buf[:nn:nn]
+	ne.used = a.boolSlice(len(e.used))
+	ne.inverse = buf[nn:]
 	copy(ne.nodes, e.nodes)
 	copy(ne.inverse, e.inverse)
+	copy(ne.used, e.used)
 	if discovers {
 		ne.nodes[nn-1] = hostTo
 		ne.inverse[hostTo] = nn
@@ -269,7 +366,18 @@ func buildMinimum(g *graph.Graph, reference Code) (Code, bool) {
 	// (replacing the old per-call (u,v)->id map).
 	gc := g.CSR()
 	var code Code
-	var embs []*embedding
+	// Pooled working set. Two arenas, swapped each round: curA holds the
+	// live generation, nextA receives its extensions, then the dead
+	// generation's arena is reset and reused.
+	st := minPool.Get().(*minState)
+	embs, nextEmbs := st.embs[:0], st.next[:0]
+	curA, nextA := &st.curA, &st.nextA
+	defer func() {
+		curA.reset()
+		nextA.reset()
+		st.embs, st.next = embs[:0], nextEmbs[:0]
+		minPool.Put(st)
+	}()
 
 	// Seed: minimal first entry over all directed edge instances.
 	var best EdgeCode
@@ -292,11 +400,14 @@ func buildMinimum(g *graph.Graph, reference Code) (Code, bool) {
 	for ei, e := range g.Edges() {
 		for _, dir := range [2][2]int{{e.From, e.To}, {e.To, e.From}} {
 			if g.NodeLabel(dir[0]) == best.LI && e.Label == best.LE && g.NodeLabel(dir[1]) == best.LJ {
-				emb := &embedding{
-					nodes:   []int{dir[0], dir[1]},
-					used:    make([]bool, g.NumEdges()),
-					inverse: make([]int, g.NumNodes()),
-				}
+				buf := curA.intSlice(2 + g.NumNodes())
+				emb := curA.emb()
+				emb.nodes = buf[:2:2]
+				emb.used = curA.boolSlice(g.NumEdges())
+				emb.inverse = buf[2:]
+				emb.nodes[0], emb.nodes[1] = dir[0], dir[1]
+				clear(emb.inverse)
+				clear(emb.used)
 				emb.inverse[dir[0]] = 1
 				emb.inverse[dir[1]] = 2
 				emb.used[ei] = true
@@ -362,8 +473,10 @@ func buildMinimum(g *graph.Graph, reference Code) (Code, bool) {
 			}
 		}
 		code = append(code, bestExt.ec)
-		// Keep only embeddings realizing the chosen extension, extended.
-		var next []*embedding
+		// Keep only embeddings realizing the chosen extension, extended
+		// into the spare arena; the dead generation is then reset and the
+		// arenas swap roles.
+		next := nextEmbs[:0]
 		for _, emb := range embs {
 			if bestExt.ec.Forward() {
 				hostV := emb.nodes[bestExt.ec.I]
@@ -372,7 +485,7 @@ func buildMinimum(g *graph.Graph, reference Code) (Code, bool) {
 					if emb.inverse[u] != 0 || l != bestExt.ec.LE || gc.NodeLabels[u] != bestExt.ec.LJ {
 						continue
 					}
-					next = append(next, emb.extend(hostV, u, true, g, int(gc.EdgeIDs[i])))
+					next = append(next, emb.extend(u, true, int(gc.EdgeIDs[i]), nextA))
 				}
 			} else {
 				hostV := emb.nodes[bestExt.ec.I]
@@ -383,13 +496,15 @@ func buildMinimum(g *graph.Graph, reference Code) (Code, bool) {
 						continue
 					}
 					if !emb.used[gc.EdgeIDs[i]] && gc.EdgeLabels[i] == bestExt.ec.LE {
-						next = append(next, emb.extend(hostV, hostU, false, g, int(gc.EdgeIDs[i])))
+						next = append(next, emb.extend(hostU, false, int(gc.EdgeIDs[i]), nextA))
 					}
 					break
 				}
 			}
 		}
-		embs = next
+		embs, nextEmbs = next, embs
+		curA.reset()
+		curA, nextA = nextA, curA
 	}
 	if reference != nil {
 		return reference, true

@@ -44,6 +44,17 @@ type Options struct {
 	Ctl *runctl.Controller
 	// IncludeSingleNodes also reports frequent single-node patterns.
 	IncludeSingleNodes bool
+	// ClosedOnly emits only closed patterns: frequent patterns with no
+	// one-edge extension preserving their full support set (CloseGraph,
+	// Yan & Han KDD 2003). The emitted list equals Closed() applied to
+	// the full mine's output, in the same order, so Maximal() over it is
+	// byte-identical to Maximal() over the full list — closure filtering
+	// can only drop patterns that already had an equal-support (hence
+	// frequent) strict super-pattern. With MaxEdges == 0 the miner also
+	// prunes whole DFS subtrees on equivalent occurrences (see grow).
+	// Single-node patterns (IncludeSingleNodes) are always reported;
+	// closure filtering applies to edge patterns.
+	ClosedOnly bool
 }
 
 // FromPercent converts a percentage frequency threshold (e.g. 5.0 for 5%)
@@ -155,6 +166,17 @@ func (st *embeddingState) hostIndex(host int) int {
 	return -1
 }
 
+// occAcc accumulates one extension key's occurrences across the current
+// state's projection list. Projections arrive grouped by graph id (seeds
+// are appended per-gid contiguously and children inherit the grouping),
+// so distinct-gid counting needs only the last gid seen; the projection
+// ordinal dedups multiple realizations of the same key inside one
+// embedding (e.g. two same-labeled pendant neighbors).
+type occAcc struct {
+	lastGid, gidCount   int
+	lastProj, projCount int
+}
+
 type miner struct {
 	db       []*graph.Graph
 	opt      Options
@@ -163,6 +185,14 @@ type miner struct {
 	stats    Stats
 	stop     bool
 	stopWhy  runctl.Reason
+
+	// Closed-only mode scratch, reused across grow() calls: per-key
+	// occurrence accounting and the host-node -> pattern-index inverse
+	// map for CSR-row extension walks.
+	extAcc       map[isomorph.ExtKey]occAcc
+	inv          []int32
+	closedPrunes *obs.Counter
+	equivHits    *obs.Counter
 }
 
 // Mine runs gSpan over db and returns all frequent connected subgraph
@@ -176,6 +206,11 @@ func Mine(db []*graph.Graph, opt Options) Result {
 		ctl = runctl.FromDeadline(opt.Deadline)
 	}
 	m := &miner{db: db, opt: opt, cp: ctl.Checkpoint(runctl.StageGSpan)}
+	if opt.ClosedOnly {
+		reg := m.cp.Metrics()
+		m.closedPrunes = reg.Counter(obs.MClosedPrunes, "miner", "gspan")
+		m.equivHits = reg.Counter(obs.MEquivOccurrences, "miner", "gspan")
+	}
 	// Un-amortized check up front so an already-expired deadline or
 	// canceled context truncates before any work.
 	if err := m.cp.Force(); err != nil {
@@ -299,6 +334,20 @@ func (m *miner) checkpoint() bool {
 
 // grow records the pattern for code (already minimal) and recursively
 // explores its rightmost-path extensions.
+//
+// In closed-only mode the same projection walk additionally accounts
+// every one-edge extension key over all pattern positions (not just the
+// rightmost path): a key realized in all supporting graphs witnesses
+// the pattern as non-closed, so emission is suppressed. When moreover
+// every single embedding extends by the same internal key whose
+// endpoints both avoid the rightmost vertex — an equivalent occurrence
+// — the whole DFS subtree is abandoned: descendants only ever attach
+// backward edges at their current rightmost vertex, which is either
+// this state's rightmost vertex or a later-discovered one, so no
+// descendant can absorb that key's edge and every descendant inherits
+// an equal-support strict super-pattern. Early termination is disabled
+// under a MaxEdges cap, where a descendant's witness could lie beyond
+// the cap and pruning would change the downstream maximal set.
 func (m *miner) grow(code dfscode.Code, projs []*projection) {
 	if m.stop {
 		return
@@ -311,21 +360,35 @@ func (m *miner) grow(code dfscode.Code, projs []*projection) {
 	for _, p := range projs {
 		gids[p.gid] = true
 	}
-	m.record(Pattern{Graph: code.Graph(), Code: append(dfscode.Code(nil), code...), Support: len(gids), GraphIDs: sortedIDs(gids)})
-	if m.stop {
-		return
-	}
-	if m.opt.MaxEdges > 0 && len(code) >= m.opt.MaxEdges {
-		return
+	support := len(gids)
+	atCap := m.opt.MaxEdges > 0 && len(code) >= m.opt.MaxEdges
+	// Patterns at the cap are emitted unconditionally even in closed-only
+	// mode: their closure witnesses may lie beyond the cap, and the
+	// contract is that closure filtering drops only patterns whose
+	// witness is itself in the (capped) output.
+	doClosure := m.opt.ClosedOnly && !atCap
+	if !doClosure {
+		m.record(Pattern{Graph: code.Graph(), Code: append(dfscode.Code(nil), code...), Support: support, GraphIDs: sortedIDs(gids)})
+		if m.stop || atCap {
+			return
+		}
 	}
 
 	rmPath := code.RightmostPath()
 	rmv := rmPath[len(rmPath)-1]
 
+	if doClosure {
+		if m.extAcc == nil {
+			m.extAcc = make(map[isomorph.ExtKey]occAcc)
+		} else {
+			clear(m.extAcc)
+		}
+	}
+
 	// Collect extensions: code entry -> projections realizing it.
 	exts := make(map[dfscode.EdgeCode][]*projection)
 	var st embeddingState
-	for _, p := range projs {
+	for pi, p := range projs {
 		gc := m.db[p.gid].CSR()
 		unroll(code, p, &st)
 		hostRM := st.nodes[rmv]
@@ -355,6 +418,25 @@ func (m *miner) grow(code dfscode.Code, projs []*projection) {
 				ec := dfscode.EdgeCode{I: pv, J: len(st.nodes), LI: gc.NodeLabels[hostV], LE: l, LJ: gc.NodeLabels[u]}
 				exts[ec] = append(exts[ec], &projection{gid: p.gid, hostFrom: hostV, hostTo: u, eid: eid, prev: p})
 			}
+		}
+		if doClosure {
+			m.accountOccurrences(gc, code, &st, pi, p.gid)
+		}
+	}
+
+	if doClosure {
+		closed, prune := m.closureDecide(support, len(projs), rmv)
+		if closed {
+			m.record(Pattern{Graph: code.Graph(), Code: append(dfscode.Code(nil), code...), Support: support, GraphIDs: sortedIDs(gids)})
+		} else {
+			m.closedPrunes.Inc()
+		}
+		if m.stop {
+			return
+		}
+		if prune {
+			m.equivHits.Inc()
+			return
 		}
 	}
 
@@ -386,6 +468,59 @@ func (m *miner) grow(code dfscode.Code, projs []*projection) {
 	}
 }
 
+// accountOccurrences folds one projection's extension keys into the
+// per-state accumulator. The CSR walk covers every pattern position, so
+// a key exists for each distinct one-edge super-pattern realized by
+// this embedding; dedup against the projection ordinal collapses
+// multiple realizations inside the same embedding, dedup against the
+// gid relies on projs being gid-grouped.
+func (m *miner) accountOccurrences(gc graph.CSRView, code dfscode.Code, st *embeddingState, pi, gid int) {
+	if n := len(gc.NodeLabels); cap(m.inv) < n {
+		m.inv = make([]int32, n)
+	}
+	inv := m.inv[:len(gc.NodeLabels)]
+	isomorph.ForEachExtension(gc, st.nodes, inv, code.HasEdge, func(k isomorph.ExtKey, _ int32) {
+		a, ok := m.extAcc[k]
+		if !ok {
+			m.extAcc[k] = occAcc{lastGid: gid, gidCount: 1, lastProj: pi, projCount: 1}
+			return
+		}
+		if a.lastGid != gid {
+			a.lastGid = gid
+			a.gidCount++
+		}
+		if a.lastProj != pi {
+			a.lastProj = pi
+			a.projCount++
+		}
+		m.extAcc[k] = a
+	})
+}
+
+// closureDecide evaluates the accumulated keys: the pattern is closed
+// iff no key is realized in all supporting graphs (an equal-support
+// one-edge super-pattern exists exactly then, and any larger
+// equal-support super-pattern implies a one-edge one by monotonicity
+// along an edge-addition chain). prune reports an equivalent
+// occurrence justifying subtree termination: an internal key realized
+// by every projection whose endpoints both avoid the rightmost vertex,
+// sound only without a MaxEdges cap. Both predicates are existential,
+// so the random map order cannot change the outcome.
+func (m *miner) closureDecide(support, numProjs, rmv int) (closed, prune bool) {
+	closed = true
+	for k, a := range m.extAcc {
+		if a.gidCount != support {
+			continue
+		}
+		closed = false
+		if m.opt.MaxEdges == 0 && k.Internal() &&
+			int(k.From) != rmv && int(k.To) != rmv && a.projCount == numProjs {
+			return false, true
+		}
+	}
+	return closed, false
+}
+
 func onPath(path []int, v int) bool {
 	for _, p := range path {
 		if p == v {
@@ -412,12 +547,16 @@ func Maximal(patterns []Pattern) []Pattern {
 // maximal within the input list.
 func MaximalCtl(patterns []Pattern, cp *runctl.Checkpoint) ([]Pattern, error) {
 	// Summaries reject impossible containments on label histograms and
-	// degree sequences before the quadratic pass reaches VF2.
+	// degree sequences before the quadratic pass reaches VF2; before
+	// even that, containment requires the container's TID list to be a
+	// subset of the containee's, an integer-compare screen over the
+	// already-sorted GraphIDs (skipped when either side lacks a list).
 	sums := make([]*isomorph.Summary, len(patterns))
 	for i, p := range patterns {
 		sums[i] = isomorph.Summarize(p.Graph)
 	}
 	reg := cp.Metrics()
+	pairs := reg.Counter(obs.MMaximalPairs, "site", "gspan")
 	rejects := reg.Counter(obs.MPrefilterRejects, "site", "maximal")
 	passes := reg.Counter(obs.MPrefilterPasses, "site", "maximal")
 	var out []Pattern
@@ -429,6 +568,11 @@ func MaximalCtl(patterns []Pattern, cp *runctl.Checkpoint) ([]Pattern, error) {
 			}
 			if q.Graph.NumEdges() < p.Graph.NumEdges() ||
 				(q.Graph.NumEdges() == p.Graph.NumEdges() && q.Graph.NumNodes() <= p.Graph.NumNodes()) {
+				continue
+			}
+			pairs.Inc()
+			if len(p.GraphIDs) > 0 && len(q.GraphIDs) > 0 && !isomorph.SortedSubset(q.GraphIDs, p.GraphIDs) {
+				rejects.Inc()
 				continue
 			}
 			if !sums[j].CanContain(sums[i]) {

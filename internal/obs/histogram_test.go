@@ -143,6 +143,55 @@ func TestHistogramQuantileEdges(t *testing.T) {
 	})
 }
 
+// TestHistogramDefaultBucketResolution pins the reason DefBuckets
+// extends below a millisecond: with a 5ms first bucket, every sub-5ms
+// stage reported the identical interpolated p50/p95 (2.5ms/4.75ms) in
+// BENCH_graphsig.json even when true per-unit costs differed by >100x.
+// Each case observes a constant population and requires the quantile
+// estimate to land inside the bucket actually holding the value, so
+// populations at different scales are distinguishable.
+func TestHistogramDefaultBucketResolution(t *testing.T) {
+	cases := []struct {
+		name   string
+		value  float64 // constant population
+		q      float64
+		lo, hi float64 // bucket that must hold the estimate (lo exclusive, hi inclusive)
+	}{
+		{"80µs stage p50", 0.00008, 0.5, 0.00005, 0.0001},
+		{"80µs stage p95", 0.00008, 0.95, 0.00005, 0.0001},
+		{"300µs stage p50", 0.0003, 0.5, 0.00025, 0.0005},
+		{"2ms stage p50", 0.002, 0.5, 0.001, 0.0025},
+		{"2ms stage p95", 0.002, 0.95, 0.001, 0.0025},
+		{"30ms stage p50", 0.03, 0.5, 0.025, 0.05},
+		{"700ms stage p50", 0.7, 0.5, 0.5, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := newHistogram(DefBuckets)
+			for i := 0; i < 100; i++ {
+				h.Observe(tc.value)
+			}
+			got := h.Snapshot().Quantile(tc.q)
+			if got <= tc.lo || got > tc.hi {
+				t.Errorf("Quantile(%v) over 100×%vs = %v, want within (%v, %v]",
+					tc.q, tc.value, got, tc.lo, tc.hi)
+			}
+		})
+	}
+
+	// The original failure mode, directly: stages at 80µs and 2ms per
+	// unit must not report the same p50.
+	fast, slow := newHistogram(DefBuckets), newHistogram(DefBuckets)
+	for i := 0; i < 100; i++ {
+		fast.Observe(0.00008)
+		slow.Observe(0.002)
+	}
+	fp, sp := fast.Snapshot().Quantile(0.5), slow.Snapshot().Quantile(0.5)
+	if sp < 5*fp {
+		t.Errorf("p50 of 2ms population (%v) not clearly above p50 of 80µs population (%v)", sp, fp)
+	}
+}
+
 func TestHistogramMeanAndDuration(t *testing.T) {
 	h := newHistogram(DefBuckets)
 	h.ObserveDuration(100 * time.Millisecond)

@@ -43,6 +43,25 @@ const (
 	MPrefilterRejects = "graphsig_vf2_prefilter_rejects_total"
 	MPrefilterPasses  = "graphsig_vf2_prefilter_passes_total"
 
+	// Closed-pattern mining (internal/gspan, internal/fsg; label: miner
+	// — "gspan" or "fsg").
+	// MClosedPrunes counts frequent patterns suppressed at emission
+	// because a one-edge extension preserves their full support set
+	// (the CloseGraph non-closed condition): each is one pattern the
+	// maximality sweep never has to look at.
+	MClosedPrunes = "graphsig_closed_prunes_total"
+	// MEquivOccurrences counts equivalent-occurrence early terminations:
+	// DFS subtrees abandoned wholesale because every embedding of the
+	// subtree root extends by the same support-preserving internal edge,
+	// so no descendant can be closed.
+	MEquivOccurrences = "graphsig_equiv_occurrence_hits_total"
+	// MMaximalPairs counts candidate containment pairs examined by the
+	// miners' maximality sweeps after the cheap size screen — the O(n²)
+	// cost driver the closed-pattern mine is there to shrink. Each pair
+	// then either fast-rejects (TID subset or summary, MPrefilterRejects
+	// site="maximal") or reaches VF2 (MPrefilterPasses).
+	MMaximalPairs = "graphsig_maximal_sweep_pairs_total"
+
 	// Jobs subsystem (internal/jobs).
 	MJobsWorkers     = "graphsig_jobs_workers"
 	MJobsBusy        = "graphsig_jobs_busy_workers"
